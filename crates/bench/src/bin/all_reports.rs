@@ -1,0 +1,24 @@
+//! Print every table/figure report in order (used to fill
+//! EXPERIMENTS.md).
+
+use timego_bench::reports;
+
+fn main() {
+    for report in [
+        reports::table1(),
+        reports::table2(),
+        reports::table3(),
+        reports::figure6(),
+        reports::figure8(),
+        reports::group_acks(),
+        reports::cycle_model(),
+        reports::interrupts(),
+        reports::ni_improvements(),
+        reports::segment_reuse(),
+        reports::latency(),
+        reports::tension(),
+        reports::substrate_demo(),
+    ] {
+        println!("{report}");
+    }
+}

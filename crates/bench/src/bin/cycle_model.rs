@@ -1,0 +1,5 @@
+//! Appendix-A weighted cycle models applied to the measured costs.
+
+fn main() {
+    print!("{}", timego_bench::reports::cycle_model());
+}

@@ -1,0 +1,6 @@
+//! Regenerate Figure 6 of the paper (CMAM vs high-level-network
+//! messaging costs).
+
+fn main() {
+    print!("{}", timego_bench::reports::figure6());
+}

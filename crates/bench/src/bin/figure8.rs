@@ -1,0 +1,6 @@
+//! Regenerate Figure 8 of the paper (generalized cost formulas and
+//! overhead vs packet size).
+
+fn main() {
+    print!("{}", timego_bench::reports::figure8());
+}

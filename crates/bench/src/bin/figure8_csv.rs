@@ -1,0 +1,5 @@
+//! Figure 8 (right) as CSV, for plotting.
+
+fn main() {
+    print!("{}", timego_bench::reports::figure8_csv());
+}

@@ -1,0 +1,5 @@
+//! Group-acknowledgement ablation (§3.2's closing remark).
+
+fn main() {
+    print!("{}", timego_bench::reports::group_acks());
+}

@@ -1,0 +1,5 @@
+//! Polling-versus-interrupt receive-discipline ablation (footnote 2).
+
+fn main() {
+    print!("{}", timego_bench::reports::interrupts());
+}

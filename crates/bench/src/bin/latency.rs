@@ -1,0 +1,6 @@
+//! §5 "communication cost versus latency": instruction counts as a
+//! latency predictor under a LogP-flavored model.
+
+fn main() {
+    print!("{}", timego_bench::reports::latency());
+}

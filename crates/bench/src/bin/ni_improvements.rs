@@ -1,0 +1,6 @@
+//! §5 ablation: improved NIs / DMA lower the base cost and inflate the
+//! relative protocol overhead.
+
+fn main() {
+    print!("{}", timego_bench::reports::ni_improvements());
+}

@@ -1,0 +1,6 @@
+//! Segment-reuse ablation: amortize the preallocation handshake across
+//! a batch of transfers.
+
+fn main() {
+    print!("{}", timego_bench::reports::segment_reuse());
+}

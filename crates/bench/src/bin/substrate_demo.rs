@@ -1,0 +1,7 @@
+//! Demonstrate the network features (§2.2) whose software cost the
+//! paper measures: reordering, detect-only faults, CR rejection and
+//! hardware retransmission, finite-buffer stall.
+
+fn main() {
+    print!("{}", timego_bench::reports::substrate_demo());
+}

@@ -1,0 +1,5 @@
+//! Regenerate Table 1 of the paper (single-packet delivery costs).
+
+fn main() {
+    print!("{}", timego_bench::reports::table1());
+}

@@ -1,0 +1,6 @@
+//! Regenerate Table 2 of the paper (multi-packet delivery costs by
+//! feature, 16 and 1024 words).
+
+fn main() {
+    print!("{}", timego_bench::reports::table2());
+}

@@ -1,0 +1,5 @@
+//! Table 2 as CSV, for plotting.
+
+fn main() {
+    print!("{}", timego_bench::reports::table2_csv());
+}

@@ -1,0 +1,6 @@
+//! Regenerate Table 3 / Appendix A of the paper (reg/mem/dev
+//! subcategory breakdowns).
+
+fn main() {
+    print!("{}", timego_bench::reports::table3());
+}

@@ -1,0 +1,6 @@
+//! §5 experiment: the tension between routing performance (adaptive
+//! multipath) and the software cost of the reordering it causes.
+
+fn main() {
+    print!("{}", timego_bench::reports::tension());
+}

@@ -1,0 +1,55 @@
+//! Active-message types.
+
+use timego_netsim::NodeId;
+
+/// A received four-word active message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Am4Msg {
+    /// Sending node.
+    pub src: NodeId,
+    /// Hardware message tag (handler selector).
+    pub tag: u8,
+    /// The packet header word (0 for plain `am4` sends; protocols use it
+    /// for offsets/sequence numbers).
+    pub header: u32,
+    /// The four payload words.
+    pub words: [u32; 4],
+}
+
+/// Result of one [`Machine::poll`](crate::Machine::poll).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PollOutcome {
+    /// No packet was waiting.
+    Idle,
+    /// A message was dispatched to the handler registered for its tag.
+    Handled(u8),
+    /// A packet arrived with no registered handler (or a reserved
+    /// protocol tag outside its protocol phase); the message is handed
+    /// back to the caller.
+    Unclaimed(Am4Msg),
+}
+
+impl PollOutcome {
+    /// Whether a packet was consumed (handled or unclaimed).
+    pub fn received(&self) -> bool {
+        !matches!(self, PollOutcome::Idle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn received_classification() {
+        assert!(!PollOutcome::Idle.received());
+        assert!(PollOutcome::Handled(20).received());
+        let msg = Am4Msg {
+            src: NodeId::new(0),
+            tag: 9,
+            header: 0,
+            words: [0; 4],
+        };
+        assert!(PollOutcome::Unclaimed(msg).received());
+    }
+}

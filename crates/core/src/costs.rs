@@ -1,0 +1,205 @@
+//! Register-instruction annotation constants, calibrated to the paper.
+//!
+//! Device (`dev`) and memory (`mem`) instructions are recorded by the NI
+//! and memory models as a side effect of doing the real work; register
+//! (`reg`) instructions have no observable side effect in the simulation
+//! and are annotated explicitly at the points the measured CMAM code
+//! paths execute them. The constants here encode those annotations; each
+//! is traceable to a row of Table 1 or a cell of Table 3 (the full
+//! derivation is in `DESIGN.md §3`).
+//!
+//! Naming: `*_CALL` are call/return overhead, `*_SETUP_REG` accompany
+//! the NI-setup store, `*_STATUS_REG` accompany the status loads,
+//! `*_CTRL` are branches/loop tests.
+
+/// Single-packet (`CMAM_4`) send — Table 1 source column, 20 total:
+/// call/return 3, NI setup 5 (4 reg + 1 dev), write to NI 2 (dev),
+/// check status 7 (5 reg + 2 dev), control flow 3.
+pub(crate) mod am4_send {
+    pub const CALL: u64 = 3;
+    pub const SETUP_REG: u64 = 4;
+    pub const STATUS_REG: u64 = 5;
+    pub const CTRL: u64 = 3;
+}
+
+/// Single-packet receive — Table 1 destination column, 27 total:
+/// call/return 10, read from NI 3 (dev), check status 12 (10 reg +
+/// 2 dev: receive poll + latch/tag load), control flow 2.
+pub(crate) mod am4_recv {
+    pub const CALL: u64 = 10;
+    pub const STATUS_REG: u64 = 10;
+    pub const CTRL: u64 = 2;
+}
+
+/// Control-packet send (request / reply / acknowledgement / stream data):
+/// 14 reg + 1 mem + (n/2 + 3) dev. The `reg` side is call 3 + setup 4 +
+/// status 4 + control 3; the single `mem` is the protocol-state access.
+/// This is the 20-instruction shape of Table 3's per-packet
+/// acknowledgement send (14 reg, 1 mem, 5 dev at n = 4).
+pub(crate) mod ctl_send {
+    pub const CALL: u64 = 3;
+    pub const SETUP_REG: u64 = 4;
+    pub const STATUS_REG: u64 = 4;
+    pub const CTRL: u64 = 3;
+    pub const STATE_MEM: u64 = 1;
+}
+
+/// Per-packet data send inside the `xfer` loop: 15 reg + (n/2) mem +
+/// (n/2 + 3) dev (Table 3 finite-sequence base: reg 15/packet). The
+/// call overhead is amortized (inlined); instead the loop pays loop
+/// control 3 + pointer advance 4 + setup 4 + status 4.
+pub(crate) mod xfer_send {
+    pub const LOOP_CTRL: u64 = 3;
+    pub const PTR_ADVANCE: u64 = 4;
+    pub const SETUP_REG: u64 = 4;
+    pub const STATUS_REG: u64 = 4;
+    /// Per-message prologue: 2 reg + 1 mem (Table 3 base constants +2
+    /// reg, +1 mem at the source).
+    pub const PROLOGUE_REG: u64 = 2;
+    pub const PROLOGUE_MEM: u64 = 1;
+}
+
+/// Per-packet data receive inside the `xfer` drain loop: 12 reg +
+/// (n/2) mem + (n/2 + 2) dev per packet, plus an 18-instruction
+/// per-message epilogue/prologue of 14 reg + 3 mem + 1 dev
+/// (Table 3 finite-sequence destination base: reg 12p + 14,
+/// mem 2p + 3, dev 17 at p = 4).
+pub(crate) mod xfer_recv {
+    pub const PER_PACKET_REG: u64 = 12;
+    pub const ENTRY_CALL: u64 = 10;
+    pub const ENTRY_CTRL: u64 = 2;
+    pub const ENTRY_HANDLER: u64 = 2;
+    /// Segment-state loads at burst entry (2) + writeback at end (1).
+    pub const ENTRY_STATE_MEM: u64 = 2;
+    pub const EXIT_STATE_MEM: u64 = 1;
+}
+
+/// Buffer management (finite sequence): segment association at the
+/// destination after the request arrives, and disassociation after the
+/// last packet. Calibrated so destination buffer management totals
+/// 79 reg + 12 mem + 10 dev (Table 3): request receive contributes
+/// 22 reg + 5 dev, reply send 14 reg + 1 mem + 5 dev, leaving
+/// 43 reg + 11 mem for associate + disassociate.
+pub(crate) mod segment {
+    pub const ASSOCIATE_REG: u64 = 28;
+    pub const ASSOCIATE_MEM: u64 = 7;
+    pub const DISASSOCIATE_REG: u64 = 15;
+    pub const DISASSOCIATE_MEM: u64 = 4;
+}
+
+/// In-order delivery costs for the finite-sequence protocol: the source
+/// increments and stages the buffer offset (2 reg/packet); the
+/// destination extracts it and decrements the expected-packet count
+/// (3 reg/packet + 1 final check) — Table 3 shows these as pure `reg`.
+pub(crate) mod xfer_order {
+    pub const SRC_PER_PACKET: u64 = 2;
+    pub const DST_PER_PACKET: u64 = 3;
+    pub const DST_FINAL: u64 = 1;
+}
+
+/// Stream (indefinite-sequence) per-packet costs beyond the base send:
+/// sequence-number generation is 2 reg + 3 mem (the channel sequence
+/// state lives in memory); source buffering for retransmission is
+/// 4 reg + (n/2) mem; acknowledgement processing at the source is
+/// 18 reg + 5 dev per acknowledgement. Together (at n = 4, one ack per
+/// packet) these are Table 3's in-order 2 reg + 3 mem and fault-
+/// tolerance 22 reg + 2 mem + 5 dev per packet.
+pub(crate) mod stream_src {
+    pub const SEQ_REG: u64 = 2;
+    pub const BUF_REG: u64 = 4;
+    pub const ACK_RECV_REG: u64 = 18;
+}
+
+/// Stream per-packet receive costs: base dispatch is 10 reg/packet plus
+/// a 12 reg + 1 dev poll entry per burst; the in-sequence check is
+/// 6 reg; an out-of-order packet pays 29 reg + (2n + 15) mem across
+/// buffering (word-granularity copy-in + sorted insert) and draining
+/// (copy-out + unlink); a duplicate is discarded after the 6-reg check
+/// plus 2 reg. These reproduce Table 3's destination in-order average of
+/// 29/packet with half the packets out of order at n = 4.
+pub(crate) mod stream_dst {
+    pub const PER_PACKET_REG: u64 = 10;
+    pub const ENTRY_CALL: u64 = 10;
+    pub const ENTRY_CTRL: u64 = 2;
+    pub const INSEQ_REG: u64 = 6;
+    pub const DUP_EXTRA_REG: u64 = 2;
+    /// Out-of-order buffering: registers at buffer time…
+    pub const OOO_BUFFER_REG: u64 = 17;
+    /// …and at drain time (17 + 12 = 29 total).
+    pub const OOO_DRAIN_REG: u64 = 12;
+    /// Memory bookkeeping beyond the 2·(n+1) word copies: sorted insert
+    /// 7, unlink 6.
+    pub const OOO_INSERT_MEM: u64 = 7;
+    pub const OOO_UNLINK_MEM: u64 = 6;
+}
+
+/// High-level (CR substrate) finite-sequence receive: the specialized
+/// last-packet handler makes the per-message overhead 4 reg + 1 mem +
+/// 1 dev instead of CMAM's 14 reg + 3 mem + 1 dev; buffer management is
+/// a table insertion of 6 reg + 2 mem (§4.1).
+pub(crate) mod hl_xfer {
+    pub const ENTRY_REG: u64 = 4;
+    pub const ENTRY_STATE_MEM: u64 = 1;
+    pub const BUFMGMT_REG: u64 = 6;
+    pub const BUFMGMT_MEM: u64 = 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn am4_shapes_match_table1_totals() {
+        // Source: 3 + (4 reg + 1 dev) + 2 dev + (5 reg + 2 dev) + 3 = 20.
+        let src = am4_send::CALL + am4_send::SETUP_REG + 1 + 2 + am4_send::STATUS_REG + 2 + am4_send::CTRL;
+        assert_eq!(src, 20);
+        // Destination: 10 + (10 reg + 2 dev) + 3 dev + 2 = 27.
+        let dst = am4_recv::CALL + am4_recv::STATUS_REG + 2 + 3 + am4_recv::CTRL;
+        assert_eq!(dst, 27);
+    }
+
+    #[test]
+    fn ctl_send_is_twenty_at_four_words() {
+        let reg = ctl_send::CALL + ctl_send::SETUP_REG + ctl_send::STATUS_REG + ctl_send::CTRL;
+        assert_eq!(reg, 14);
+        assert_eq!(reg + ctl_send::STATE_MEM + 5, 20); // dev = n/2 + 3 = 5
+    }
+
+    #[test]
+    fn xfer_send_per_packet_is_fifteen_reg() {
+        let reg = xfer_send::LOOP_CTRL + xfer_send::PTR_ADVANCE + xfer_send::SETUP_REG + xfer_send::STATUS_REG;
+        assert_eq!(reg, 15);
+    }
+
+    #[test]
+    fn xfer_recv_entry_is_fourteen_reg() {
+        assert_eq!(
+            xfer_recv::ENTRY_CALL + xfer_recv::ENTRY_CTRL + xfer_recv::ENTRY_HANDLER,
+            14
+        );
+        assert_eq!(xfer_recv::ENTRY_STATE_MEM + xfer_recv::EXIT_STATE_MEM, 3);
+    }
+
+    #[test]
+    fn segment_constants_close_the_table3_budget() {
+        // 22 (request recv reg) + 14 (reply send reg) + associate +
+        // disassociate = 79 reg; 1 (reply send mem) + associate +
+        // disassociate = 12 mem.
+        assert_eq!(22 + 14 + segment::ASSOCIATE_REG + segment::DISASSOCIATE_REG, 79);
+        assert_eq!(1 + segment::ASSOCIATE_MEM + segment::DISASSOCIATE_MEM, 12);
+    }
+
+    #[test]
+    fn stream_ooo_split_reconstructs_29_reg() {
+        assert_eq!(stream_dst::OOO_BUFFER_REG + stream_dst::OOO_DRAIN_REG, 29);
+        // mem at n = 4: copies 2·(4+1) = 10, plus insert 7 + unlink 6 = 23.
+        assert_eq!(10 + stream_dst::OOO_INSERT_MEM + stream_dst::OOO_UNLINK_MEM, 23);
+    }
+
+    #[test]
+    fn stream_fault_tolerance_totals_match_table3() {
+        // Source: buffering 4 reg + 2 mem, ack receive 18 reg + 5 dev
+        // => 22 reg + 2 mem + 5 dev = 29 per packet at n = 4.
+        assert_eq!(stream_src::BUF_REG + stream_src::ACK_RECV_REG, 22);
+    }
+}

@@ -1,0 +1,71 @@
+//! Protocol error type.
+
+use std::error::Error;
+use std::fmt;
+
+use timego_netsim::Guarantees;
+
+/// Errors raised by protocol executions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// A protocol phase waited longer than the configured bound for a
+    /// packet. On a detect-only network this is how software observes a
+    /// lost packet with no retransmission machinery (the paper's "detect
+    /// errors and crash").
+    Timeout {
+        /// What the endpoint was waiting for.
+        waiting_for: &'static str,
+        /// Cycles waited.
+        cycles: u64,
+    },
+    /// A high-level protocol was started on a substrate that lacks the
+    /// required hardware guarantees.
+    MissingGuarantees {
+        /// What the substrate actually provides.
+        have: Guarantees,
+    },
+    /// Transfer arguments were invalid (empty data, odd packet size, …).
+    BadTransfer(String),
+    /// An unexpected packet arrived during a protocol phase.
+    UnexpectedPacket {
+        /// The hardware tag of the offending packet.
+        tag: u8,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Timeout { waiting_for, cycles } => {
+                write!(f, "timed out after {cycles} cycles waiting for {waiting_for}")
+            }
+            ProtocolError::MissingGuarantees { have } => write!(
+                f,
+                "substrate lacks required high-level guarantees (has in_order={}, reliable={}, flow_controlled={})",
+                have.in_order, have.reliable, have.flow_controlled
+            ),
+            ProtocolError::BadTransfer(msg) => write!(f, "invalid transfer: {msg}"),
+            ProtocolError::UnexpectedPacket { tag } => {
+                write!(f, "unexpected packet with tag {tag} during protocol phase")
+            }
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = ProtocolError::Timeout { waiting_for: "ack", cycles: 99 };
+        assert!(e.to_string().contains("99"));
+        assert!(e.to_string().contains("ack"));
+        let e = ProtocolError::MissingGuarantees { have: Guarantees::RAW };
+        assert!(e.to_string().contains("in_order=false"));
+        assert!(ProtocolError::BadTransfer("x".into()).to_string().contains("x"));
+        assert!(ProtocolError::UnexpectedPacket { tag: 9 }.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,538 @@
+//! The simulated parallel machine: nodes (NI + memory + cost recorder)
+//! over a shared network substrate, plus the single-packet active-message
+//! layer.
+
+use std::collections::HashMap;
+
+use timego_cost::{CostHandle, Fine};
+use timego_netsim::NodeId;
+use timego_ni::{Addr, Memory, NiPort, SharedNetwork};
+
+use crate::am::{Am4Msg, PollOutcome};
+use crate::costs::{am4_recv, am4_send, ctl_send};
+use crate::error::ProtocolError;
+use crate::stream::StreamState;
+
+/// Hardware message tags. Tags below [`Tags::USER_BASE`] are reserved
+/// for the built-in protocols; user active messages use
+/// [`Tags::USER_BASE`] and above.
+#[derive(Debug, Clone, Copy)]
+pub struct Tags;
+
+impl Tags {
+    /// Finite-sequence transfer: segment allocation request.
+    pub const XFER_REQ: u8 = 1;
+    /// Finite-sequence transfer: allocation reply carrying the segment id.
+    pub const XFER_REPLY: u8 = 2;
+    /// Finite-sequence transfer: data packet (header = buffer offset).
+    pub const XFER_DATA: u8 = 3;
+    /// Finite-sequence transfer: final end-to-end acknowledgement.
+    pub const XFER_ACK: u8 = 4;
+    /// Indefinite-sequence stream: data packet (header = sequence number).
+    pub const STREAM_DATA: u8 = 5;
+    /// Indefinite-sequence stream: acknowledgement (header = sequence number).
+    pub const STREAM_ACK: u8 = 6;
+    /// High-level-network finite transfer: data packet.
+    pub const HL_DATA: u8 = 7;
+    /// High-level-network stream: data packet.
+    pub const HL_STREAM: u8 = 8;
+    /// RPC reply packets (highest tag, so a
+    /// [`DualNetwork`](timego_netsim::DualNetwork) with this threshold
+    /// routes every reply onto its second network — footnote 6).
+    pub const RPC_REPLY: u8 = 255;
+    /// First tag available for user handlers.
+    pub const USER_BASE: u8 = 16;
+}
+
+/// Configuration of the messaging layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmamConfig {
+    /// Payload words per hardware packet (`n`; even, ≥ 2). The CM-5
+    /// value is 4.
+    pub packet_words: usize,
+    /// Node memory capacity in words.
+    pub mem_words: usize,
+    /// Upper bound on cycles any protocol phase will wait for a packet
+    /// before reporting [`ProtocolError::Timeout`].
+    pub max_wait_cycles: u64,
+}
+
+impl Default for CmamConfig {
+    fn default() -> Self {
+        CmamConfig {
+            packet_words: 4,
+            mem_words: 1 << 20,
+            max_wait_cycles: 1 << 20,
+        }
+    }
+}
+
+pub(crate) type Handler = Box<dyn FnMut(&mut Memory, Am4Msg)>;
+pub(crate) type RpcHandler = Box<dyn FnMut(&mut Memory, Am4Msg) -> [u32; 4]>;
+
+/// One processing node: its NI port, memory, cost recorder, and
+/// registered active-message handlers.
+pub(crate) struct Node {
+    pub(crate) ni: NiPort,
+    pub(crate) mem: Memory,
+    pub(crate) cpu: CostHandle,
+    handlers: HashMap<u8, Handler>,
+    pub(crate) rpc_handlers: HashMap<u8, RpcHandler>,
+}
+
+impl Node {
+    /// Send a 4-word control packet (request/reply/ack/stream data head):
+    /// the 20-instruction shape of the paper's control packets
+    /// (14 reg + 1 mem + 5 dev at 4 payload words). Returns `false` on
+    /// backpressure — the caller must re-issue (paying again), exactly
+    /// as CM-5 software re-stores a refused packet.
+    pub(crate) fn send_ctl(&mut self, dst: NodeId, tag: u8, header: u32, words: [u32; 4]) -> bool {
+        self.cpu.call(ctl_send::CALL);
+        self.cpu.reg(Fine::NiSetup, ctl_send::SETUP_REG);
+        self.cpu.mem_load(ctl_send::STATE_MEM);
+        self.ni.stage_envelope(dst, tag, header);
+        self.ni.push_payload2(words[0], words[1]);
+        self.ni.push_payload2(words[2], words[3]);
+        self.cpu.reg(Fine::CheckStatus, ctl_send::STATUS_REG);
+        self.cpu.ctrl(ctl_send::CTRL);
+        self.ni.commit_send() && {
+            self.ni.load_send_status();
+            true
+        }
+    }
+
+    /// Wait until a packet is pending, polling the receive-status
+    /// register (1 `dev` per probe — exactly one on an idle, instant
+    /// network, the paper's favorable path).
+    pub(crate) fn wait_rx(&mut self, max_cycles: u64, what: &'static str) -> Result<(), ProtocolError> {
+        let mut waited = 0;
+        while !self.ni.poll_status() {
+            if waited >= max_cycles {
+                return Err(ProtocolError::Timeout { waiting_for: what, cycles: waited });
+            }
+            self.ni.advance(1);
+            waited += 1;
+        }
+        Ok(())
+    }
+
+    /// Receive one 4-word control packet: the 27-instruction shape
+    /// (22 reg + 5 dev) of the paper's acknowledgement/handshake
+    /// receives. Assumes [`wait_rx`](Node::wait_rx) said a packet is
+    /// pending.
+    pub(crate) fn recv_ctl(&mut self) -> Option<(NodeId, u8, u32, [u32; 4])> {
+        self.cpu.call(am4_recv::CALL);
+        self.cpu.reg(Fine::CheckStatus, am4_recv::STATUS_REG);
+        self.cpu.ctrl(am4_recv::CTRL);
+        let (src, tag) = self.ni.latch_rx()?;
+        let header = self.ni.read_header();
+        let (w0, w1) = self.ni.read_payload2();
+        let (w2, w3) = self.ni.read_payload2();
+        Some((src, tag, header, [w0, w1, w2, w3]))
+    }
+
+    /// Temporarily remove a user handler for dispatch (the handler gets
+    /// `&mut Memory`, which aliases `self`, so it cannot stay in place).
+    pub(crate) fn handlers_take(&mut self, tag: u8) -> Option<Handler> {
+        self.handlers.remove(&tag)
+    }
+
+    /// Restore a handler after dispatch.
+    pub(crate) fn handlers_put(&mut self, tag: u8, handler: Handler) {
+        self.handlers.insert(tag, handler);
+    }
+}
+
+/// The simulated machine: `n` nodes over one shared network substrate.
+///
+/// All protocol entry points live here because the drivers orchestrate
+/// both endpoints of a transfer; per-node costs are nevertheless
+/// recorded separately (see [`Machine::cpu`]).
+pub struct Machine {
+    pub(crate) net: SharedNetwork,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) cfg: CmamConfig,
+    pub(crate) streams: Vec<StreamState>,
+    pub(crate) next_call_id: u64,
+}
+
+impl Machine {
+    /// Build a machine with `nodes` nodes over `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or exceeds the substrate's node count,
+    /// or if `cfg.packet_words` is zero or odd.
+    pub fn new(net: SharedNetwork, nodes: usize, cfg: CmamConfig) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        assert!(
+            nodes <= net.borrow().num_nodes(),
+            "substrate has only {} nodes",
+            net.borrow().num_nodes()
+        );
+        assert!(
+            cfg.packet_words >= 2 && cfg.packet_words % 2 == 0,
+            "packet_words must be even and at least 2"
+        );
+        let mut node_vec = Vec::with_capacity(nodes);
+        for i in 0..nodes {
+            let cpu = CostHandle::new();
+            node_vec.push(Node {
+                ni: NiPort::new(NodeId::new(i), net.clone(), cpu.clone()),
+                mem: Memory::new(cfg.mem_words, cpu.clone()),
+                cpu,
+                handlers: HashMap::new(),
+                rpc_handlers: HashMap::new(),
+            });
+        }
+        Machine {
+            net,
+            nodes: node_vec,
+            cfg,
+            streams: Vec::new(),
+            next_call_id: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The configuration this machine runs with.
+    pub fn config(&self) -> &CmamConfig {
+        &self.cfg
+    }
+
+    /// The shared network substrate.
+    pub fn network(&self) -> &SharedNetwork {
+        &self.net
+    }
+
+    /// The cost recorder of `node` (shared handle — snapshot or reset it
+    /// to measure a protocol run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn cpu(&self, node: NodeId) -> CostHandle {
+        self.nodes[node.index()].cpu.clone()
+    }
+
+    /// Reset every node's cost recorder.
+    pub fn reset_costs(&mut self) {
+        for n in &self.nodes {
+            n.cpu.reset();
+        }
+    }
+
+    /// Advance the network substrate by `cycles` (free of instruction
+    /// cost).
+    pub fn advance(&self, cycles: u64) {
+        self.net.borrow_mut().advance(cycles);
+    }
+
+    pub(crate) fn node_mut(&mut self, node: NodeId) -> &mut Node {
+        &mut self.nodes[node.index()]
+    }
+
+    // --- harness-side buffer helpers (cost-free by design) ------------
+
+    /// Allocate `words` words of node memory (allocation is free, as in
+    /// the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or its memory is exhausted.
+    pub fn alloc(&mut self, node: NodeId, words: usize) -> Addr {
+        self.nodes[node.index()].mem.alloc(words)
+    }
+
+    /// Allocate a buffer on `node` and fill it with `data` without cost
+    /// accounting (harness setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or its memory is exhausted.
+    pub fn write_buffer(&mut self, node: NodeId, data: &[u32]) -> Addr {
+        let n = &mut self.nodes[node.index()];
+        let addr = n.mem.alloc(data.len().max(1));
+        n.mem.poke(addr, data);
+        addr
+    }
+
+    /// Read `words` words from `node` memory without cost accounting
+    /// (harness verification).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` or the address range is out of range.
+    pub fn read_buffer(&self, node: NodeId, addr: Addr, words: usize) -> Vec<u32> {
+        self.nodes[node.index()].mem.peek(addr, words).to_vec()
+    }
+
+    // --- single-packet delivery (Table 1) ------------------------------
+
+    /// Send a four-word active message — the paper's `CMAM_4`,
+    /// Table 1's 20-instruction source path (call/return 3, NI setup 5,
+    /// write to NI 2, check status 7, control flow 3).
+    ///
+    /// Retries on backpressure (re-staging the packet and paying again)
+    /// up to the configured wait bound.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Timeout`] if the network refuses the packet for
+    /// longer than `max_wait_cycles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub fn am4_send(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        tag: u8,
+        words: [u32; 4],
+    ) -> Result<(), ProtocolError> {
+        assert!(dst.index() < self.nodes.len(), "destination out of range");
+        let max_wait = self.cfg.max_wait_cycles;
+        let node = self.node_mut(src);
+        let mut waited = 0;
+        loop {
+            node.cpu.call(am4_send::CALL);
+            node.cpu.reg(Fine::NiSetup, am4_send::SETUP_REG);
+            node.ni.stage_envelope(dst, tag, 0);
+            node.ni.push_payload2(words[0], words[1]);
+            node.ni.push_payload2(words[2], words[3]);
+            node.cpu.reg(Fine::CheckStatus, am4_send::STATUS_REG);
+            node.cpu.ctrl(am4_send::CTRL);
+            if node.ni.commit_send() {
+                node.ni.load_send_status();
+                return Ok(());
+            }
+            if waited >= max_wait {
+                return Err(ProtocolError::Timeout { waiting_for: "am4 injection", cycles: waited });
+            }
+            node.ni.advance(1);
+            waited += 1;
+        }
+    }
+
+    /// Register a user handler for `tag` on `node`. The handler runs
+    /// when [`Machine::poll`] dispatches a matching message; it receives
+    /// the node's memory and the message. Replaces any previous handler
+    /// for the tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tag is in the reserved protocol range
+    /// (below [`Tags::USER_BASE`]) or `node` is out of range.
+    pub fn register_handler(
+        &mut self,
+        node: NodeId,
+        tag: u8,
+        handler: impl FnMut(&mut Memory, Am4Msg) + 'static,
+    ) {
+        assert!(tag >= Tags::USER_BASE, "tags below {} are reserved", Tags::USER_BASE);
+        self.nodes[node.index()].handlers.insert(tag, Box::new(handler));
+    }
+
+    /// Poll `node` for one incoming message — the paper's
+    /// `CMAM_request_poll` / `CMAM_handle_left` / `CMAM_got_left` path.
+    ///
+    /// With a user message waiting this costs Table 1's 27 destination
+    /// instructions (call/return 10, read from NI 3, check status 12,
+    /// control flow 2) plus whatever the handler itself does. An idle
+    /// poll costs the 13-instruction entry (call/return 10, one status
+    /// load, control flow 2).
+    ///
+    /// Packets with reserved protocol tags arriving outside their
+    /// protocol phase are returned as [`PollOutcome::Unclaimed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn poll(&mut self, node: NodeId) -> PollOutcome {
+        let n = &mut self.nodes[node.index()];
+        n.cpu.call(am4_recv::CALL);
+        n.cpu.ctrl(am4_recv::CTRL);
+        if !n.ni.poll_status() {
+            return PollOutcome::Idle;
+        }
+        // Latch + tag vectoring: the rest of Table 1's check-status row.
+        n.cpu.reg(Fine::CheckStatus, am4_recv::STATUS_REG);
+        let Some((src, tag)) = n.ni.latch_rx() else {
+            return PollOutcome::Idle;
+        };
+        let header = n.ni.read_header();
+        let (w0, w1) = n.ni.read_payload2();
+        let (w2, w3) = n.ni.read_payload2();
+        let msg = Am4Msg {
+            src,
+            tag,
+            header,
+            words: [w0, w1, w2, w3],
+        };
+        if tag < Tags::USER_BASE {
+            return PollOutcome::Unclaimed(msg);
+        }
+        match n.handlers.remove(&tag) {
+            Some(mut h) => {
+                n.cpu.handler(2);
+                h(&mut n.mem, msg);
+                self.nodes[node.index()].handlers.insert(tag, h);
+                PollOutcome::Handled(tag)
+            }
+            None => PollOutcome::Unclaimed(msg),
+        }
+    }
+
+    /// Poll `node` repeatedly until a message is handled or `max_polls`
+    /// polls have happened; idle polls advance the network one cycle.
+    pub fn poll_until_handled(&mut self, node: NodeId, max_polls: u64) -> PollOutcome {
+        for _ in 0..max_polls {
+            match self.poll(node) {
+                PollOutcome::Idle => self.advance(1),
+                other => return other,
+            }
+        }
+        PollOutcome::Idle
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("nodes", &self.nodes.len())
+            .field("cfg", &self.cfg)
+            .field("streams", &self.streams.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timego_cost::{Class, Endpoint, Feature};
+    use timego_netsim::{DeliveryScript, ScriptedNetwork};
+    use timego_ni::share;
+
+    pub(crate) fn scripted_machine(nodes: usize, script: DeliveryScript) -> Machine {
+        Machine::new(
+            share(ScriptedNetwork::new(nodes, script)),
+            nodes,
+            CmamConfig::default(),
+        )
+    }
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn am4_send_costs_exactly_twenty_instructions() {
+        let mut m = scripted_machine(2, DeliveryScript::InOrder);
+        m.am4_send(n(0), n(1), Tags::USER_BASE, [1, 2, 3, 4]).unwrap();
+        let v = m.cpu(n(0)).snapshot();
+        assert_eq!(v.total(), 20, "Table 1 source cost");
+        assert_eq!(v.class_total(Class::Dev), 5);
+        assert_eq!(v.class_total(Class::Reg), 15);
+        assert_eq!(v.fine_total(Fine::CallReturn), 3);
+        assert_eq!(v.fine_total(Fine::NiSetup), 5);
+        assert_eq!(v.fine_total(Fine::WriteNi), 2);
+        assert_eq!(v.fine_total(Fine::CheckStatus), 7);
+        assert_eq!(v.fine_total(Fine::ControlFlow), 3);
+    }
+
+    #[test]
+    fn poll_with_message_costs_twenty_seven_instructions() {
+        let mut m = scripted_machine(2, DeliveryScript::InOrder);
+        m.register_handler(n(1), Tags::USER_BASE, |_, _| {});
+        m.am4_send(n(0), n(1), Tags::USER_BASE, [9, 8, 7, 6]).unwrap();
+        m.cpu(n(1)).reset();
+        let outcome = m.poll(n(1));
+        assert_eq!(outcome, PollOutcome::Handled(Tags::USER_BASE));
+        let v = m.cpu(n(1)).snapshot();
+        // 27 for the reception path + 2 for handler dispatch.
+        assert_eq!(v.fine_total(Fine::CallReturn), 10);
+        assert_eq!(v.fine_total(Fine::ReadNi), 3);
+        assert_eq!(v.fine_total(Fine::CheckStatus), 12);
+        assert_eq!(v.fine_total(Fine::ControlFlow), 2);
+        assert_eq!(v.class_total(Class::Dev), 5);
+        assert_eq!(v.total(), 27 + 2);
+    }
+
+    #[test]
+    fn handler_receives_message_and_memory() {
+        let mut m = scripted_machine(2, DeliveryScript::InOrder);
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(None));
+        let seen2 = seen.clone();
+        m.register_handler(n(1), 20, move |mem, msg| {
+            let a = mem.alloc(1);
+            mem.store(a, msg.words[0] + msg.words[3]);
+            *seen2.borrow_mut() = Some(msg);
+        });
+        m.am4_send(n(0), n(1), 20, [10, 0, 0, 32]).unwrap();
+        assert_eq!(m.poll(n(1)), PollOutcome::Handled(20));
+        let msg = seen.borrow().clone().expect("handler ran");
+        assert_eq!(msg.src, n(0));
+        assert_eq!(msg.words, [10, 0, 0, 32]);
+    }
+
+    #[test]
+    fn idle_poll_is_cheap_and_returns_idle() {
+        let mut m = scripted_machine(2, DeliveryScript::InOrder);
+        assert_eq!(m.poll(n(1)), PollOutcome::Idle);
+        let v = m.cpu(n(1)).snapshot();
+        assert_eq!(v.total(), 13); // 10 call + 1 dev poll + 2 ctrl
+    }
+
+    #[test]
+    fn unhandled_tag_is_unclaimed() {
+        let mut m = scripted_machine(2, DeliveryScript::InOrder);
+        m.am4_send(n(0), n(1), 99, [1, 1, 1, 1]).unwrap();
+        match m.poll(n(1)) {
+            PollOutcome::Unclaimed(msg) => assert_eq!(msg.tag, 99),
+            other => panic!("expected unclaimed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn am4_costs_land_in_base_feature() {
+        let mut m = scripted_machine(2, DeliveryScript::InOrder);
+        m.am4_send(n(0), n(1), 20, [0; 4]).unwrap();
+        let v = m.cpu(n(0)).snapshot();
+        assert_eq!(v.feature_total(Feature::Base), v.total());
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn registering_reserved_tag_panics() {
+        let mut m = scripted_machine(2, DeliveryScript::InOrder);
+        m.register_handler(n(0), Tags::XFER_DATA, |_, _| {});
+    }
+
+    #[test]
+    fn matches_analytic_single_packet_model() {
+        let mut m = scripted_machine(2, DeliveryScript::InOrder);
+        m.register_handler(n(1), 20, |_, _| {});
+        m.am4_send(n(0), n(1), 20, [0; 4]).unwrap();
+        // Don't count handler dispatch: measure reception only up to the
+        // analytic model's boundary (the model excludes the user
+        // handler's own work but includes invoking it; our dispatch
+        // costs 2 extra handler instructions, so compare against src
+        // exactly and dst minus dispatch).
+        let model = timego_cost::analytic::single_packet();
+        assert_eq!(
+            m.cpu(n(0)).snapshot().total(),
+            model.endpoint_total(Endpoint::Source)
+        );
+        m.cpu(n(1)).reset();
+        let _ = m.poll(n(1));
+        assert_eq!(
+            m.cpu(n(1)).snapshot().total() - 2,
+            model.endpoint_total(Endpoint::Destination)
+        );
+    }
+}

@@ -1,0 +1,304 @@
+//! Request/reply active messages — CMAM's round-trip primitive.
+//!
+//! An RPC is two single-packet deliveries: a request that runs a
+//! registered handler at the destination, and a reply carrying the
+//! handler's result back. Footnote 6 of the paper notes that the CMAM
+//! round-trip protocol is only *safe* because the CM-5 has two separate
+//! networks; run this layer over a
+//! [`DualNetwork`](timego_netsim::DualNetwork) with
+//! [`Tags::RPC_REPLY`](crate::Tags) as the reply threshold to get the
+//! same property (replies always drain even when the request network is
+//! saturated).
+
+use timego_cost::Fine;
+use timego_netsim::NodeId;
+use timego_ni::Memory;
+
+use crate::am::{Am4Msg, PollOutcome};
+use crate::costs::{am4_recv, am4_send};
+use crate::error::ProtocolError;
+use crate::machine::{Machine, Tags};
+
+/// The result of servicing one node once (see [`Machine::rpc_service`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcEvent {
+    /// Nothing was waiting.
+    Idle,
+    /// A request was handled and its reply injected.
+    Served(u8),
+    /// A reply arrived (correlation id, payload).
+    Reply(u64, [u32; 4]),
+    /// A non-RPC message arrived; handed back unprocessed.
+    Other(Am4Msg),
+}
+
+impl Machine {
+    /// Register an RPC handler on `node` for requests with `tag`. The
+    /// handler receives the node's memory and the request, and returns
+    /// the four reply words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tag is reserved (below [`Tags::USER_BASE`] or equal
+    /// to [`Tags::RPC_REPLY`]) or `node` is out of range.
+    pub fn register_rpc_handler(
+        &mut self,
+        node: NodeId,
+        tag: u8,
+        handler: impl FnMut(&mut Memory, Am4Msg) -> [u32; 4] + 'static,
+    ) {
+        assert!(
+            tag >= Tags::USER_BASE && tag != Tags::RPC_REPLY,
+            "tag {tag} is reserved"
+        );
+        self.nodes[node.index()].rpc_handlers.insert(tag, Box::new(handler));
+    }
+
+    /// Perform a blocking RPC: send `args` to the handler registered
+    /// for `tag` on `dst` and return its reply words. Drives both
+    /// endpoints (and services interleaved requests arriving at `src`).
+    ///
+    /// Cost: one Table 1 send + receive at each end (the paper's
+    /// cheapest safe round trip: 2 × 47 instructions plus handler
+    /// dispatch).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Timeout`] if no reply arrives within the
+    /// configured wait bound (e.g. the request or reply was corrupted
+    /// on a detect-only substrate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range or `src == dst`.
+    pub fn rpc_call(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        tag: u8,
+        args: [u32; 4],
+    ) -> Result<[u32; 4], ProtocolError> {
+        assert_ne!(src, dst, "rpc endpoints must differ");
+        let call_id = self.next_call_id;
+        self.next_call_id += 1;
+        self.rpc_send(src, dst, tag, call_id, args)?;
+
+        let max_wait = self.cfg.max_wait_cycles;
+        let mut waited = 0;
+        loop {
+            // Service the callee (and anything queued at the caller).
+            let _ = self.rpc_service(dst);
+            match self.rpc_service(src) {
+                RpcEvent::Reply(id, words) if id == call_id => return Ok(words),
+                RpcEvent::Reply(..) => { /* stale reply for someone else: dropped */ }
+                RpcEvent::Idle => {
+                    self.advance(1);
+                    waited += 1;
+                    if waited > max_wait {
+                        return Err(ProtocolError::Timeout {
+                            waiting_for: "rpc reply",
+                            cycles: waited,
+                        });
+                    }
+                }
+                RpcEvent::Served(_) | RpcEvent::Other(_) => {}
+            }
+        }
+    }
+
+    /// Poll `node` once in RPC terms: serve one pending request (run
+    /// its handler, inject the reply) or surface one reply. Useful for
+    /// building servers that interleave RPC service with other work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn rpc_service(&mut self, node: NodeId) -> RpcEvent {
+        let n = &mut self.nodes[node.index()];
+        n.cpu.call(am4_recv::CALL);
+        n.cpu.ctrl(am4_recv::CTRL);
+        if !n.ni.poll_status() {
+            return RpcEvent::Idle;
+        }
+        n.cpu.reg(Fine::CheckStatus, am4_recv::STATUS_REG);
+        let Some((msg_src, tag)) = n.ni.latch_rx() else {
+            return RpcEvent::Idle;
+        };
+        let header = n.ni.read_header();
+        let (w0, w1) = n.ni.read_payload2();
+        let (w2, w3) = n.ni.read_payload2();
+        let msg = Am4Msg { src: msg_src, tag, header, words: [w0, w1, w2, w3] };
+
+        if tag == Tags::RPC_REPLY {
+            return RpcEvent::Reply(u64::from(msg.header), msg.words);
+        }
+        if let Some(mut h) = n.rpc_handlers.remove(&tag) {
+            n.cpu.handler(2);
+            let reply = h(&mut n.mem, msg);
+            self.nodes[node.index()].rpc_handlers.insert(tag, h);
+            // Inject the reply (a Table 1 single-packet send, carrying
+            // the correlation id in the header word).
+            self.rpc_send(node, msg_src, Tags::RPC_REPLY, u64::from(header), reply)
+                .expect("reply injection retries internally");
+            return RpcEvent::Served(tag);
+        }
+        RpcEvent::Other(msg)
+    }
+
+    /// A Table 1-shaped single-packet send with an explicit header word
+    /// (the RPC correlation id).
+    fn rpc_send(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        tag: u8,
+        header: u64,
+        words: [u32; 4],
+    ) -> Result<(), ProtocolError> {
+        let max_wait = self.cfg.max_wait_cycles;
+        let node = self.node_mut(from);
+        let mut waited = 0;
+        loop {
+            node.cpu.call(am4_send::CALL);
+            node.cpu.reg(Fine::NiSetup, am4_send::SETUP_REG);
+            node.ni.stage_envelope(to, tag, header as u32);
+            node.ni.push_payload2(words[0], words[1]);
+            node.ni.push_payload2(words[2], words[3]);
+            node.cpu.reg(Fine::CheckStatus, am4_send::STATUS_REG);
+            node.cpu.ctrl(am4_send::CTRL);
+            if node.ni.commit_send() {
+                node.ni.load_send_status();
+                return Ok(());
+            }
+            if waited >= max_wait {
+                return Err(ProtocolError::Timeout { waiting_for: "rpc injection", cycles: waited });
+            }
+            node.ni.advance(1);
+            waited += 1;
+        }
+    }
+}
+
+/// Convert a [`PollOutcome`] into an [`RpcEvent`] mapping (test/debug
+/// aid): replies become `Reply`, everything else `Other`/`Idle`.
+pub fn classify_poll(outcome: PollOutcome) -> RpcEvent {
+    match outcome {
+        PollOutcome::Idle => RpcEvent::Idle,
+        PollOutcome::Handled(tag) => RpcEvent::Served(tag),
+        PollOutcome::Unclaimed(msg) if msg.tag == Tags::RPC_REPLY => {
+            RpcEvent::Reply(u64::from(msg.header), msg.words)
+        }
+        PollOutcome::Unclaimed(msg) => RpcEvent::Other(msg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::CmamConfig;
+    use timego_cost::Class;
+    use timego_netsim::{
+        DeliveryScript, DualNetwork, Mesh2D, ScriptedNetwork, SwitchedConfig, SwitchedNetwork,
+    };
+    use timego_ni::share;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn machine() -> Machine {
+        Machine::new(
+            share(ScriptedNetwork::new(2, DeliveryScript::InOrder)),
+            2,
+            CmamConfig::default(),
+        )
+    }
+
+    #[test]
+    fn rpc_round_trip_returns_handler_result() {
+        let mut m = machine();
+        m.register_rpc_handler(n(1), 40, |_, msg| {
+            [msg.words.iter().sum(), msg.words[0], 0, 1]
+        });
+        let reply = m.rpc_call(n(0), n(1), 40, [1, 2, 3, 4]).unwrap();
+        assert_eq!(reply, [10, 1, 0, 1]);
+    }
+
+    #[test]
+    fn rpc_costs_two_round_trip_singles() {
+        let mut m = machine();
+        m.register_rpc_handler(n(1), 40, |_, _| [0; 4]);
+        m.reset_costs();
+        m.rpc_call(n(0), n(1), 40, [0; 4]).unwrap();
+        let src = m.cpu(n(0)).snapshot();
+        let dst = m.cpu(n(1)).snapshot();
+        // Caller: one 20-instruction send + one 27-instruction receive
+        // (plus the service polls the driver makes at the callee before
+        // the request lands are charged to the callee).
+        assert_eq!(src.class_total(Class::Dev), 5 + 5);
+        assert_eq!(dst.class_total(Class::Dev) % 5, 0); // sends+receives only
+        assert_eq!(src.total(), 20 + 27);
+        // Callee: receive 27 + handler dispatch 2 + reply send 20.
+        assert_eq!(dst.total(), 27 + 2 + 20);
+    }
+
+    #[test]
+    fn concurrent_calls_correlate_correctly() {
+        let mut m = machine();
+        m.register_rpc_handler(n(1), 40, |_, msg| [msg.words[0] * 2, 0, 0, 0]);
+        for v in [5u32, 9, 100] {
+            let reply = m.rpc_call(n(0), n(1), 40, [v, 0, 0, 0]).unwrap();
+            assert_eq!(reply[0], v * 2);
+        }
+    }
+
+    #[test]
+    fn rpc_over_dual_network_is_safe_under_request_pressure() {
+        let tight = || {
+            SwitchedNetwork::new(
+                Mesh2D::new(2, 1),
+                SwitchedConfig {
+                    link_queue_capacity: 2,
+                    rx_queue_capacity: 2,
+                    ..SwitchedConfig::default()
+                },
+            )
+        };
+        let net = DualNetwork::new(tight(), tight(), Tags::RPC_REPLY);
+        let mut m = Machine::new(share(net), 2, CmamConfig::default());
+        m.register_rpc_handler(n(1), 33, |_, msg| [msg.words[0] + 1, 0, 0, 0]);
+        for v in 0..32u32 {
+            let reply = m.rpc_call(n(0), n(1), 33, [v, 0, 0, 0]).unwrap();
+            assert_eq!(reply[0], v + 1);
+        }
+    }
+
+    #[test]
+    fn handler_memory_access_is_costed_to_callee() {
+        let mut m = machine();
+        m.register_rpc_handler(n(1), 50, |mem, msg| {
+            let a = mem.alloc(1);
+            mem.store(a, msg.words[0]);
+            [mem.load(a), 0, 0, 0]
+        });
+        m.reset_costs();
+        let reply = m.rpc_call(n(0), n(1), 50, [77, 0, 0, 0]).unwrap();
+        assert_eq!(reply[0], 77);
+        assert_eq!(m.cpu(n(1)).snapshot().class_total(Class::Mem), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn reply_tag_cannot_be_registered() {
+        let mut m = machine();
+        m.register_rpc_handler(n(0), Tags::RPC_REPLY, |_, _| [0; 4]);
+    }
+
+    #[test]
+    fn classify_poll_maps_outcomes() {
+        assert_eq!(classify_poll(PollOutcome::Idle), RpcEvent::Idle);
+        assert_eq!(classify_poll(PollOutcome::Handled(40)), RpcEvent::Served(40));
+        let reply = Am4Msg { src: n(0), tag: Tags::RPC_REPLY, header: 7, words: [1; 4] };
+        assert_eq!(classify_poll(PollOutcome::Unclaimed(reply)), RpcEvent::Reply(7, [1; 4]));
+    }
+}

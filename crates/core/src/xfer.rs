@@ -1,0 +1,454 @@
+//! The CMAM finite-sequence, multi-packet protocol (`CMAM_xfer`).
+//!
+//! Six steps (Figure 3 of the paper):
+//!
+//! 1. the sender sends an allocation **request**;
+//! 2. the receiver **allocates a communication segment**;
+//! 3. the receiver **replies** with the segment id;
+//! 4. the sender streams **data packets**, each carrying a target-buffer
+//!    offset in its header word (this is how in-order placement is
+//!    achieved without sequence numbers);
+//! 5. on completion the receiver **frees the segment**;
+//! 6. the receiver sends an end-to-end **acknowledgement**.
+//!
+//! Feature attribution follows the paper: steps 1–3 and 5 are buffer
+//! management, the offsets and the expected-count bookkeeping are
+//! in-order delivery, step 6 is fault tolerance, and everything else is
+//! base data movement.
+
+use timego_cost::{Feature, Fine};
+use timego_netsim::NodeId;
+use timego_ni::Addr;
+
+use crate::costs::{segment, xfer_order, xfer_recv, xfer_send};
+use crate::error::ProtocolError;
+use crate::machine::{Machine, Node, Tags};
+
+/// Result of a completed finite-sequence transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XferOutcome {
+    /// Destination buffer holding the transferred words.
+    pub dst_buffer: Addr,
+    /// Data packets transmitted.
+    pub packets: u64,
+    /// Segment id the receiver allocated for this transfer.
+    pub segment_id: u32,
+    /// Data-packet injections refused with backpressure and re-issued.
+    pub send_retries: u64,
+}
+
+/// How the source CPU moves payload words into the NI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PayloadEngine {
+    /// Programmed I/O: the CPU loads from memory and stores to the NI
+    /// FIFO (the CM-5 way; `n/2` mem + `n/2` dev per packet).
+    Cpu,
+    /// A DMA engine fetches payload directly from memory after the CPU
+    /// stores one descriptor (§5's "improved network interfaces and DMA
+    /// hardware" discussion).
+    Dma,
+}
+
+/// Incremental receive state for an in-progress transfer, so the
+/// destination can drain packets while the source is still blocked on
+/// injection (required on finite-buffer substrates).
+pub(crate) struct XferRx {
+    pub(crate) buffer: Addr,
+    pub(crate) packets_expected: u64,
+    pub(crate) packets_received: u64,
+}
+
+impl Machine {
+    /// Run a complete finite-sequence transfer of `data` from `src`
+    /// memory to a freshly allocated segment on `dst`, over whatever
+    /// substrate the machine uses.
+    ///
+    /// The returned [`XferOutcome::dst_buffer`] can be checked with
+    /// [`Machine::read_buffer`].
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadTransfer`] for empty data;
+    /// [`ProtocolError::Timeout`] if a protocol phase starves (e.g. a
+    /// packet was corrupted and dropped by a detect-only network — this
+    /// protocol has no per-packet retransmission, so like the paper's
+    /// CM-5 the transfer simply fails);
+    /// [`ProtocolError::UnexpectedPacket`] if a foreign packet intrudes
+    /// on the handshake.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range or `src == dst`.
+    pub fn xfer(&mut self, src: NodeId, dst: NodeId, data: &[u32]) -> Result<XferOutcome, ProtocolError> {
+        self.xfer_with(src, dst, data, PayloadEngine::Cpu)
+    }
+
+    pub(crate) fn xfer_with(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        data: &[u32],
+        engine: PayloadEngine,
+    ) -> Result<XferOutcome, ProtocolError> {
+        assert_ne!(src, dst, "transfer endpoints must differ");
+        if data.is_empty() {
+            return Err(ProtocolError::BadTransfer("empty transfer".into()));
+        }
+        let n = self.cfg.packet_words;
+        let packets = (data.len() as u64).div_ceil(n as u64);
+        let max_wait = self.cfg.max_wait_cycles;
+
+        // Harness setup: stage the data in source memory (cost-free, the
+        // data already lives there from the application's perspective).
+        let src_buf = self.write_buffer(src, data);
+
+        // Steps 1–3: preallocation handshake (buffer management).
+        let (segment_id, rx_buffer) = self.xfer_handshake(src, dst, data.len())?;
+
+        // Step 4: stream the data packets; the receiver drains
+        // concurrently (essential on finite-buffer substrates).
+        let mut rx = XferRx {
+            buffer: rx_buffer,
+            packets_expected: packets,
+            packets_received: 0,
+        };
+        let mut send_retries = 0;
+
+        // Per-message source prologue (Table 3 base constants).
+        {
+            let node = self.node_mut(src);
+            node.cpu.reg(Fine::CallReturn, xfer_send::PROLOGUE_REG);
+            node.cpu.mem_load(xfer_send::PROLOGUE_MEM);
+        }
+        // Per-message destination entry: one receive poll plus the
+        // handler prologue.
+        {
+            let node = self.node_mut(dst);
+            node.cpu.call(xfer_recv::ENTRY_CALL);
+            node.cpu.ctrl(xfer_recv::ENTRY_CTRL);
+            node.cpu.handler(xfer_recv::ENTRY_HANDLER);
+            node.cpu.mem_load(xfer_recv::ENTRY_STATE_MEM);
+            let _ = self.nodes[dst.index()].ni.poll_status();
+        }
+
+        for k in 0..packets {
+            let offset = k * n as u64;
+            let mut waited = 0;
+            loop {
+                let accepted = self.send_data_packet(src, dst, src_buf, offset, n, engine);
+                if accepted {
+                    break;
+                }
+                send_retries += 1;
+                // Give the receiver a chance to free buffer space.
+                self.drain_data_packets(dst, n, &mut rx);
+                self.advance(1);
+                waited += 1;
+                if waited > max_wait {
+                    return Err(ProtocolError::Timeout { waiting_for: "xfer data injection", cycles: waited });
+                }
+            }
+        }
+
+        // Step 4 (receiver side): drain the remainder.
+        let mut waited = 0;
+        while rx.packets_received < rx.packets_expected {
+            let before = rx.packets_received;
+            self.drain_data_packets(dst, n, &mut rx);
+            if rx.packets_received == before {
+                self.advance(1);
+                waited += 1;
+                if waited > max_wait {
+                    return Err(ProtocolError::Timeout { waiting_for: "xfer data packets", cycles: waited });
+                }
+            }
+        }
+
+        // Steps 5–6: free the segment, send the acknowledgement.
+        {
+            let node = self.node_mut(dst);
+            // Final expected-count check (in-order delivery bookkeeping).
+            node.cpu.clone().with_feature(Feature::InOrder, |cpu| {
+                cpu.reg(Fine::RegOp, xfer_order::DST_FINAL);
+            });
+            // Write the (register-cached) segment count back.
+            node.cpu.mem_store(xfer_recv::EXIT_STATE_MEM);
+            node.cpu.clone().with_feature(Feature::BufferMgmt, |cpu| {
+                cpu.reg(Fine::RegOp, segment::DISASSOCIATE_REG);
+                cpu.mem_store(segment::DISASSOCIATE_MEM);
+            });
+            node.cpu.clone().with_feature(Feature::FaultTol, |_| {
+                send_ctl_retrying(node, src, Tags::XFER_ACK, segment_id, max_wait)
+            })?;
+        }
+
+        // Step 6 (source side): await the acknowledgement; only now may
+        // the source release its copy of the data.
+        {
+            let node = self.node_mut(src);
+            node.cpu.clone().with_feature(Feature::FaultTol, |_| -> Result<_, ProtocolError> {
+                node.wait_rx(max_wait, "xfer acknowledgement")?;
+                let (_, tag, header, _) = node.recv_ctl().expect("wait_rx saw a packet");
+                if tag != Tags::XFER_ACK {
+                    return Err(ProtocolError::UnexpectedPacket { tag });
+                }
+                debug_assert_eq!(header, segment_id);
+                Ok(())
+            })?;
+        }
+
+        Ok(XferOutcome {
+            dst_buffer: rx_buffer,
+            packets,
+            segment_id,
+            send_retries,
+        })
+    }
+
+    /// Steps 1–3 of the protocol: the sender requests a communication
+    /// segment sized for `words` words, the receiver allocates it,
+    /// associates a segment id, and replies. All costs are buffer
+    /// management. Returns the segment id and its buffer.
+    pub(crate) fn xfer_handshake(&mut self, src: NodeId, dst: NodeId, words: usize) -> Result<(u32, Addr), ProtocolError> {
+        let n = self.cfg.packet_words;
+        let max_wait = self.cfg.max_wait_cycles;
+
+        // Step 1: allocation request.
+        {
+            let node = self.node_mut(src);
+            node.cpu.clone().with_feature(Feature::BufferMgmt, |_| {
+                send_ctl_retrying(node, dst, Tags::XFER_REQ, words as u32, max_wait)
+            })?;
+        }
+
+        // Steps 2–3: receiver allocates a segment and replies.
+        let (segment_id, rx_buffer) = {
+            let node = self.node_mut(dst);
+            let cpu = node.cpu.clone();
+            cpu.with_feature(Feature::BufferMgmt, |_| -> Result<_, ProtocolError> {
+                node.wait_rx(max_wait, "xfer request")?;
+                let (_, tag, header, _) = node.recv_ctl().expect("wait_rx saw a packet");
+                if tag != Tags::XFER_REQ {
+                    return Err(ProtocolError::UnexpectedPacket { tag });
+                }
+                let words = header as usize;
+                // Allocation itself is free (as in the paper); rounding
+                // up to whole packets keeps the double-word stores of a
+                // padded final packet in bounds.
+                let buffer = node.mem.alloc(words.div_ceil(n) * n);
+                // Associate the segment id with the target buffer.
+                node.cpu.reg(Fine::RegOp, segment::ASSOCIATE_REG);
+                node.cpu.mem_store(segment::ASSOCIATE_MEM);
+                let seg = (buffer.0 & 0xffff) as u32 ^ 0x5e60_0000;
+                send_ctl_retrying(node, src, Tags::XFER_REPLY, seg, max_wait)?;
+                Ok((seg, buffer))
+            })?
+        };
+
+        // Step 3 (source side): receive the reply.
+        {
+            let node = self.node_mut(src);
+            let cpu = node.cpu.clone();
+            cpu.with_feature(Feature::BufferMgmt, |_| -> Result<_, ProtocolError> {
+                node.wait_rx(max_wait, "xfer reply")?;
+                let (_, tag, header, _) = node.recv_ctl().expect("wait_rx saw a packet");
+                if tag != Tags::XFER_REPLY {
+                    return Err(ProtocolError::UnexpectedPacket { tag });
+                }
+                debug_assert_eq!(header, segment_id);
+                Ok(())
+            })?;
+        }
+
+        Ok((segment_id, rx_buffer))
+    }
+
+    /// Send one data packet of the transfer: move `n` words from the
+    /// source buffer into the NI (by programmed I/O or DMA), stage them
+    /// with the target offset in the header word, and commit. Returns
+    /// `false` on backpressure (nothing delivered; caller re-issues and
+    /// the costs are paid again, as on the real machine).
+    pub(crate) fn send_data_packet(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        buf: Addr,
+        offset: u64,
+        n: usize,
+        engine: PayloadEngine,
+    ) -> bool {
+        let node = self.node_mut(src);
+        // In-order delivery: increment and stage the buffer offset.
+        node.cpu.clone().with_feature(Feature::InOrder, |cpu| {
+            cpu.reg(Fine::RegOp, xfer_order::SRC_PER_PACKET);
+        });
+        match engine {
+            PayloadEngine::Cpu => {
+                node.cpu.ctrl(xfer_send::LOOP_CTRL);
+                node.cpu.reg(Fine::RegOp, xfer_send::PTR_ADVANCE);
+                node.cpu.reg(Fine::NiSetup, xfer_send::SETUP_REG);
+                node.ni.stage_envelope(dst, Tags::XFER_DATA, offset as u32);
+                for d in 0..(n / 2) {
+                    let (w0, w1) = node.mem.load2(buf.offset(offset as usize + 2 * d));
+                    node.ni.push_payload2(w0, w1);
+                }
+                node.cpu.reg(Fine::CheckStatus, xfer_send::STATUS_REG);
+            }
+            PayloadEngine::Dma => {
+                // The CPU only builds a descriptor: tighter loop (2
+                // control + 2 pointer + 2 setup + 2 status registers),
+                // one envelope store, one descriptor store, and no
+                // per-word loads or stores at all.
+                node.cpu.ctrl(2);
+                node.cpu.reg(Fine::RegOp, 2);
+                node.cpu.reg(Fine::NiSetup, 2);
+                node.ni.stage_envelope(dst, Tags::XFER_DATA, offset as u32);
+                node.ni.dma_stage_payload(&node.mem, buf.offset(offset as usize), n);
+                node.cpu.reg(Fine::CheckStatus, 2);
+            }
+        }
+        node.ni.commit_send() && {
+            node.ni.load_send_status();
+            true
+        }
+    }
+
+    /// Drain every data packet currently waiting at the receiver,
+    /// storing payloads at their carried offsets.
+    pub(crate) fn drain_data_packets(&mut self, dst: NodeId, n: usize, rx: &mut XferRx) {
+        let node = self.node_mut(dst);
+        while rx.packets_received < rx.packets_expected {
+            let Some((_, tag)) = node.ni.latch_rx() else {
+                return;
+            };
+            debug_assert_eq!(tag, Tags::XFER_DATA, "only data packets in flight during step 4");
+            node.cpu.reg(Fine::Handler, xfer_recv::PER_PACKET_REG);
+            let offset = node.ni.read_header();
+            // In-order delivery: extract the offset and decrement the
+            // (register-cached) expected-packet count.
+            node.cpu.clone().with_feature(Feature::InOrder, |cpu| {
+                cpu.reg(Fine::RegOp, xfer_order::DST_PER_PACKET);
+            });
+            for d in 0..(n / 2) {
+                let (w0, w1) = node.ni.read_payload2();
+                node.mem.store2(rx.buffer.offset(offset as usize + 2 * d), w0, w1);
+            }
+            rx.packets_received += 1;
+        }
+    }
+}
+
+/// Issue a 4-word control packet, re-issuing on backpressure until the
+/// network accepts it or the wait bound is exceeded.
+pub(crate) fn send_ctl_retrying(
+    node: &mut Node,
+    dst: NodeId,
+    tag: u8,
+    header: u32,
+    max_wait: u64,
+) -> Result<(), ProtocolError> {
+    let mut waited = 0;
+    while !node.send_ctl(dst, tag, header, [0; 4]) {
+        if waited >= max_wait {
+            return Err(ProtocolError::Timeout { waiting_for: "control-packet injection", cycles: waited });
+        }
+        node.ni.advance(1);
+        waited += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::CmamConfig;
+    use timego_cost::{Endpoint, Feature};
+    use timego_netsim::{DeliveryScript, ScriptedNetwork};
+    use timego_ni::share;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn machine() -> Machine {
+        Machine::new(
+            share(ScriptedNetwork::new(2, DeliveryScript::InOrder)),
+            2,
+            CmamConfig::default(),
+        )
+    }
+
+    #[test]
+    fn transfers_data_correctly() {
+        let mut m = machine();
+        let data: Vec<u32> = (0..64).map(|i| i * 3 + 1).collect();
+        let out = m.xfer(n(0), n(1), &data).unwrap();
+        assert_eq!(out.packets, 16);
+        assert_eq!(m.read_buffer(n(1), out.dst_buffer, data.len()), data);
+    }
+
+    #[test]
+    fn partial_final_packet_is_padded_not_truncated() {
+        let mut m = machine();
+        let data: Vec<u32> = (0..13).collect(); // 13 words = 3.25 packets
+        let out = m.xfer(n(0), n(1), &data).unwrap();
+        assert_eq!(out.packets, 4);
+        assert_eq!(m.read_buffer(n(1), out.dst_buffer, 13), data);
+    }
+
+    #[test]
+    fn empty_transfer_is_rejected() {
+        let mut m = machine();
+        assert!(matches!(
+            m.xfer(n(0), n(1), &[]),
+            Err(ProtocolError::BadTransfer(_))
+        ));
+    }
+
+    #[test]
+    fn sixteen_word_costs_match_reconstructed_table2() {
+        let mut m = machine();
+        let data: Vec<u32> = (0..16).collect();
+        m.reset_costs();
+        m.xfer(n(0), n(1), &data).unwrap();
+        let src = m.cpu(n(0)).snapshot();
+        let dst = m.cpu(n(1)).snapshot();
+        // DESIGN.md §3: reconstructed finite-sequence 16-word block.
+        assert_eq!(src.feature_total(Feature::Base), 91);
+        assert_eq!(dst.feature_total(Feature::Base), 90);
+        assert_eq!(src.feature_total(Feature::BufferMgmt), 47);
+        assert_eq!(dst.feature_total(Feature::BufferMgmt), 101);
+        assert_eq!(src.feature_total(Feature::InOrder), 8);
+        assert_eq!(dst.feature_total(Feature::InOrder), 13);
+        assert_eq!(src.feature_total(Feature::FaultTol), 27);
+        assert_eq!(dst.feature_total(Feature::FaultTol), 20);
+        assert_eq!(src.total(), 173);
+        assert_eq!(dst.total(), 224);
+    }
+
+    #[test]
+    fn matches_analytic_model_at_1024_words() {
+        let mut m = machine();
+        let data: Vec<u32> = (0..1024).collect();
+        m.reset_costs();
+        m.xfer(n(0), n(1), &data).unwrap();
+        let model = timego_cost::analytic::cmam_finite(
+            timego_cost::analytic::MsgShape::paper(1024).unwrap(),
+        );
+        let src = m.cpu(n(0)).snapshot();
+        let dst = m.cpu(n(1)).snapshot();
+        for f in Feature::ALL {
+            assert_eq!(
+                src.feature(f),
+                model.get(Endpoint::Source, f),
+                "source {f} mismatch"
+            );
+            assert_eq!(
+                dst.feature(f),
+                model.get(Endpoint::Destination, f),
+                "destination {f} mismatch"
+            );
+        }
+        assert_eq!(src.total() + dst.total(), 11737, "Table 2 grand total");
+    }
+}

@@ -1,0 +1,261 @@
+//! The three classification axes of the paper's cost accounting, plus the
+//! source/destination endpoint label used by every table.
+
+use std::fmt;
+
+/// Instruction cost class — the "cost hierarchy prevalent in existing
+/// machines" of Appendix A.
+///
+/// `reg` instructions are expected to be cheapest; `mem` instructions
+/// traverse the cache/memory hierarchy; `dev` instructions are loads and
+/// stores to memory-mapped devices (the network interface) and are the most
+/// expensive (the paper's example CM-5 model charges 5 cycles each).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Class {
+    /// Register-based instruction (arithmetic, compares, branches).
+    Reg,
+    /// Load or store to ordinary memory.
+    Mem,
+    /// Load or store to a memory-mapped device (the NI).
+    Dev,
+}
+
+impl Class {
+    /// All classes, in table order (`reg`, `mem`, `dev`).
+    pub const ALL: [Class; 3] = [Class::Reg, Class::Mem, Class::Dev];
+
+    /// Dense index for array storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The lower-case label used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Class::Reg => "reg",
+            Class::Mem => "mem",
+            Class::Dev => "dev",
+        }
+    }
+}
+
+impl fmt::Display for Class {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Messaging-layer feature an instruction is attributed to (the rows of
+/// Table 2).
+///
+/// `Base` is the irreducible data-movement cost; the other three are the
+/// *software overhead* the paper traces back to network features
+/// (arbitrary delivery order, finite buffering, detect-only fault
+/// handling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Feature {
+    /// Base cost: single-packet injections/extractions and the
+    /// loads/stores that move user data up and down the memory hierarchy.
+    Base,
+    /// Buffer management: preallocation handshakes and segment
+    /// association/disassociation (deadlock/overflow safety).
+    BufferMgmt,
+    /// In-order delivery: offsets or sequence numbers, plus buffering and
+    /// draining of packets that arrive out of transmission order.
+    InOrder,
+    /// Fault tolerance: source buffering of in-flight data and
+    /// acknowledgement traffic enabling retransmission.
+    FaultTol,
+}
+
+impl Feature {
+    /// All features, in the paper's table order.
+    pub const ALL: [Feature; 4] = [
+        Feature::Base,
+        Feature::BufferMgmt,
+        Feature::InOrder,
+        Feature::FaultTol,
+    ];
+
+    /// Dense index for array storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The row label used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Feature::Base => "Base Cost",
+            Feature::BufferMgmt => "Buffer Mgmt.",
+            Feature::InOrder => "In-order Del.",
+            Feature::FaultTol => "Fault-toler.",
+        }
+    }
+
+    /// Whether this feature counts as messaging-layer *overhead*
+    /// (everything except [`Feature::Base`]).
+    pub fn is_overhead(self) -> bool {
+        !matches!(self, Feature::Base)
+    }
+}
+
+impl fmt::Display for Feature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Fine-grained functional category (the rows of Table 1, plus generic
+/// categories for the multi-packet protocol bodies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Fine {
+    /// Procedure call/return overhead (register saves, the call itself).
+    CallReturn,
+    /// Preparing the NI for a send: computing the mapped address, staging
+    /// the destination node number and message tag.
+    NiSetup,
+    /// Stores of payload words into the NI send FIFO.
+    WriteNi,
+    /// Loads of payload words from the NI receive FIFO.
+    ReadNi,
+    /// Loads of NI status/control registers (send-ok polling, receive
+    /// polling, tag vectoring).
+    CheckStatus,
+    /// Branches and loop control.
+    ControlFlow,
+    /// Generic register arithmetic (pointer/offset/sequence updates).
+    RegOp,
+    /// Loads from ordinary memory (user buffers, protocol state).
+    MemLoad,
+    /// Stores to ordinary memory (user buffers, protocol state).
+    MemStore,
+    /// Invoking the user's message handler (dispatch cost).
+    Handler,
+}
+
+impl Fine {
+    /// All fine categories, in display order.
+    pub const ALL: [Fine; 10] = [
+        Fine::CallReturn,
+        Fine::NiSetup,
+        Fine::WriteNi,
+        Fine::ReadNi,
+        Fine::CheckStatus,
+        Fine::ControlFlow,
+        Fine::RegOp,
+        Fine::MemLoad,
+        Fine::MemStore,
+        Fine::Handler,
+    ];
+
+    /// Dense index for array storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The row label used in Table 1 (generic categories get descriptive
+    /// labels of the same style).
+    pub fn label(self) -> &'static str {
+        match self {
+            Fine::CallReturn => "Call/Return",
+            Fine::NiSetup => "NI setup",
+            Fine::WriteNi => "Write to NI",
+            Fine::ReadNi => "Read from NI",
+            Fine::CheckStatus => "Check NI status",
+            Fine::ControlFlow => "Control flow",
+            Fine::RegOp => "Register ops",
+            Fine::MemLoad => "Memory loads",
+            Fine::MemStore => "Memory stores",
+            Fine::Handler => "Handler dispatch",
+        }
+    }
+}
+
+impl fmt::Display for Fine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Which end of a transfer a cost was incurred on (the columns of every
+/// table in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Endpoint {
+    /// The sending node.
+    Source,
+    /// The receiving node.
+    Destination,
+}
+
+impl Endpoint {
+    /// Both endpoints, in table order.
+    pub const ALL: [Endpoint; 2] = [Endpoint::Source, Endpoint::Destination];
+
+    /// Dense index for array storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Source => "Source",
+            Endpoint::Destination => "Destination",
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        for (i, c) in Class::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        for (i, f) in Feature::ALL.iter().enumerate() {
+            assert_eq!(f.index(), i);
+        }
+        for (i, f) in Fine::ALL.iter().enumerate() {
+            assert_eq!(f.index(), i);
+        }
+        for (i, e) in Endpoint::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i);
+        }
+    }
+
+    #[test]
+    fn only_base_is_not_overhead() {
+        assert!(!Feature::Base.is_overhead());
+        assert!(Feature::BufferMgmt.is_overhead());
+        assert!(Feature::InOrder.is_overhead());
+        assert!(Feature::FaultTol.is_overhead());
+    }
+
+    #[test]
+    fn labels_match_paper_tables() {
+        assert_eq!(Class::Dev.label(), "dev");
+        assert_eq!(Feature::InOrder.label(), "In-order Del.");
+        assert_eq!(Fine::CheckStatus.label(), "Check NI status");
+        assert_eq!(Endpoint::Destination.label(), "Destination");
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(Class::Reg.to_string(), "reg");
+        assert_eq!(Feature::Base.to_string(), "Base Cost");
+        assert_eq!(Fine::NiSetup.to_string(), "NI setup");
+        assert_eq!(Endpoint::Source.to_string(), "Source");
+    }
+}

@@ -1,0 +1,130 @@
+//! CSV export of cost tables and series, for plotting outside the
+//! terminal (the bench binaries accept `--csv`).
+
+use std::fmt::Write as _;
+
+use crate::analytic::ProtocolCost;
+use crate::axes::{Class, Endpoint, Feature, Fine};
+
+/// A Table 2/3 block as CSV: one row per feature with per-endpoint
+/// reg/mem/dev columns and totals, plus a `Total` row.
+pub fn protocol_cost_csv(cost: &ProtocolCost) -> String {
+    let mut out = String::from(
+        "feature,src_reg,src_mem,src_dev,src_total,dst_reg,dst_mem,dst_dev,dst_total,total\n",
+    );
+    for f in Feature::ALL {
+        let s = cost.get(Endpoint::Source, f);
+        let d = cost.get(Endpoint::Destination, f);
+        writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{}",
+            f.label(),
+            s.reg,
+            s.mem,
+            s.dev,
+            s.total(),
+            d.reg,
+            d.mem,
+            d.dev,
+            d.total(),
+            s.total() + d.total()
+        )
+        .expect("writing to String cannot fail");
+    }
+    let s = cost.endpoint_classes(Endpoint::Source);
+    let d = cost.endpoint_classes(Endpoint::Destination);
+    writeln!(
+        out,
+        "Total,{},{},{},{},{},{},{},{},{}",
+        s.reg,
+        s.mem,
+        s.dev,
+        s.total(),
+        d.reg,
+        d.mem,
+        d.dev,
+        d.total(),
+        cost.total()
+    )
+    .expect("writing to String cannot fail");
+    out
+}
+
+/// A numeric series as two-column CSV.
+pub fn series_csv(x_label: &str, y_label: &str, points: &[(u64, f64)]) -> String {
+    let mut out = format!("{x_label},{y_label}\n");
+    for (x, y) in points {
+        writeln!(out, "{x},{y}").expect("writing to String cannot fail");
+    }
+    out
+}
+
+/// A Table 1-style fine-category breakdown as CSV; absent categories
+/// export as 0.
+pub fn fine_csv(source: &[(Fine, u64)], dest: &[(Fine, u64)]) -> String {
+    let lookup =
+        |rows: &[(Fine, u64)], f: Fine| rows.iter().find(|(g, _)| *g == f).map_or(0, |(_, n)| *n);
+    let mut out = String::from("category,source,destination\n");
+    for f in Fine::ALL {
+        let s = lookup(source, f);
+        let d = lookup(dest, f);
+        if s > 0 || d > 0 {
+            writeln!(out, "{},{s},{d}", f.label()).expect("writing to String cannot fail");
+        }
+    }
+    out
+}
+
+/// Per-class totals of a cost block as CSV (one row per class).
+pub fn class_totals_csv(cost: &ProtocolCost) -> String {
+    let mut out = String::from("class,source,destination\n");
+    let s = cost.endpoint_classes(Endpoint::Source);
+    let d = cost.endpoint_classes(Endpoint::Destination);
+    for c in Class::ALL {
+        writeln!(out, "{},{},{}", c.label(), s.class(c), d.class(c))
+            .expect("writing to String cannot fail");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::{self, MsgShape};
+
+    #[test]
+    fn protocol_cost_csv_round_numbers() {
+        let c = analytic::cmam_finite(MsgShape::paper(1024).unwrap());
+        let csv = protocol_cost_csv(&c);
+        assert!(csv.starts_with("feature,src_reg"));
+        assert!(csv.contains("Base Cost,3842,513,1280,5635"));
+        assert!(csv.contains("Total,4412,514,1295,6221,3948,528,1040,5516,11737"));
+        assert_eq!(csv.lines().count(), 6);
+    }
+
+    #[test]
+    fn series_csv_format() {
+        let csv = series_csv("n", "overhead", &[(4, 0.709), (8, 0.7)]);
+        assert_eq!(csv, "n,overhead\n4,0.709\n8,0.7\n");
+    }
+
+    #[test]
+    fn fine_csv_skips_empty_rows() {
+        let csv = fine_csv(
+            &analytic::single_packet_fine(Endpoint::Source),
+            &analytic::single_packet_fine(Endpoint::Destination),
+        );
+        assert!(csv.contains("Call/Return,3,10"));
+        assert!(csv.contains("Write to NI,2,0"));
+        assert!(!csv.contains("Handler"));
+    }
+
+    #[test]
+    fn class_totals_csv_has_three_rows() {
+        let c = analytic::single_packet();
+        let csv = class_totals_csv(&c);
+        assert!(csv.contains("reg,15,22"));
+        assert!(csv.contains("dev,5,5"));
+        assert_eq!(csv.lines().count(), 4);
+    }
+}

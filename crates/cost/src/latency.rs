@@ -1,0 +1,149 @@
+//! End-to-end latency estimation from instruction counts.
+//!
+//! §5 of the paper: *"For cases where software overhead dominates,
+//! instruction counts are indicative of communication latency."* This
+//! module makes that statement checkable: combine a protocol's measured
+//! instruction counts (weighted by a [`CycleModel`]) with a simple
+//! network model (per-hop latency, per-packet injection gap) and
+//! estimate one-way message latency, with and without software/network
+//! pipelining.
+
+use crate::analytic::ProtocolCost;
+use crate::axes::Endpoint;
+use crate::cycles::CycleModel;
+
+/// A LogP-flavored end-to-end latency model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Cycle weights for the software instruction counts.
+    pub cycles: CycleModel,
+    /// Network hops between the endpoints.
+    pub hops: u64,
+    /// Cycles per hop (routing time — the paper's point is that this is
+    /// small next to the software).
+    pub hop_latency: u64,
+    /// Minimum cycles between consecutive packet injections the network
+    /// can sustain (the LogP gap).
+    pub gap: u64,
+}
+
+impl LatencyModel {
+    /// A CM-5-flavored default: 5 hops through the fat tree at 4 cycles
+    /// per hop, unit-ish gap, Appendix A cycle weights.
+    pub fn cm5ish() -> Self {
+        LatencyModel {
+            cycles: CycleModel::CM5,
+            hops: 5,
+            hop_latency: 4,
+            gap: 4,
+        }
+    }
+
+    /// Pure network time for one packet (`hops × hop_latency`).
+    pub fn wire_time(&self) -> u64 {
+        self.hops * self.hop_latency
+    }
+
+    /// Unpipelined one-way estimate: all source software, then the
+    /// wire, then all destination software.
+    pub fn one_way_unpipelined(&self, cost: &ProtocolCost) -> u64 {
+        let src = self.cycles.cycles(cost.endpoint_classes(Endpoint::Source));
+        let dst = self.cycles.cycles(cost.endpoint_classes(Endpoint::Destination));
+        src + self.wire_time() + dst
+    }
+
+    /// Pipelined one-way estimate over `packets` packets: the pipeline
+    /// fills once (first packet sees its software plus the wire), then
+    /// advances at the bottleneck stage rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packets` is zero.
+    pub fn one_way_pipelined(&self, cost: &ProtocolCost, packets: u64) -> u64 {
+        assert!(packets > 0, "a message has at least one packet");
+        let src = self.cycles.cycles(cost.endpoint_classes(Endpoint::Source));
+        let dst = self.cycles.cycles(cost.endpoint_classes(Endpoint::Destination));
+        let src_pp = src.div_ceil(packets);
+        let dst_pp = dst.div_ceil(packets);
+        let bottleneck = src_pp.max(dst_pp).max(self.gap);
+        src_pp + self.wire_time() + dst_pp + bottleneck * (packets - 1)
+    }
+
+    /// Fraction of the unpipelined latency that is software, in
+    /// `[0, 1]`. The paper's claim is that this is near 1 on real
+    /// machines, which is why instruction counts stand in for latency.
+    pub fn software_fraction(&self, cost: &ProtocolCost) -> f64 {
+        let total = self.one_way_unpipelined(cost);
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - self.wire_time() as f64 / total as f64
+    }
+
+    /// The hop count at which wire time would equal the software time —
+    /// how far a network would have to be before routing dominated.
+    pub fn breakeven_hops(&self, cost: &ProtocolCost) -> u64 {
+        if self.hop_latency == 0 {
+            return u64::MAX;
+        }
+        let src = self.cycles.cycles(cost.endpoint_classes(Endpoint::Source));
+        let dst = self.cycles.cycles(cost.endpoint_classes(Endpoint::Destination));
+        (src + dst).div_ceil(self.hop_latency)
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::cm5ish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::{self, MsgShape};
+
+    #[test]
+    fn software_dominates_on_cm5ish_parameters() {
+        // The paper's premise: even for the cheapest delivery, software
+        // dwarfs routing time.
+        let model = LatencyModel::cm5ish();
+        let single = analytic::single_packet();
+        assert!(model.software_fraction(&single) > 0.7);
+        let xfer = analytic::cmam_finite(MsgShape::paper(1024).unwrap());
+        assert!(model.software_fraction(&xfer) > 0.99);
+    }
+
+    #[test]
+    fn pipelining_helps_multi_packet_messages() {
+        let model = LatencyModel::cm5ish();
+        let xfer = analytic::cmam_finite(MsgShape::paper(1024).unwrap());
+        let un = model.one_way_unpipelined(&xfer);
+        let pi = model.one_way_pipelined(&xfer, 256);
+        assert!(pi < un, "{pi} !< {un}");
+        // …but can't beat the bottleneck-stage bound.
+        assert!(pi as f64 > 0.4 * un as f64);
+    }
+
+    #[test]
+    fn breakeven_hops_is_enormous() {
+        // How many hops before routing time catches the software cost
+        // of a single-packet delivery? Far more than any real machine.
+        let model = LatencyModel::cm5ish();
+        let single = analytic::single_packet();
+        assert!(model.breakeven_hops(&single) > 20);
+    }
+
+    #[test]
+    fn wire_time_and_degenerate_cases() {
+        let model = LatencyModel { hops: 3, hop_latency: 7, ..LatencyModel::cm5ish() };
+        assert_eq!(model.wire_time(), 21);
+        let single = analytic::single_packet();
+        assert_eq!(
+            model.one_way_pipelined(&single, 1),
+            model.one_way_unpipelined(&single)
+        );
+        let zero_hop = LatencyModel { hop_latency: 0, ..model };
+        assert_eq!(zero_hop.breakeven_hops(&single), u64::MAX);
+    }
+}

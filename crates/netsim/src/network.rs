@@ -1,0 +1,160 @@
+//! The substrate-independent network interface.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::id::NodeId;
+use crate::packet::Packet;
+use crate::stats::NetStats;
+use crate::time::Time;
+
+/// What a network guarantees to the software above it. The messaging
+/// layer consults this to decide which software protocol machinery is
+/// required (Figure 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Guarantees {
+    /// Packets between one `(src, dst)` pair are delivered in injection
+    /// order.
+    pub in_order: bool,
+    /// Every accepted packet is eventually delivered uncorrupted.
+    pub reliable: bool,
+    /// Injection acceptance implies the destination can absorb the packet
+    /// (end-to-end flow control / deadlock freedom independent of
+    /// acceptance guarantees).
+    pub flow_controlled: bool,
+}
+
+impl Guarantees {
+    /// A CM-5-like network: none of the high-level guarantees.
+    pub const RAW: Guarantees = Guarantees {
+        in_order: false,
+        reliable: false,
+        flow_controlled: false,
+    };
+
+    /// A Compressionless-Routing-like network: all three guarantees.
+    pub const HIGH_LEVEL: Guarantees = Guarantees {
+        in_order: true,
+        reliable: true,
+        flow_controlled: true,
+    };
+}
+
+/// Why an injection attempt was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectError {
+    /// The injection port (first-hop queue or held path) is full; retry
+    /// after advancing the network. This is what the software sees as a
+    /// "send not ok" NI status.
+    Backpressure,
+    /// The destination node does not exist.
+    BadDestination(NodeId),
+}
+
+impl fmt::Display for InjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjectError::Backpressure => write!(f, "injection refused: backpressure"),
+            InjectError::BadDestination(n) => write!(f, "no such destination node {n}"),
+        }
+    }
+}
+
+impl Error for InjectError {}
+
+/// A packet-switched network connecting `num_nodes` nodes.
+///
+/// All three substrates (switched CM-5-like, Compressionless-Routing-like
+/// and scripted) implement this trait; the NI and messaging layers are
+/// generic over it.
+pub trait Network {
+    /// Number of attached nodes.
+    fn num_nodes(&self) -> usize;
+
+    /// Current simulated time.
+    fn now(&self) -> Time;
+
+    /// Advance simulated time by `cycles`, moving packets through the
+    /// network.
+    fn advance(&mut self, cycles: u64);
+
+    /// Attempt to inject a packet at its source node.
+    ///
+    /// # Errors
+    ///
+    /// [`InjectError::Backpressure`] if the network cannot accept the
+    /// packet right now, [`InjectError::BadDestination`] if the
+    /// destination is out of range.
+    fn try_inject(&mut self, packet: Packet) -> Result<(), InjectError>;
+
+    /// Pop the next delivered packet waiting at `node`'s receive buffer,
+    /// if any. Corrupted packets on detect-only substrates are discarded
+    /// internally (counted in [`NetStats::dropped_corrupt`]) and never
+    /// surface here.
+    fn try_receive(&mut self, node: NodeId) -> Option<Packet>;
+
+    /// Packets currently waiting in `node`'s receive buffer.
+    fn rx_pending(&self, node: NodeId) -> usize;
+
+    /// Packets accepted but not yet delivered or dropped.
+    fn in_flight(&self) -> usize;
+
+    /// Aggregate statistics.
+    fn stats(&self) -> &NetStats;
+
+    /// The delivery guarantees this substrate provides.
+    fn guarantees(&self) -> Guarantees;
+
+    /// Advance until the network is drained (nothing in flight) or
+    /// `max_cycles` have elapsed; returns `true` if drained. Default
+    /// implementation steps one cycle at a time.
+    ///
+    /// Note that on finite-buffer substrates a drain can fail simply
+    /// because no one is extracting packets at the destinations — see
+    /// [`drain_extracting`](Network::drain_extracting).
+    fn drain(&mut self, max_cycles: u64) -> bool {
+        let mut elapsed = 0;
+        while self.in_flight() > 0 && elapsed < max_cycles {
+            self.advance(1);
+            elapsed += 1;
+        }
+        self.in_flight() == 0
+    }
+
+    /// Like [`drain`](Network::drain), but every node's receive queue is
+    /// emptied (and the packets discarded) as time advances, so finite
+    /// receive buffers cannot wedge the drain. Returns `true` if the
+    /// network emptied. Useful for harnesses that only care about
+    /// delivery statistics.
+    fn drain_extracting(&mut self, max_cycles: u64) -> bool {
+        let mut elapsed = 0;
+        while self.in_flight() > 0 && elapsed < max_cycles {
+            self.advance(1);
+            elapsed += 1;
+            for i in 0..self.num_nodes() {
+                while self.try_receive(NodeId::new(i)).is_some() {}
+            }
+        }
+        self.in_flight() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guarantee_presets() {
+        assert!(!Guarantees::RAW.in_order);
+        assert!(Guarantees::HIGH_LEVEL.reliable);
+        assert!(Guarantees::HIGH_LEVEL.flow_controlled);
+    }
+
+    #[test]
+    fn inject_error_display() {
+        assert!(InjectError::Backpressure.to_string().contains("backpressure"));
+        assert!(InjectError::BadDestination(NodeId::new(9))
+            .to_string()
+            .contains("n9"));
+    }
+}

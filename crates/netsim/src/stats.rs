@@ -1,0 +1,340 @@
+//! Network statistics: delivery counts, reordering, latency.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::id::NodeId;
+use crate::time::Time;
+
+/// Running latency summary (cycles from injection to delivery), with a
+/// logarithmic histogram for percentile estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyStats {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    // buckets[k] counts latencies in [2^(k-1), 2^k) (bucket 0: latency 0).
+    buckets: [u64; 33],
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        LatencyStats {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; 33],
+        }
+    }
+}
+
+impl LatencyStats {
+    fn bucket_index(latency: u64) -> usize {
+        if latency == 0 {
+            0
+        } else {
+            ((64 - latency.leading_zeros()) as usize).min(32)
+        }
+    }
+
+    /// Record one delivery latency.
+    pub fn record(&mut self, latency: u64) {
+        if self.count == 0 {
+            self.min = latency;
+            self.max = latency;
+        } else {
+            self.min = self.min.min(latency);
+            self.max = self.max.max(latency);
+        }
+        self.count += 1;
+        self.sum += latency;
+        self.buckets[Self::bucket_index(latency)] += 1;
+    }
+
+    /// Approximate latency at quantile `q` (0.0–1.0): the upper bound
+    /// of the logarithmic histogram bucket containing that quantile.
+    /// Returns 0 if nothing has been recorded.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let upper = if k == 0 { 0 } else { (1u64 << k) - 1 };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Number of recorded deliveries.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency, or 0 if nothing recorded.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Minimum recorded latency (0 if nothing recorded).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Maximum recorded latency (0 if nothing recorded).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+}
+
+impl fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} min={} max={}",
+            self.count,
+            self.mean(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// Tracks, per `(src, dst)` pair, whether deliveries respect injection
+/// order.
+///
+/// A delivered packet is counted *out of order* when some packet injected
+/// earlier on the same pair has not yet been delivered — exactly the
+/// condition that forces the receiving messaging layer to buffer it.
+#[derive(Debug, Clone, Default)]
+pub struct OrderTracker {
+    // For each pair: next pair_seq expected in order, plus the set of
+    // early-delivered seqs awaiting their predecessors.
+    state: HashMap<(NodeId, NodeId), PairOrder>,
+    in_order: u64,
+    out_of_order: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct PairOrder {
+    next_expected: u64,
+    early: Vec<u64>,
+}
+
+impl OrderTracker {
+    /// New, empty tracker.
+    pub fn new() -> Self {
+        OrderTracker::default()
+    }
+
+    /// Record the delivery of packet `pair_seq` on `(src, dst)`; returns
+    /// `true` if it arrived in order.
+    pub fn record(&mut self, src: NodeId, dst: NodeId, pair_seq: u64) -> bool {
+        let entry = self.state.entry((src, dst)).or_default();
+        if pair_seq == entry.next_expected {
+            entry.next_expected += 1;
+            // Drain any buffered successors that are now in sequence.
+            entry.early.sort_unstable();
+            while let Some(pos) = entry
+                .early
+                .iter()
+                .position(|&s| s == entry.next_expected)
+            {
+                entry.early.swap_remove(pos);
+                entry.next_expected += 1;
+            }
+            self.in_order += 1;
+            true
+        } else {
+            entry.early.push(pair_seq);
+            self.out_of_order += 1;
+            false
+        }
+    }
+
+    /// Deliveries that arrived in injection order.
+    pub fn in_order(&self) -> u64 {
+        self.in_order
+    }
+
+    /// Deliveries that arrived ahead of an earlier-injected packet.
+    pub fn out_of_order(&self) -> u64 {
+        self.out_of_order
+    }
+
+    /// Fraction of deliveries that were out of order, in `[0, 1]`.
+    pub fn ooo_fraction(&self) -> f64 {
+        let total = self.in_order + self.out_of_order;
+        if total == 0 {
+            0.0
+        } else {
+            self.out_of_order as f64 / total as f64
+        }
+    }
+}
+
+/// Aggregate statistics for one network instance.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    /// Packets accepted for injection.
+    pub injected: u64,
+    /// Packets handed to software at their destination.
+    pub delivered: u64,
+    /// Injection attempts refused with backpressure.
+    pub backpressure: u64,
+    /// Corrupted packets detected and discarded at the receiving NI
+    /// (detect-only substrates).
+    pub dropped_corrupt: u64,
+    /// Packets corrupted in flight but repaired by hardware
+    /// retransmission (CR substrate).
+    pub hw_retransmits: u64,
+    /// Header rejections followed by automatic hardware retry (CR
+    /// substrate end-to-end flow control).
+    pub rejects: u64,
+    /// Delivery-order accounting.
+    pub order: OrderTracker,
+    /// Injection→delivery latency.
+    pub latency: LatencyStats,
+}
+
+impl NetStats {
+    /// New, empty statistics.
+    pub fn new() -> Self {
+        NetStats::default()
+    }
+
+    /// Record a successful delivery.
+    pub(crate) fn record_delivery(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        pair_seq: u64,
+        injected_at: Option<Time>,
+        now: Time,
+    ) {
+        self.delivered += 1;
+        self.order.record(src, dst, pair_seq);
+        if let Some(at) = injected_at {
+            self.latency.record(now.since(at));
+        }
+    }
+}
+
+impl fmt::Display for NetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "injected {} delivered {} (ooo {:.1}%) backpressure {} corrupt-drops {} hw-retx {} rejects {} latency[{}]",
+            self.injected,
+            self.delivered,
+            self.order.ooo_fraction() * 100.0,
+            self.backpressure,
+            self.dropped_corrupt,
+            self.hw_retransmits,
+            self.rejects,
+            self.latency
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn latency_summary() {
+        let mut l = LatencyStats::default();
+        assert_eq!(l.mean(), 0.0);
+        l.record(10);
+        l.record(20);
+        l.record(3);
+        assert_eq!(l.count(), 3);
+        assert_eq!(l.min(), 3);
+        assert_eq!(l.max(), 20);
+        assert!((l.mean() - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_quantiles_bound_the_distribution() {
+        let mut l = LatencyStats::default();
+        for v in 1..=1000u64 {
+            l.record(v);
+        }
+        assert_eq!(l.quantile(1.0), 1000); // capped at max
+        let p50 = l.quantile(0.5);
+        assert!((500..=1023).contains(&p50), "p50 bucket bound: {p50}");
+        let p01 = l.quantile(0.01);
+        assert!(p01 <= 15, "p01 bucket bound: {p01}");
+        assert!(l.quantile(0.5) <= l.quantile(0.95));
+    }
+
+    #[test]
+    fn latency_quantile_of_empty_is_zero() {
+        let l = LatencyStats::default();
+        assert_eq!(l.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn latency_zero_values_hit_bucket_zero() {
+        let mut l = LatencyStats::default();
+        l.record(0);
+        l.record(0);
+        assert_eq!(l.quantile(0.9), 0);
+    }
+
+    #[test]
+    fn order_tracker_in_order_stream() {
+        let mut t = OrderTracker::new();
+        for s in 0..10 {
+            assert!(t.record(n(0), n(1), s));
+        }
+        assert_eq!(t.in_order(), 10);
+        assert_eq!(t.out_of_order(), 0);
+        assert_eq!(t.ooo_fraction(), 0.0);
+    }
+
+    #[test]
+    fn order_tracker_alternate_swap_is_half_ooo() {
+        // Delivery order 1,0,3,2,5,4,... : every odd-seq packet arrives
+        // before its predecessor, i.e. exactly half are out of order.
+        let mut t = OrderTracker::new();
+        for base in (0..8).step_by(2) {
+            assert!(!t.record(n(0), n(1), base + 1));
+            assert!(t.record(n(0), n(1), base));
+        }
+        assert!((t.ooo_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn order_tracker_drains_early_buffer() {
+        let mut t = OrderTracker::new();
+        assert!(!t.record(n(0), n(1), 2));
+        assert!(!t.record(n(0), n(1), 1));
+        assert!(t.record(n(0), n(1), 0)); // releases 1 and 2
+        assert!(t.record(n(0), n(1), 3)); // next expected is now 3
+    }
+
+    #[test]
+    fn order_tracker_separates_pairs() {
+        let mut t = OrderTracker::new();
+        assert!(t.record(n(0), n(1), 0));
+        assert!(t.record(n(2), n(1), 0));
+        assert!(!t.record(n(0), n(1), 2));
+        assert!(t.record(n(2), n(1), 1));
+    }
+}

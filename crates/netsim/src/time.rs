@@ -1,0 +1,76 @@
+//! Simulated time in network cycles.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in network cycles since simulation
+/// start.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Time(u64);
+
+impl Time {
+    /// Simulation start.
+    pub const ZERO: Time = Time(0);
+
+    /// Construct from a raw cycle count.
+    pub const fn from_cycles(cycles: u64) -> Self {
+        Time(cycles)
+    }
+
+    /// The raw cycle count.
+    pub const fn cycles(self) -> u64 {
+        self.0
+    }
+
+    /// Cycles elapsed since `earlier` (saturating).
+    pub fn since(self, earlier: Time) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for Time {
+    type Output = Time;
+    fn add(self, rhs: u64) -> Time {
+        Time(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Time {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = u64;
+    fn sub(self, rhs: Time) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cyc", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::ZERO + 5;
+        assert_eq!(t.cycles(), 5);
+        assert_eq!(t - Time::from_cycles(2), 3);
+        assert_eq!(t.since(Time::from_cycles(10)), 0); // saturates
+        let mut u = t;
+        u += 7;
+        assert_eq!(u.cycles(), 12);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Time::from_cycles(42).to_string(), "42cyc");
+    }
+}

@@ -1,0 +1,176 @@
+//! Packet-event tracing: a bounded event log for debugging and for
+//! explaining *why* a run behaved as it did (which hops a packet took,
+//! where it was refused, when it was dropped).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::id::{NodeId, PacketId};
+use crate::time::Time;
+use crate::topology::LinkId;
+
+/// What happened to a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Accepted into the network at its source.
+    Inject,
+    /// Moved across a link (store-and-forward hop).
+    Hop(LinkId),
+    /// Handed to the destination's receive queue.
+    Deliver,
+    /// Corrupted in flight, detected by CRC at the NI, and discarded.
+    DropCorrupt,
+    /// Injection refused with backpressure (no packet id assigned).
+    Backpressure,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub time: Time,
+    /// The packet involved (`None` for refused injections, which never
+    /// received an id).
+    pub packet: Option<PacketId>,
+    /// The packet's source.
+    pub src: NodeId,
+    /// The packet's destination.
+    pub dst: NodeId,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self.kind {
+            TraceKind::Inject => "inject".to_string(),
+            TraceKind::Hop(l) => format!("hop link#{}", l.index()),
+            TraceKind::Deliver => "deliver".to_string(),
+            TraceKind::DropCorrupt => "drop (CRC)".to_string(),
+            TraceKind::Backpressure => "refused (backpressure)".to_string(),
+        };
+        let id = self
+            .packet
+            .map_or_else(|| "-".to_string(), |p| p.to_string());
+        write!(f, "[{}] {} {}→{} {}", self.time, id, self.src, self.dst, what)
+    }
+}
+
+/// A bounded ring of trace events; old events are discarded once the
+/// capacity is reached.
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// A buffer holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace buffer needs capacity");
+        TraceBuffer {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+        }
+    }
+
+    /// Append an event, evicting the oldest if full.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// All retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// All retained events concerning `packet`, oldest first.
+    pub fn of_packet(&self, packet: PacketId) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.packet == Some(packet))
+            .collect()
+    }
+
+    /// Render one packet's journey as text, one event per line.
+    pub fn journey(&self, packet: PacketId) -> String {
+        let mut out = String::new();
+        for e in self.of_packet(packet) {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, id: Option<u64>, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            time: Time::from_cycles(t),
+            packet: id.map(crate::id::PacketId::new),
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+            kind,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut b = TraceBuffer::new(2);
+        b.push(ev(1, Some(1), TraceKind::Inject));
+        b.push(ev(2, Some(1), TraceKind::Deliver));
+        b.push(ev(3, Some(2), TraceKind::Inject));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.dropped(), 1);
+        assert_eq!(b.events().next().unwrap().time.cycles(), 2);
+    }
+
+    #[test]
+    fn journey_filters_by_packet() {
+        let mut b = TraceBuffer::new(16);
+        b.push(ev(1, Some(7), TraceKind::Inject));
+        b.push(ev(2, Some(8), TraceKind::Inject));
+        b.push(ev(3, Some(7), TraceKind::Hop(LinkId(4))));
+        b.push(ev(9, Some(7), TraceKind::Deliver));
+        let j = b.journey(crate::id::PacketId::new(7));
+        assert_eq!(j.lines().count(), 3);
+        assert!(j.contains("hop link#4"));
+        assert!(j.contains("deliver"));
+        assert!(!j.contains("pkt8"));
+    }
+
+    #[test]
+    fn display_formats_every_kind() {
+        assert!(ev(0, None, TraceKind::Backpressure).to_string().contains("refused"));
+        assert!(ev(0, Some(1), TraceKind::DropCorrupt).to_string().contains("CRC"));
+        assert!(ev(5, Some(1), TraceKind::Inject).to_string().contains("5cyc"));
+    }
+}

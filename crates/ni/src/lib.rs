@@ -1,0 +1,50 @@
+//! # timego-ni — the node machine model
+//!
+//! Models the parts of a CM-5-like node that messaging software touches:
+//!
+//! * [`NiPort`] — the memory-mapped network interface (Figure 2 of the
+//!   paper): staging registers and FIFOs for sending, a receive latch
+//!   with tag dispatch, and status registers. **Every register access is
+//!   one `dev`-class instruction**, recorded into the node's
+//!   [`CostHandle`](timego_cost::CostHandle) as a side effect of doing
+//!   the real work (injecting into / extracting from the underlying
+//!   [`Network`](timego_netsim::Network)).
+//! * [`Memory`] — word-addressed node memory with double-word transfer
+//!   operations; every access is one `mem`-class instruction.
+//!
+//! The cost conventions mirror the paper's measured CMAM code paths
+//! (see `DESIGN.md §3`): a packet send is one NI-setup store
+//! (destination + tag + header), `n/2` double-word payload stores, and a
+//! status load that both confirms the send and tests for incoming
+//! packets; a packet receive is one latch/tag load, one header load and
+//! `n/2` double-word payload loads.
+//!
+//! ## Example
+//!
+//! ```
+//! use timego_netsim::{DeliveryScript, NodeId, ScriptedNetwork};
+//! use timego_ni::{share, NiPort};
+//! use timego_cost::CostHandle;
+//!
+//! let net = share(ScriptedNetwork::new(2, DeliveryScript::InOrder));
+//! let mut tx = NiPort::new(NodeId::new(0), net.clone(), CostHandle::new());
+//! let mut rx = NiPort::new(NodeId::new(1), net, CostHandle::new());
+//!
+//! tx.stage_envelope(NodeId::new(1), 5, 0);
+//! tx.push_payload2(10, 20);
+//! assert!(tx.commit_send());
+//!
+//! assert!(rx.poll_status());
+//! let (src, tag) = rx.latch_rx().expect("packet waiting");
+//! assert_eq!((src.index(), tag), (0, 5));
+//! assert_eq!(rx.read_payload2(), (10, 20));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod memory;
+mod port;
+
+pub use memory::{Addr, Memory};
+pub use port::{share, NiPort, SharedNetwork};

@@ -1,0 +1,186 @@
+//! Word-addressed node memory with `mem`-class cost accounting.
+
+use std::fmt;
+
+use timego_cost::CostHandle;
+
+/// A word address in node memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(pub usize);
+
+impl Addr {
+    /// The address `offset` words past this one.
+    pub const fn offset(self, words: usize) -> Addr {
+        Addr(self.0 + words)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{:#x}", self.0)
+    }
+}
+
+/// Node memory. Loads and stores cost one `mem` instruction each; the
+/// SPARC-style double-word variants move two words per instruction,
+/// which is how `n` payload words cost `n/2` memory operations in the
+/// paper's accounting.
+///
+/// Allocation itself is free, matching the paper: *"we exclude the
+/// actual allocation cost since our interest is only in the protocol
+/// costs."*
+#[derive(Debug, Clone)]
+pub struct Memory {
+    words: Vec<u32>,
+    brk: usize,
+    cpu: CostHandle,
+}
+
+impl Memory {
+    /// Memory of `capacity` words, all zero.
+    pub fn new(capacity: usize, cpu: CostHandle) -> Self {
+        Memory {
+            words: vec![0; capacity],
+            brk: 0,
+            cpu,
+        }
+    }
+
+    /// Total capacity in words.
+    pub fn capacity(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Allocate `words` words (bump allocator; free of instruction
+    /// cost, as in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if memory is exhausted.
+    pub fn alloc(&mut self, words: usize) -> Addr {
+        assert!(
+            self.brk + words <= self.words.len(),
+            "node memory exhausted: {} + {} > {}",
+            self.brk,
+            words,
+            self.words.len()
+        );
+        let a = Addr(self.brk);
+        self.brk += words;
+        a
+    }
+
+    /// Load one word (1 `mem` instruction).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range address.
+    pub fn load(&self, addr: Addr) -> u32 {
+        self.cpu.mem_load(1);
+        self.words[addr.0]
+    }
+
+    /// Store one word (1 `mem` instruction).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range address.
+    pub fn store(&mut self, addr: Addr, value: u32) {
+        self.cpu.mem_store(1);
+        self.words[addr.0] = value;
+    }
+
+    /// Load two consecutive words with one double-word instruction
+    /// (1 `mem` instruction).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range address.
+    pub fn load2(&self, addr: Addr) -> (u32, u32) {
+        self.cpu.mem_load(1);
+        (self.words[addr.0], self.words[addr.0 + 1])
+    }
+
+    /// Store two consecutive words with one double-word instruction
+    /// (1 `mem` instruction).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range address.
+    pub fn store2(&mut self, addr: Addr, w0: u32, w1: u32) {
+        self.cpu.mem_store(1);
+        self.words[addr.0] = w0;
+        self.words[addr.0 + 1] = w1;
+    }
+
+    /// Read a region without cost accounting — for harness verification
+    /// only, never called by protocol code.
+    pub fn peek(&self, addr: Addr, words: usize) -> &[u32] {
+        &self.words[addr.0..addr.0 + words]
+    }
+
+    /// Write a region without cost accounting — for harness setup (e.g.
+    /// filling a source buffer with test data), never called by protocol
+    /// code.
+    pub fn poke(&mut self, addr: Addr, data: &[u32]) {
+        self.words[addr.0..addr.0 + data.len()].copy_from_slice(data);
+    }
+
+    /// The node's cost recorder handle.
+    pub fn cpu(&self) -> &CostHandle {
+        &self.cpu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timego_cost::{Class, CostHandle};
+
+    #[test]
+    fn loads_and_stores_cost_mem_instructions() {
+        let cpu = CostHandle::new();
+        let mut mem = Memory::new(64, cpu.clone());
+        let a = mem.alloc(4);
+        mem.store(a, 7);
+        mem.store2(a.offset(2), 8, 9);
+        assert_eq!(mem.load(a), 7);
+        assert_eq!(mem.load2(a.offset(2)), (8, 9));
+        let v = cpu.snapshot();
+        assert_eq!(v.class_total(Class::Mem), 4);
+        assert_eq!(v.total(), 4);
+    }
+
+    #[test]
+    fn peek_poke_are_free() {
+        let cpu = CostHandle::new();
+        let mut mem = Memory::new(16, cpu.clone());
+        let a = mem.alloc(3);
+        mem.poke(a, &[1, 2, 3]);
+        assert_eq!(mem.peek(a, 3), &[1, 2, 3]);
+        assert!(cpu.snapshot().is_empty());
+    }
+
+    #[test]
+    fn alloc_bumps() {
+        let mut mem = Memory::new(10, CostHandle::new());
+        let a = mem.alloc(4);
+        let b = mem.alloc(4);
+        assert_eq!(b.0 - a.0, 4);
+        assert_eq!(mem.capacity(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn alloc_past_capacity_panics() {
+        let mut mem = Memory::new(4, CostHandle::new());
+        mem.alloc(5);
+    }
+
+    #[test]
+    fn addr_offset_and_display() {
+        let a = Addr(16);
+        assert_eq!(a.offset(4), Addr(20));
+        assert_eq!(a.to_string(), "@0x10");
+    }
+}

@@ -1,0 +1,193 @@
+//! Collectives from single-packet active messages: binomial-tree
+//! broadcast, recursive-doubling all-reduce, and a barrier.
+//!
+//! The CM-5 had a dedicated control network for these; on the data
+//! network they are what applications build from `CMAM_4`, and each
+//! step costs exactly one Table 1 round (20 + 27 instructions).
+
+use timego_am::{Machine, PollOutcome, ProtocolError, Tags};
+use timego_netsim::NodeId;
+
+/// Tag used by collective packets (user range).
+pub const COLLECTIVE_TAG: u8 = Tags::USER_BASE + 7;
+
+fn deliver_all(m: &mut Machine, node: NodeId, expect: usize) -> Result<Vec<[u32; 4]>, ProtocolError> {
+    let mut got = Vec::with_capacity(expect);
+    let mut spins = 0u64;
+    while got.len() < expect {
+        match m.poll(node) {
+            PollOutcome::Unclaimed(msg) if msg.tag == COLLECTIVE_TAG => got.push(msg.words),
+            PollOutcome::Idle => {
+                m.advance(1);
+                spins += 1;
+                if spins > m.config().max_wait_cycles {
+                    return Err(ProtocolError::Timeout {
+                        waiting_for: "collective packet",
+                        cycles: spins,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(got)
+}
+
+/// Broadcast four words from `root` to every node with a binomial tree:
+/// `⌈log₂ N⌉` rounds, each node relays once. Returns the value as seen
+/// at every node (for verification).
+///
+/// # Errors
+///
+/// [`ProtocolError::Timeout`] if a relay starves.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+pub fn broadcast(m: &mut Machine, root: NodeId, value: [u32; 4]) -> Result<Vec<[u32; 4]>, ProtocolError> {
+    let n = m.num_nodes();
+    assert!(root.index() < n);
+    // Rank space rotated so the root is rank 0.
+    let rank_of = |node: usize| (node + n - root.index()) % n;
+    let node_of = |rank: usize| (rank + root.index()) % n;
+
+    let mut have: Vec<Option<[u32; 4]>> = vec![None; n];
+    have[0] = Some(value);
+    let mut stride = 1;
+    while stride < n {
+        for rank in 0..stride.min(n) {
+            let peer = rank + stride;
+            if peer < n {
+                let v = have[rank].expect("sender holds the value by round r");
+                m.am4_send(NodeId::new(node_of(rank)), NodeId::new(node_of(peer)), COLLECTIVE_TAG, v)?;
+                let got = deliver_all(m, NodeId::new(node_of(peer)), 1)?;
+                have[peer] = Some(got[0]);
+            }
+        }
+        stride *= 2;
+    }
+    Ok((0..n).map(|node| have[rank_of(node)].expect("all ranks covered")).collect())
+}
+
+/// All-reduce (sum) of one word per node via recursive doubling:
+/// `log₂ N` exchange rounds (N must be a power of two). Returns every
+/// node's result — all equal to the global sum.
+///
+/// # Errors
+///
+/// [`ProtocolError::Timeout`] if an exchange starves.
+///
+/// # Panics
+///
+/// Panics if the node count is not a power of two or inputs are fewer
+/// than the node count.
+pub fn allreduce_sum(m: &mut Machine, inputs: &[u32]) -> Result<Vec<u32>, ProtocolError> {
+    let n = m.num_nodes();
+    assert!(n.is_power_of_two(), "recursive doubling needs a power-of-two node count");
+    assert!(inputs.len() >= n, "one input per node");
+    let mut acc: Vec<u32> = inputs[..n].to_vec();
+    let mut stride = 1;
+    while stride < n {
+        // Each pair exchanges partial sums.
+        for node in 0..n {
+            let peer = node ^ stride;
+            if node < peer {
+                m.am4_send(NodeId::new(node), NodeId::new(peer), COLLECTIVE_TAG, [acc[node], 0, 0, 0])?;
+                m.am4_send(NodeId::new(peer), NodeId::new(node), COLLECTIVE_TAG, [acc[peer], 0, 0, 0])?;
+            }
+        }
+        let mut incoming = vec![0u32; n];
+        for node in 0..n {
+            let got = deliver_all(m, NodeId::new(node), 1)?;
+            incoming[node] = got[0][0];
+        }
+        for node in 0..n {
+            acc[node] = acc[node].wrapping_add(incoming[node]);
+        }
+        stride *= 2;
+    }
+    Ok(acc)
+}
+
+/// Barrier: an all-reduce of nothing. Completes only when every node
+/// has participated.
+///
+/// # Errors
+///
+/// [`ProtocolError::Timeout`] if an exchange starves.
+///
+/// # Panics
+///
+/// Panics if the node count is not a power of two.
+pub fn barrier(m: &mut Machine) -> Result<(), ProtocolError> {
+    let zeros = vec![0u32; m.num_nodes()];
+    allreduce_sum(m, &zeros).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+    use timego_am::CmamConfig;
+    use timego_ni::share;
+
+    fn machine(nodes: usize) -> Machine {
+        Machine::new(share(scenarios::table_in_order(nodes)), nodes, CmamConfig::default())
+    }
+
+    #[test]
+    fn broadcast_reaches_every_node() {
+        for nodes in [1usize, 2, 3, 5, 8] {
+            let mut m = machine(nodes);
+            let seen = broadcast(&mut m, NodeId::new(0), [7, 8, 9, 10]).unwrap();
+            assert_eq!(seen.len(), nodes);
+            assert!(seen.iter().all(|v| *v == [7, 8, 9, 10]), "nodes={nodes}");
+        }
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let mut m = machine(6);
+        let seen = broadcast(&mut m, NodeId::new(4), [1, 2, 3, 4]).unwrap();
+        assert!(seen.iter().all(|v| *v == [1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn broadcast_cost_is_one_round_trip_per_edge() {
+        let mut m = machine(8);
+        m.reset_costs();
+        broadcast(&mut m, NodeId::new(0), [0; 4]).unwrap();
+        let total: u64 = (0..8).map(|i| m.cpu(NodeId::new(i)).snapshot().total()).sum();
+        // A binomial tree over 8 nodes has 7 edges; each edge is one
+        // Table 1 send (20) + receive (27).
+        assert_eq!(total, 7 * 47);
+    }
+
+    #[test]
+    fn allreduce_sums_everywhere() {
+        let mut m = machine(8);
+        let inputs: Vec<u32> = (1..=8).collect();
+        let out = allreduce_sum(&mut m, &inputs).unwrap();
+        assert_eq!(out, vec![36; 8]);
+    }
+
+    #[test]
+    fn allreduce_over_real_network() {
+        let mut m = Machine::new(share(scenarios::cm5_deterministic(4, 2)), 4, CmamConfig::default());
+        let out = allreduce_sum(&mut m, &[10, 20, 30, 40]).unwrap();
+        assert_eq!(out, vec![100; 4]);
+    }
+
+    #[test]
+    fn barrier_completes() {
+        let mut m = machine(4);
+        barrier(&mut m).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn allreduce_rejects_non_power_of_two() {
+        let mut m = machine(3);
+        let _ = allreduce_sum(&mut m, &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,191 @@
+//! 1-D stencil smoothing with ghost-cell (halo) exchange.
+//!
+//! The global array is block-distributed over the machine's nodes. Each
+//! iteration, every node sends its boundary cells to its neighbors
+//! (finite-sequence bulk transfers — the `CMAM_xfer` pattern), then
+//! applies a three-point smoothing kernel. The result is verified
+//! against a sequential computation of the same recurrence.
+
+use timego_am::{Machine, ProtocolError};
+use timego_netsim::NodeId;
+
+/// Integer three-point smoothing: `x'[i] = (x[i-1] + 2·x[i] + x[i+1]) / 4`
+/// with clamped (replicated) boundaries. One sequential reference step.
+fn smooth_step(data: &[u32]) -> Vec<u32> {
+    let n = data.len();
+    (0..n)
+        .map(|i| {
+            let l = data[if i == 0 { 0 } else { i - 1 }] as u64;
+            let c = data[i] as u64;
+            let r = data[if i + 1 == n { n - 1 } else { i + 1 }] as u64;
+            ((l + 2 * c + r) / 4) as u32
+        })
+        .collect()
+}
+
+/// Result of a halo-exchange run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HaloOutcome {
+    /// Final global array (gathered from all nodes).
+    pub data: Vec<u32>,
+    /// Total messaging-layer instructions across all nodes.
+    pub messaging_instructions: u64,
+    /// Halo transfers performed.
+    pub transfers: u64,
+}
+
+/// Run `iterations` smoothing steps over `initial`, block-distributed
+/// across all of `m`'s nodes, exchanging `halo_width`-word halos with
+/// bulk transfers each iteration.
+///
+/// # Errors
+///
+/// Propagates any [`ProtocolError`] from the underlying transfers.
+///
+/// # Panics
+///
+/// Panics if the array does not split evenly into blocks of at least
+/// `halo_width` words, or `halo_width` is zero or odd (transfers move
+/// double words).
+pub fn run(
+    m: &mut Machine,
+    initial: &[u32],
+    iterations: usize,
+    halo_width: usize,
+) -> Result<HaloOutcome, ProtocolError> {
+    let nodes = m.num_nodes();
+    assert!(halo_width >= 2 && halo_width % 2 == 0, "halo width must be even and ≥ 2");
+    assert!(
+        initial.len() % nodes == 0 && initial.len() / nodes >= halo_width,
+        "array must split evenly into blocks of at least one halo"
+    );
+    let block = initial.len() / nodes;
+
+    // Distribute (harness setup, cost-free).
+    let mut local: Vec<Vec<u32>> = initial.chunks(block).map(<[u32]>::to_vec).collect();
+    m.reset_costs();
+    let mut transfers = 0u64;
+
+    for _ in 0..iterations {
+        // Exchange halos with bulk transfers. Left-to-right then
+        // right-to-left; the received buffers are read back out of the
+        // destination node's memory (harness verification reads are
+        // cost-free; the protocol's own loads/stores are counted).
+        let mut left_ghost: Vec<Option<Vec<u32>>> = vec![None; nodes];
+        let mut right_ghost: Vec<Option<Vec<u32>>> = vec![None; nodes];
+        for i in 0..nodes.saturating_sub(1) {
+            let (src, dst) = (NodeId::new(i), NodeId::new(i + 1));
+            let boundary = &local[i][block - halo_width..];
+            let out = m.xfer(src, dst, boundary)?;
+            left_ghost[i + 1] = Some(m.read_buffer(dst, out.dst_buffer, halo_width));
+            transfers += 1;
+        }
+        for i in (1..nodes).rev() {
+            let (src, dst) = (NodeId::new(i), NodeId::new(i - 1));
+            let boundary = &local[i][..halo_width];
+            let out = m.xfer(src, dst, boundary)?;
+            right_ghost[i - 1] = Some(m.read_buffer(dst, out.dst_buffer, halo_width));
+            transfers += 1;
+        }
+
+        // Local compute (application work, outside the measured layer).
+        for i in 0..nodes {
+            let mut extended = Vec::with_capacity(block + 2 * halo_width);
+            if let Some(g) = &left_ghost[i] {
+                extended.extend_from_slice(g);
+            }
+            extended.extend_from_slice(&local[i]);
+            if let Some(g) = &right_ghost[i] {
+                extended.extend_from_slice(g);
+            }
+            let smoothed = smooth_step(&extended);
+            let start = if left_ghost[i].is_some() { halo_width } else { 0 };
+            local[i] = smoothed[start..start + block].to_vec();
+        }
+    }
+
+    let messaging_instructions = (0..nodes)
+        .map(|i| m.cpu(NodeId::new(i)).snapshot().total())
+        .sum();
+    Ok(HaloOutcome {
+        data: local.concat(),
+        messaging_instructions,
+        transfers,
+    })
+}
+
+/// Sequential reference: the same blocked computation (block boundaries
+/// see only `halo_width` neighbor cells per iteration, exactly like the
+/// distributed version).
+pub fn reference(initial: &[u32], iterations: usize, nodes: usize, halo_width: usize) -> Vec<u32> {
+    let block = initial.len() / nodes;
+    let mut local: Vec<Vec<u32>> = initial.chunks(block).map(<[u32]>::to_vec).collect();
+    for _ in 0..iterations {
+        let snapshot = local.clone();
+        for i in 0..nodes {
+            let mut extended = Vec::new();
+            if i > 0 {
+                extended.extend_from_slice(&snapshot[i - 1][block - halo_width..]);
+            }
+            extended.extend_from_slice(&snapshot[i]);
+            if i + 1 < nodes {
+                extended.extend_from_slice(&snapshot[i + 1][..halo_width]);
+            }
+            let smoothed = smooth_step(&extended);
+            let start = if i > 0 { halo_width } else { 0 };
+            local[i] = smoothed[start..start + block].to_vec();
+        }
+    }
+    local.concat()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{payloads, scenarios};
+    use timego_am::CmamConfig;
+    use timego_ni::share;
+
+    #[test]
+    fn distributed_matches_sequential_reference() {
+        let nodes = 4;
+        let data = payloads::mixed(256, 3).iter().map(|w| w % 1000).collect::<Vec<_>>();
+        let mut m = Machine::new(share(scenarios::table_in_order(nodes)), nodes, CmamConfig::default());
+        let out = run(&mut m, &data, 5, 2).unwrap();
+        assert_eq!(out.data, reference(&data, 5, nodes, 2));
+        assert_eq!(out.transfers, 5 * 2 * 3); // 5 iters × both directions × 3 pairs
+        assert!(out.messaging_instructions > 0);
+    }
+
+    #[test]
+    fn works_over_a_real_switched_network() {
+        let nodes = 4;
+        let data: Vec<u32> = (0..128).map(|i| (i * 31) % 997).collect();
+        let mut m = Machine::new(
+            share(scenarios::cm5_deterministic(nodes, 5)),
+            nodes,
+            CmamConfig::default(),
+        );
+        let out = run(&mut m, &data, 3, 2).unwrap();
+        assert_eq!(out.data, reference(&data, 3, nodes, 2));
+    }
+
+    #[test]
+    fn messaging_cost_scales_with_iterations() {
+        let data = payloads::mixed(64, 1).iter().map(|w| w % 100).collect::<Vec<_>>();
+        let cost = |iters| {
+            let mut m = Machine::new(share(scenarios::table_in_order(2)), 2, CmamConfig::default());
+            run(&mut m, &data, iters, 2).unwrap().messaging_instructions
+        };
+        let one = cost(1);
+        let four = cost(4);
+        assert_eq!(four, 4 * one, "per-iteration messaging cost is constant");
+    }
+
+    #[test]
+    #[should_panic(expected = "halo width")]
+    fn odd_halo_width_panics() {
+        let mut m = Machine::new(share(scenarios::table_in_order(2)), 2, CmamConfig::default());
+        let _ = run(&mut m, &[0; 32], 1, 3);
+    }
+}

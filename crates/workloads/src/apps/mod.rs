@@ -1,0 +1,24 @@
+//! Application kernels built on the public messaging API.
+//!
+//! The paper's motivation is that applications should get high-level
+//! communication services (ordering, overflow safety, reliability)
+//! without hand-rolling them. These kernels are the proof of use: real
+//! parallel algorithms written against [`timego_am::Machine`]'s public
+//! API, verified end to end, with the messaging-layer instruction costs
+//! they induce measurable per node.
+//!
+//! * [`halo`] — iterative 1-D stencil smoothing with ghost-cell
+//!   exchange (bulk transfers between neighbors);
+//! * [`sort`] — odd-even transposition sort over distributed blocks
+//!   (pairwise bulk exchanges);
+//! * [`collectives`] — broadcast / all-reduce / barrier built from
+//!   single-packet active messages (binomial and recursive-doubling
+//!   trees).
+//!
+//! Application *compute* runs with cost recording suspended, so the
+//! recorded instruction counts isolate the messaging layer — the same
+//! separation the paper's measurements make.
+
+pub mod collectives;
+pub mod halo;
+pub mod sort;

@@ -1,0 +1,17 @@
+//! # timego-workloads — workload generators and substrate scenarios
+//!
+//! Reusable building blocks for the experiments: standard substrate
+//! configurations ([`scenarios`]), communication patterns over many
+//! nodes ([`patterns`]), deterministic payload generators
+//! ([`payloads`]), and the parameter sweeps the paper's figures are
+//! built from ([`sweeps`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod patterns;
+pub mod payloads;
+pub mod rpc;
+pub mod scenarios;
+pub mod sweeps;

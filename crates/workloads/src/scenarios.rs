@@ -1,0 +1,180 @@
+//! Standard substrate configurations used across examples, tests and
+//! benches.
+
+use timego_netsim::{
+    CrConfig, CrMode, CrNetwork, DeliveryScript, FatTree, FaultConfig, Mesh2D, RouteStrategy,
+    ScriptedNetwork, SwitchedConfig, SwitchedNetwork, Torus2D, VcDiscipline, WormholeConfig,
+    WormholeNetwork,
+};
+
+/// A CM-5-flavoured fat-tree network with deterministic routing:
+/// in-order per pair in practice, but finite buffers and no fault
+/// handling. `nodes` is rounded up to the next power of 4.
+pub fn cm5_deterministic(nodes: usize, seed: u64) -> SwitchedNetwork<FatTree> {
+    SwitchedNetwork::new(
+        fat_tree_for(nodes),
+        SwitchedConfig {
+            strategy: RouteStrategy::Deterministic,
+            seed,
+            ..SwitchedConfig::default()
+        },
+    )
+}
+
+/// A CM-5-flavoured fat-tree network with adaptive multipath routing —
+/// the configuration whose arbitrary delivery order the paper's
+/// indefinite-sequence protocol pays for.
+pub fn cm5_adaptive(nodes: usize, seed: u64) -> SwitchedNetwork<FatTree> {
+    SwitchedNetwork::new(
+        fat_tree_for(nodes),
+        SwitchedConfig {
+            strategy: RouteStrategy::Adaptive { candidates: 4 },
+            rx_queue_capacity: 64,
+            link_queue_capacity: 16,
+            seed,
+            ..SwitchedConfig::default()
+        },
+    )
+}
+
+/// A lossy CM-5-flavoured network: packets are corrupted with
+/// probability `corruption_prob`, detected by CRC at the receiving NI
+/// and dropped (never repaired) — the "fault detection but not fault
+/// tolerance" feature of §2.2.
+pub fn cm5_lossy(nodes: usize, corruption_prob: f64, seed: u64) -> SwitchedNetwork<FatTree> {
+    SwitchedNetwork::new(
+        fat_tree_for(nodes),
+        SwitchedConfig {
+            strategy: RouteStrategy::Adaptive { candidates: 4 },
+            rx_queue_capacity: 64,
+            link_queue_capacity: 16,
+            fault: FaultConfig { corruption_prob },
+            seed,
+            ..SwitchedConfig::default()
+        },
+    )
+}
+
+/// A small mesh with tight buffers, for backpressure/overflow
+/// experiments.
+pub fn tight_mesh(w: usize, h: usize, seed: u64) -> SwitchedNetwork<Mesh2D> {
+    SwitchedNetwork::new(
+        Mesh2D::new(w, h),
+        SwitchedConfig {
+            link_queue_capacity: 2,
+            rx_queue_capacity: 2,
+            seed,
+            ..SwitchedConfig::default()
+        },
+    )
+}
+
+/// A Compressionless-Routing-like network (§4): in-order, reliable,
+/// flow-controlled in hardware.
+pub fn cr(nodes: usize, seed: u64) -> CrNetwork {
+    CrNetwork::new(CrConfig { seed, ..CrConfig::new(nodes) })
+}
+
+/// A Compressionless-Routing-like network whose links corrupt packets
+/// with probability `corruption_prob`; the hardware detects, kills and
+/// retransmits them invisibly to software.
+pub fn cr_lossy(nodes: usize, corruption_prob: f64, seed: u64) -> CrNetwork {
+    CrNetwork::new(CrConfig {
+        corruption_prob,
+        seed,
+        ..CrConfig::new(nodes)
+    })
+}
+
+/// The paper's measurement substrate for the finite-sequence tables:
+/// instant, reliable, in order.
+pub fn table_in_order(nodes: usize) -> ScriptedNetwork {
+    ScriptedNetwork::new(nodes, DeliveryScript::InOrder)
+}
+
+/// The paper's measurement substrate for the indefinite-sequence
+/// tables: instant and reliable, with exactly half of each stream's
+/// packets delivered out of order.
+pub fn table_half_ooo(nodes: usize) -> ScriptedNetwork {
+    ScriptedNetwork::new(nodes, DeliveryScript::AlternateSwap)
+}
+
+/// A flit-level wormhole torus with a single virtual channel — prone to
+/// genuine routing deadlock on wraparound cycles.
+pub fn wormhole_torus(w: usize, h: usize, seed: u64) -> WormholeNetwork<Torus2D> {
+    WormholeNetwork::new(
+        Torus2D::new(w, h),
+        WormholeConfig {
+            flit_buffer: 1,
+            seed,
+            ..WormholeConfig::default()
+        },
+    )
+}
+
+/// The same torus with two dateline-disciplined virtual channels —
+/// deadlock-free by construction.
+pub fn wormhole_torus_dateline(w: usize, h: usize, seed: u64) -> WormholeNetwork<Torus2D> {
+    WormholeNetwork::new(
+        Torus2D::new(w, h),
+        WormholeConfig {
+            flit_buffer: 1,
+            virtual_channels: 2,
+            discipline: VcDiscipline::Dateline,
+            seed,
+            ..WormholeConfig::default()
+        },
+    )
+}
+
+/// The same torus under Compressionless Routing: deadlocks are detected
+/// by the absence of compression relief and resolved by killing and
+/// retransmitting paths; corrupted worms retransmit; full receivers
+/// reject headers. High-level guarantees from low-level hardware.
+pub fn wormhole_torus_cr(w: usize, h: usize, corruption_prob: f64, seed: u64) -> WormholeNetwork<Torus2D> {
+    WormholeNetwork::new(
+        Torus2D::new(w, h),
+        WormholeConfig {
+            flit_buffer: 1,
+            corruption_prob,
+            cr: Some(CrMode::default()),
+            seed,
+            ..WormholeConfig::default()
+        },
+    )
+}
+
+fn fat_tree_for(nodes: usize) -> FatTree {
+    let mut levels = 1u32;
+    while 4usize.pow(levels) < nodes {
+        levels += 1;
+    }
+    FatTree::new(4, levels as usize, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timego_netsim::Network;
+
+    #[test]
+    fn fat_tree_sizing_covers_requested_nodes() {
+        assert_eq!(cm5_deterministic(2, 0).num_nodes(), 4);
+        assert_eq!(cm5_deterministic(16, 0).num_nodes(), 16);
+        assert_eq!(cm5_adaptive(17, 0).num_nodes(), 64);
+    }
+
+    #[test]
+    fn scenario_guarantees_are_as_advertised() {
+        assert!(!cm5_adaptive(4, 0).guarantees().reliable);
+        assert!(cr(4, 0).guarantees().in_order);
+        assert!(table_in_order(2).guarantees().reliable);
+        assert!(!table_half_ooo(2).guarantees().in_order);
+    }
+
+    #[test]
+    fn mesh_scenario_has_tight_buffers() {
+        let m = tight_mesh(2, 2, 1);
+        assert_eq!(m.config().rx_queue_capacity, 2);
+    }
+}

@@ -1,0 +1,48 @@
+//! Parameter sweeps behind the paper's tables and figures.
+
+/// The two message sizes every Table 2/3 block reports.
+pub const TABLE_MESSAGE_SIZES: [u64; 2] = [16, 1024];
+
+/// The packet-size axis of Figure 8 (right): 4–128 words.
+pub const FIGURE8_PACKET_SIZES: [u64; 6] = [4, 8, 16, 32, 64, 128];
+
+/// The message size Figure 8 (right) holds fixed.
+pub const FIGURE8_MESSAGE_WORDS: u64 = 1024;
+
+/// Acknowledgement periods for the group-acknowledgement ablation
+/// (§3.2's closing remark); `1` is the paper's per-packet default.
+pub const GROUP_ACK_PERIODS: [u64; 6] = [1, 2, 4, 8, 16, 64];
+
+/// A geometric message-size sweep from `lo` to `hi` (both inclusive if
+/// on the ×2 grid).
+pub fn message_sizes(lo: u64, hi: u64) -> Vec<u64> {
+    assert!(lo >= 1 && lo <= hi, "need 1 <= lo <= hi");
+    let mut v = Vec::new();
+    let mut w = lo;
+    while w <= hi {
+        v.push(w);
+        if w > hi / 2 {
+            break;
+        }
+        w *= 2;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_sweep() {
+        assert_eq!(message_sizes(16, 128), vec![16, 32, 64, 128]);
+        assert_eq!(message_sizes(5, 5), vec![5]);
+    }
+
+    #[test]
+    fn figure8_axis_is_the_papers() {
+        assert_eq!(FIGURE8_PACKET_SIZES[0], 4);
+        assert_eq!(*FIGURE8_PACKET_SIZES.last().unwrap(), 128);
+        assert_eq!(FIGURE8_MESSAGE_WORDS, 1024);
+    }
+}

@@ -1,0 +1,238 @@
+//! Property-based tests across the whole stack: for arbitrary message
+//! sizes, packet sizes, delivery scripts and fault seeds, the protocols
+//! must deliver data intact and the measured costs must equal the
+//! closed-form models.
+
+use proptest::prelude::*;
+
+use timego_am::{CmamConfig, Machine, StreamConfig};
+use timego_cost::analytic::{self, IndefiniteOpts, MsgShape};
+use timego_netsim::{DeliveryScript, Network, NodeId, ScriptedNetwork};
+use timego_ni::share;
+use timego_workloads::{payloads, scenarios};
+
+fn n(i: usize) -> NodeId {
+    NodeId::new(i)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn xfer_roundtrips_any_payload(words in 1usize..600, seed in 0u64..1000) {
+        let data = payloads::mixed(words, seed);
+        let mut m = Machine::new(share(scenarios::table_in_order(2)), 2, CmamConfig::default());
+        let out = m.xfer(n(0), n(1), &data).unwrap();
+        prop_assert_eq!(m.read_buffer(n(1), out.dst_buffer, words), data);
+    }
+
+    #[test]
+    fn xfer_cost_matches_model_for_any_shape(
+        words in 1u64..2000,
+        n_idx in 0usize..4,
+    ) {
+        let pkt = [4u64, 8, 16, 32][n_idx];
+        let (measured, _) = timego_am::measure_xfer(words as usize, pkt as usize);
+        let model = analytic::cmam_finite(MsgShape::for_message(words, pkt).unwrap());
+        prop_assert_eq!(measured, model);
+    }
+
+    #[test]
+    fn stream_cost_matches_model_for_any_shape(
+        words in 1u64..2000,
+        n_idx in 0usize..4,
+        ack_period in 1u64..10,
+    ) {
+        let pkt = [4u64, 8, 16, 32][n_idx];
+        let (measured, outcome) = timego_am::measure_stream(words as usize, pkt as usize, ack_period);
+        let shape = MsgShape::for_message(words, pkt).unwrap();
+        // The AlternateSwap script leaves a trailing packet in order
+        // when the packet count is odd: ooo = p/2 exactly, like the
+        // paper's assumption.
+        prop_assert_eq!(outcome.out_of_order, shape.packets() / 2);
+        let model = analytic::cmam_indefinite(
+            shape,
+            IndefiniteOpts { ooo_packets: shape.packets() / 2, ack_period },
+        );
+        prop_assert_eq!(measured, model);
+    }
+
+    #[test]
+    fn stream_delivers_in_order_under_any_window_shuffle(
+        words in 1usize..400,
+        window in 1usize..12,
+        seed in 0u64..500,
+    ) {
+        let data = payloads::mixed(words, seed);
+        let net = ScriptedNetwork::with_seed(2, DeliveryScript::WindowShuffle { window }, seed);
+        let mut m = Machine::new(share(net), 2, CmamConfig::default());
+        let id = m.open_stream(n(0), n(1), StreamConfig::default());
+        m.stream_send(id, &data).unwrap();
+        prop_assert_eq!(m.stream_received(id), data.as_slice());
+    }
+
+    #[test]
+    fn stream_survives_random_corruption(
+        words in 1usize..200,
+        prob in 0.0f64..0.08,
+        seed in 0u64..200,
+    ) {
+        let data = payloads::mixed(words, seed);
+        let mut m = Machine::new(
+            share(scenarios::cm5_lossy(4, prob, seed)),
+            4,
+            CmamConfig::default(),
+        );
+        let id = m.open_stream(
+            n(0),
+            n(1),
+            StreamConfig { rto_iterations: 128, ..StreamConfig::default() },
+        );
+        m.stream_send(id, &data).unwrap();
+        prop_assert_eq!(m.stream_received(id), data.as_slice());
+    }
+
+    #[test]
+    fn hl_protocols_roundtrip_over_cr(words in 1usize..400, seed in 0u64..200) {
+        let data = payloads::mixed(words, seed);
+        let mut m = Machine::new(share(scenarios::cr_lossy(2, 0.05, seed)), 2, CmamConfig::default());
+        let out = m.hl_xfer(n(0), n(1), &data).unwrap();
+        prop_assert_eq!(m.read_buffer(n(1), out.dst_buffer, words), data.clone());
+        let got = m.hl_stream_send(n(0), n(1), &data).unwrap();
+        prop_assert_eq!(got, data);
+    }
+
+    #[test]
+    fn switched_network_conserves_packets(
+        count in 1u32..150,
+        seed in 0u64..300,
+        adaptive in proptest::bool::ANY,
+    ) {
+        let mut net: Box<dyn Network> = if adaptive {
+            Box::new(scenarios::cm5_adaptive(16, seed))
+        } else {
+            Box::new(scenarios::cm5_deterministic(16, seed))
+        };
+        let mut sent = 0u32;
+        while sent < count {
+            let s = (sent as usize * 7) % 16;
+            let d = (s + 1 + (sent as usize * 3) % 15) % 16;
+            if net
+                .try_inject(timego_netsim::Packet::new(n(s), n(d), 1, sent, vec![sent; 4]))
+                .is_ok()
+            {
+                sent += 1;
+            }
+            net.advance(1);
+        }
+        prop_assert!(net.drain_extracting(1_000_000));
+        prop_assert_eq!(net.stats().delivered, u64::from(count));
+    }
+
+    #[test]
+    fn overhead_fraction_is_scale_free_for_streams(words_exp in 5u32..12) {
+        // §3.2: the overhead fraction is "independent of the total
+        // volume of data transmitted".
+        let words = 1u64 << words_exp;
+        let (c, _) = timego_am::measure_stream(words as usize, 4, 1);
+        prop_assert!((0.6..0.75).contains(&c.overhead_fraction()));
+    }
+
+    #[test]
+    fn costs_are_monotone_in_message_size(words in 1usize..1000) {
+        let (small, _) = timego_am::measure_xfer(words, 4);
+        let (big, _) = timego_am::measure_xfer(words + 64, 4);
+        prop_assert!(big.total() > small.total());
+    }
+
+    #[test]
+    fn wormhole_cr_conserves_and_orders_packets(
+        count in 1u32..60,
+        prob in 0.0f64..0.2,
+        seed in 0u64..200,
+    ) {
+        let mut net = scenarios::wormhole_torus_cr(4, 1, prob, seed);
+        let mut sent = 0u32;
+        let mut got = Vec::new();
+        let mut spins = 0u64;
+        while (sent < count || net.in_flight() > 0) && spins < 1_000_000 {
+            if sent < count
+                && net
+                    .try_inject(timego_netsim::Packet::new(n(0), n(2), 1, sent, vec![sent; 4]))
+                    .is_ok()
+            {
+                sent += 1;
+            }
+            net.advance(1);
+            spins += 1;
+            while let Some(p) = net.try_receive(n(2)) {
+                got.push(p.header());
+            }
+        }
+        prop_assert_eq!(got.len() as u32, count, "every packet arrives");
+        prop_assert!(got.windows(2).all(|w| w[0] < w[1]), "in order");
+    }
+
+    #[test]
+    fn allreduce_matches_scalar_sum(
+        exp in 1u32..4,
+        seed in 0u64..500,
+    ) {
+        let nodes = 1usize << exp;
+        let inputs = payloads::random(nodes, seed);
+        let expected: u32 = inputs.iter().fold(0u32, |a, b| a.wrapping_add(*b));
+        let mut m = Machine::new(share(scenarios::table_in_order(nodes)), nodes, CmamConfig::default());
+        let out = timego_workloads::apps::collectives::allreduce_sum(&mut m, &inputs).unwrap();
+        prop_assert!(out.iter().all(|&v| v == expected));
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_from_any_root(
+        nodes in 1usize..12,
+        root in 0usize..12,
+        seed in 0u64..100,
+    ) {
+        let root = root % nodes;
+        let value = {
+            let v = payloads::random(4, seed);
+            [v[0], v[1], v[2], v[3]]
+        };
+        let mut m = Machine::new(share(scenarios::table_in_order(nodes)), nodes, CmamConfig::default());
+        let seen =
+            timego_workloads::apps::collectives::broadcast(&mut m, n(root), value).unwrap();
+        prop_assert!(seen.iter().all(|v| *v == value));
+    }
+
+    #[test]
+    fn distributed_sort_always_sorts(
+        block in 1usize..40,
+        nodes_idx in 0usize..3,
+        seed in 0u64..500,
+    ) {
+        let nodes = [2usize, 4, 8][nodes_idx];
+        let data = payloads::random(block * nodes, seed);
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        let mut m = Machine::new(share(scenarios::table_in_order(nodes)), nodes, CmamConfig::default());
+        let out = timego_workloads::apps::sort::run(&mut m, &data).unwrap();
+        prop_assert_eq!(out.data, expected);
+    }
+
+    #[test]
+    fn halo_exchange_matches_reference(
+        block_exp in 2u32..5,
+        iters in 1usize..5,
+        seed in 0u64..300,
+    ) {
+        let nodes = 4usize;
+        let block = 1usize << block_exp; // 4..16 words per node
+        let data: Vec<u32> =
+            payloads::random(block * nodes, seed).iter().map(|w| w % 10_000).collect();
+        let mut m = Machine::new(share(scenarios::table_in_order(nodes)), nodes, CmamConfig::default());
+        let out = timego_workloads::apps::halo::run(&mut m, &data, iters, 2).unwrap();
+        prop_assert_eq!(
+            out.data,
+            timego_workloads::apps::halo::reference(&data, iters, nodes, 2)
+        );
+    }
+}

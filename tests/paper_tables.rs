@@ -1,0 +1,212 @@
+//! End-to-end assertions that the measured protocol executions
+//! reproduce every table and figure of the paper (experiment index
+//! E1–E7 in DESIGN.md).
+
+use timego_am::{
+    measure_hl_stream, measure_hl_xfer, measure_single_packet, measure_stream, measure_xfer,
+};
+use timego_cost::analytic::{self, IndefiniteOpts, MsgShape};
+use timego_cost::{Endpoint, Feature, FeatureCost};
+
+#[test]
+fn e1_table1_single_packet() {
+    let c = measure_single_packet();
+    assert_eq!(c.endpoint_total(Endpoint::Source), 20);
+    assert_eq!(c.endpoint_total(Endpoint::Destination), 27);
+    assert_eq!(c.total(), 47);
+    // "34 instructions are dedicated to accessing the NI": for us that
+    // is NI setup + write/read + status/latch accesses; the paper's
+    // boundary counts NI setup and check-status rows plus FIFO accesses
+    // (5 + 2 + 7 at the source, 3 + 12 at the destination).
+    let fine = analytic::single_packet_fine(Endpoint::Source);
+    let src_ni: u64 = fine
+        .iter()
+        .filter(|(f, _)| {
+            use timego_cost::Fine::*;
+            matches!(f, NiSetup | WriteNi | ReadNi | CheckStatus)
+        })
+        .map(|(_, n)| n)
+        .sum();
+    let fine = analytic::single_packet_fine(Endpoint::Destination);
+    let dst_ni: u64 = fine
+        .iter()
+        .filter(|(f, _)| {
+            use timego_cost::Fine::*;
+            matches!(f, NiSetup | WriteNi | ReadNi | CheckStatus)
+        })
+        .map(|(_, n)| n)
+        .sum();
+    assert_eq!(src_ni + dst_ni, 29);
+}
+
+#[test]
+fn e2_table2_finite_sequence() {
+    // 16 words: reconstructed block (DESIGN.md §3).
+    let (c, out) = measure_xfer(16, 4);
+    assert_eq!(out.packets, 4);
+    assert_eq!(c.endpoint_total(Endpoint::Source), 173);
+    assert_eq!(c.endpoint_total(Endpoint::Destination), 224);
+    assert_eq!(c.total(), 397);
+
+    // 1024 words: the paper's printed block, cell by cell.
+    let (c, out) = measure_xfer(1024, 4);
+    assert_eq!(out.packets, 256);
+    let expect = [
+        (Feature::Base, 5635, 4626),
+        (Feature::BufferMgmt, 47, 101),
+        (Feature::InOrder, 512, 769),
+        (Feature::FaultTol, 27, 20),
+    ];
+    for (f, s, d) in expect {
+        assert_eq!(c.get(Endpoint::Source, f).total(), s, "{f} source");
+        assert_eq!(c.get(Endpoint::Destination, f).total(), d, "{f} destination");
+    }
+    assert_eq!(c.total(), 11737);
+}
+
+#[test]
+fn e2_table2_indefinite_sequence() {
+    let (c, _) = measure_stream(16, 4, 1);
+    let expect = [
+        (Feature::Base, 80, 69),
+        (Feature::BufferMgmt, 0, 0),
+        (Feature::InOrder, 20, 116),
+        (Feature::FaultTol, 116, 80),
+    ];
+    for (f, s, d) in expect {
+        assert_eq!(c.get(Endpoint::Source, f).total(), s, "{f} source");
+        assert_eq!(c.get(Endpoint::Destination, f).total(), d, "{f} destination");
+    }
+    assert_eq!(c.total(), 481);
+
+    let (c, _) = measure_stream(1024, 4, 1);
+    assert_eq!(c.endpoint_total(Endpoint::Source), 13824);
+    assert_eq!(c.endpoint_total(Endpoint::Destination), 16141);
+    assert_eq!(c.total(), 29965);
+}
+
+#[test]
+fn e3_table3_class_breakdown() {
+    // The full (feature × class) matrix of the 1024-word blocks.
+    let (c, _) = measure_xfer(1024, 4);
+    assert_eq!(c.get(Endpoint::Source, Feature::Base), FeatureCost::new(3842, 513, 1280));
+    assert_eq!(c.get(Endpoint::Destination, Feature::Base), FeatureCost::new(3086, 515, 1025));
+    assert_eq!(c.get(Endpoint::Source, Feature::BufferMgmt), FeatureCost::new(36, 1, 10));
+    assert_eq!(c.get(Endpoint::Destination, Feature::BufferMgmt), FeatureCost::new(79, 12, 10));
+    assert_eq!(c.get(Endpoint::Source, Feature::InOrder), FeatureCost::new(512, 0, 0));
+    assert_eq!(c.get(Endpoint::Destination, Feature::InOrder), FeatureCost::new(769, 0, 0));
+    assert_eq!(c.get(Endpoint::Source, Feature::FaultTol), FeatureCost::new(22, 0, 5));
+    assert_eq!(c.get(Endpoint::Destination, Feature::FaultTol), FeatureCost::new(14, 1, 5));
+
+    let (c, _) = measure_stream(1024, 4, 1);
+    assert_eq!(c.get(Endpoint::Source, Feature::Base), FeatureCost::new(3584, 256, 1280));
+    assert_eq!(c.get(Endpoint::Destination, Feature::Base), FeatureCost::new(2572, 0, 1025));
+    assert_eq!(c.get(Endpoint::Source, Feature::InOrder), FeatureCost::new(512, 768, 0));
+    assert_eq!(c.get(Endpoint::Destination, Feature::InOrder), FeatureCost::new(4480, 2944, 0));
+    assert_eq!(c.get(Endpoint::Source, Feature::FaultTol), FeatureCost::new(5632, 512, 1280));
+    assert_eq!(c.get(Endpoint::Destination, Feature::FaultTol), FeatureCost::new(3584, 256, 1280));
+    // Printed column totals.
+    assert_eq!(c.endpoint_classes(Endpoint::Source), FeatureCost::new(9728, 1536, 2560));
+    assert_eq!(c.endpoint_classes(Endpoint::Destination), FeatureCost::new(10636, 3200, 2305));
+}
+
+#[test]
+fn e4_figure6_cmam_vs_hl() {
+    // HL costs equal the CMAM base costs; the indefinite-sequence
+    // reduction is ~70% at both message sizes.
+    for words in [16usize, 1024] {
+        let (cmam, _) = measure_stream(words, 4, 1);
+        let hl = measure_hl_stream(words, 4);
+        assert_eq!(hl.feature_total(Feature::Base), cmam.feature_total(Feature::Base));
+        assert_eq!(hl.overhead_total(), 0);
+        let reduction = 1.0 - hl.total() as f64 / cmam.total() as f64;
+        assert!((0.65..0.75).contains(&reduction), "indefinite {words}w: {reduction}");
+    }
+    // Finite sequence: big win for small messages, ~12% for large.
+    let (cmam16, _) = measure_xfer(16, 4);
+    let (hl16, _) = measure_hl_xfer(16, 4);
+    let r16 = 1.0 - hl16.total() as f64 / cmam16.total() as f64;
+    assert!(r16 > 0.3, "16w finite reduction {r16}");
+    let (cmam1024, _) = measure_xfer(1024, 4);
+    let (hl1024, _) = measure_hl_xfer(1024, 4);
+    let r1024 = 1.0 - hl1024.total() as f64 / cmam1024.total() as f64;
+    assert!((0.08..0.2).contains(&r1024), "1024w finite reduction {r1024}");
+    assert_eq!(measure_hl_stream(16, 4).total(), 149);
+    assert_eq!(measure_hl_stream(1024, 4).total(), 8717);
+}
+
+#[test]
+fn e5_figure8_left_simulation_matches_closed_forms() {
+    for n in [4u64, 8, 16, 32, 64, 128] {
+        let shape = MsgShape::for_message(1024, n).unwrap();
+        let (fin, _) = measure_xfer(1024, n as usize);
+        assert_eq!(fin, analytic::cmam_finite(shape), "finite n={n}");
+        let (ind, _) = measure_stream(1024, n as usize, 1);
+        assert_eq!(
+            ind,
+            analytic::cmam_indefinite(shape, IndefiniteOpts::paper(shape)),
+            "indefinite n={n}"
+        );
+    }
+}
+
+#[test]
+fn e6_figure8_right_overhead_vs_packet_size() {
+    let mut prev_ind = f64::INFINITY;
+    for n in [4usize, 8, 16, 32, 64, 128] {
+        let (fin, _) = measure_xfer(1024, n);
+        assert!(
+            (0.08..0.14).contains(&fin.overhead_fraction()),
+            "finite n={n}: {}",
+            fin.overhead_fraction()
+        );
+        let (ind, _) = measure_stream(1024, n, 1);
+        let frac = ind.overhead_fraction();
+        assert!(frac > 0.5, "indefinite n={n}: {frac}");
+        assert!(frac <= prev_ind);
+        prev_ind = frac;
+    }
+}
+
+#[test]
+fn e7_group_acks_keep_overhead_significant() {
+    let (per_packet, _) = measure_stream(1024, 4, 1);
+    let mut prev = per_packet.overhead_fraction();
+    assert!((0.65..0.75).contains(&prev));
+    for g in [2u64, 4, 8, 16, 64] {
+        let (c, out) = measure_stream(1024, 4, g);
+        let frac = c.overhead_fraction();
+        assert!(frac <= prev, "overhead must fall with ack period");
+        assert!(frac > 0.4, "…but remains significant (g={g}: {frac})");
+        assert_eq!(out.acks, 256u64.div_ceil(g));
+        prev = frac;
+    }
+}
+
+#[test]
+fn prose_claim_50_to_70_percent_overhead() {
+    // §3.3: overhead is 50–70% of total cost "in all situations except
+    // large finite-sequence multi-packet transfers".
+    let (fin16, _) = measure_xfer(16, 4);
+    assert!(fin16.overhead_fraction() > 0.5);
+    let (ind16, _) = measure_stream(16, 4, 1);
+    assert!((0.5..0.75).contains(&ind16.overhead_fraction()));
+    let (ind1024, _) = measure_stream(1024, 4, 1);
+    assert!((0.5..0.75).contains(&ind1024.overhead_fraction()));
+    // The exception:
+    let (fin1024, _) = measure_xfer(1024, 4);
+    assert!(fin1024.overhead_fraction() < 0.2);
+}
+
+#[test]
+fn conclusion_quote_16_word_cost_range() {
+    // "the cost of delivering a 16-word message is between 285 and 481
+    // instructions" — the upper end matches our indefinite measurement
+    // exactly; the lower end conflicts with the paper's own Table 3
+    // (see EXPERIMENTS.md), which our finite measurement reproduces.
+    let (ind, _) = measure_stream(16, 4, 1);
+    assert_eq!(ind.total(), 481);
+    let (fin, _) = measure_xfer(16, 4);
+    assert_eq!(fin.total(), 397);
+    assert!(fin.total() > 285 && fin.total() < 481);
+}
