@@ -1,254 +1,197 @@
-//! Criterion benches — one group per paper artifact, measuring the
-//! wall-clock cost of regenerating each table/figure's workload on the
-//! simulator (the instruction-count *results* are deterministic and
-//! asserted by the test suite; these benches track the simulator's own
-//! performance and print the measured paper metrics as they go).
+//! Wall-clock benches — one group per paper artifact, measuring the
+//! cost of regenerating each table/figure's workload on the simulator
+//! (the instruction-count *results* are deterministic and asserted by
+//! the test suite; these benches track the simulator's own
+//! performance).
+//!
+//! Dependency-free harness: each benchmark runs a warmup pass, then a
+//! fixed number of timed iterations, and reports min/mean per
+//! iteration. Run with `cargo bench -p timego-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use timego_am::{
     measure_hl_stream, measure_hl_xfer, measure_single_packet, measure_stream, measure_xfer,
-    CmamConfig, Machine, StreamConfig,
+    CmamConfig, Machine, RetryPolicy, StreamConfig,
 };
-use timego_netsim::{Network, NodeId, Packet};
+use timego_netsim::{FaultConfig, Network, NodeId, Packet};
 use timego_ni::share;
 use timego_workloads::{payloads, scenarios, sweeps};
 
-/// Table 1: one single-packet delivery.
-fn bench_single_packet(c: &mut Criterion) {
-    c.bench_function("table1/single_packet_delivery", |b| {
-        b.iter(|| black_box(measure_single_packet()))
-    });
+/// Time `f` over `iters` iterations (after one warmup) and print one
+/// aligned result line.
+fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    black_box(f()); // warmup
+    let mut min = u128::MAX;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let t = Instant::now();
+        black_box(f());
+        min = min.min(t.elapsed().as_nanos());
+    }
+    let mean = start.elapsed().as_nanos() / u128::from(iters);
+    println!("{name:<44} {iters:>5} iters   min {:>10}   mean {:>10}", ns(min), ns(mean));
 }
 
-/// Table 2/3: the four measured blocks.
-fn bench_multi_packet(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2");
+fn ns(v: u128) -> String {
+    if v >= 1_000_000 {
+        format!("{:.2} ms", v as f64 / 1e6)
+    } else if v >= 1_000 {
+        format!("{:.2} µs", v as f64 / 1e3)
+    } else {
+        format!("{v} ns")
+    }
+}
+
+fn n(i: usize) -> NodeId {
+    NodeId::new(i)
+}
+
+fn main() {
+    println!("== table1: single-packet delivery ==");
+    bench("table1/single_packet_delivery", 200, measure_single_packet);
+
+    println!("== table2/3: finite and indefinite sequences ==");
     for words in sweeps::TABLE_MESSAGE_SIZES {
-        g.bench_with_input(BenchmarkId::new("finite_sequence", words), &words, |b, &w| {
-            b.iter(|| black_box(measure_xfer(w as usize, 4)))
+        bench(&format!("table2/finite_sequence/{words}w"), 50, || {
+            measure_xfer(words as usize, 4)
         });
-        g.bench_with_input(
-            BenchmarkId::new("indefinite_sequence", words),
-            &words,
-            |b, &w| b.iter(|| black_box(measure_stream(w as usize, 4, 1))),
-        );
+        bench(&format!("table3/indefinite_sequence/{words}w"), 50, || {
+            measure_stream(words as usize, 4, 1)
+        });
     }
-    g.finish();
-}
 
-/// Figure 6: the high-level-network counterparts.
-fn bench_cmam_vs_hl(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figure6");
+    println!("== figure6: high-level-network counterparts ==");
     for words in sweeps::TABLE_MESSAGE_SIZES {
-        g.bench_with_input(BenchmarkId::new("hl_finite", words), &words, |b, &w| {
-            b.iter(|| black_box(measure_hl_xfer(w as usize, 4)))
+        bench(&format!("figure6/hl_finite/{words}w"), 50, || {
+            measure_hl_xfer(words as usize, 4)
         });
-        g.bench_with_input(BenchmarkId::new("hl_indefinite", words), &words, |b, &w| {
-            b.iter(|| black_box(measure_hl_stream(w as usize, 4)))
-        });
-    }
-    g.finish();
-}
-
-/// Figure 8: the packet-size sweep.
-fn bench_packet_size_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figure8");
-    g.sample_size(10);
-    for n in sweeps::FIGURE8_PACKET_SIZES {
-        g.bench_with_input(BenchmarkId::new("finite_1024w", n), &n, |b, &n| {
-            b.iter(|| black_box(measure_xfer(1024, n as usize)))
-        });
-        g.bench_with_input(BenchmarkId::new("indefinite_1024w", n), &n, |b, &n| {
-            b.iter(|| black_box(measure_stream(1024, n as usize, 1)))
+        bench(&format!("figure6/hl_indefinite/{words}w"), 50, || {
+            measure_hl_stream(words as usize, 4)
         });
     }
-    g.finish();
-}
 
-/// §3.2 ablation: group acknowledgements.
-fn bench_group_acks(c: &mut Criterion) {
-    let mut g = c.benchmark_group("group_acks");
-    g.sample_size(10);
+    println!("== figure8: packet-size sweep (1024 words) ==");
+    for pkt in sweeps::FIGURE8_PACKET_SIZES {
+        bench(&format!("figure8/finite_1024w/pkt{pkt}"), 10, || {
+            measure_xfer(1024, pkt as usize)
+        });
+        bench(&format!("figure8/indefinite_1024w/pkt{pkt}"), 10, || {
+            measure_stream(1024, pkt as usize, 1)
+        });
+    }
+
+    println!("== §3.2 ablation: group acknowledgements ==");
     for period in sweeps::GROUP_ACK_PERIODS {
-        g.bench_with_input(BenchmarkId::from_parameter(period), &period, |b, &p| {
-            b.iter(|| black_box(measure_stream(1024, 4, p)))
+        bench(&format!("group_acks/period{period}"), 10, || measure_stream(1024, 4, period));
+    }
+
+    println!("== ablation: ordering strategies (1024 words) ==");
+    bench("ordering/offsets_finite", 10, || measure_xfer(1024, 4));
+    bench("ordering/seqnums_indefinite", 10, || measure_stream(1024, 4, 1));
+
+    println!("== substrate throughput (500 packets) ==");
+    bench("substrate/fat_tree_adaptive", 10, || {
+        let mut net = scenarios::cm5_adaptive(64, 7);
+        let mut sent = 0u32;
+        while sent < 500 {
+            let s = (sent as usize * 5) % 64;
+            let d = (s + 17) % 64;
+            if net.try_inject(Packet::new(n(s), n(d), 1, sent, vec![0; 4])).is_ok() {
+                sent += 1;
+            }
+            net.advance(1);
+        }
+        net.drain(1_000_000);
+        net.stats().delivered
+    });
+    bench("substrate/cr", 10, || {
+        let mut net = scenarios::cr(64, 7);
+        let mut sent = 0u32;
+        while sent < 500 {
+            let s = (sent as usize * 5) % 64;
+            let d = (s + 17) % 64;
+            if net.try_inject(Packet::new(n(s), n(d), 1, sent, vec![0; 4])).is_ok() {
+                sent += 1;
+            }
+            net.advance(1);
+            let _ = net.try_receive(n(d));
+        }
+        net.drain(1_000_000);
+        net.stats().delivered
+    });
+
+    println!("== fault recovery (512 words, 2% loss) ==");
+    let data = payloads::mixed(512, 13);
+    bench("recovery/cmam_stream", 10, || {
+        let mut m =
+            Machine::new(share(scenarios::cm5_lossy(4, 0.02, 31)), 4, CmamConfig::default());
+        let id = m.open_stream(
+            n(0),
+            n(1),
+            StreamConfig { rto_iterations: 128, ..StreamConfig::default() },
+        );
+        m.stream_send(id, &data).expect("recovers");
+        m.stream_received(id).len()
+    });
+    bench("recovery/hl_stream", 10, || {
+        let mut m = Machine::new(share(scenarios::cr_lossy(2, 0.02, 31)), 2, CmamConfig::default());
+        m.hl_stream_send(n(0), n(1), &data).expect("hardware recovers").len()
+    });
+    bench("recovery/xfer_reliable_5pct_drop", 10, || {
+        let fault = FaultConfig { drop_prob: 0.05, ..FaultConfig::default() };
+        let mut m =
+            Machine::new(share(scenarios::cm5_chaos(4, fault, 31)), 4, CmamConfig::default());
+        let out = m.xfer_reliable(n(0), n(1), &data, &RetryPolicy::default()).expect("recovers");
+        out.data_retransmits
+    });
+    bench("recovery/rpc_retrying_5pct_drop", 10, || {
+        let fault = FaultConfig { drop_prob: 0.05, ..FaultConfig::default() };
+        let mut m =
+            Machine::new(share(scenarios::cm5_chaos(4, fault, 31)), 4, CmamConfig::default());
+        m.register_rpc_handler(n(1), 40, |_, msg| [msg.words[0] + 1, 0, 0, 0]);
+        let mut acc = 0u32;
+        for v in 0..16u32 {
+            acc += m
+                .rpc_call_retrying(n(0), n(1), 40, [v, 0, 0, 0], &RetryPolicy::default())
+                .expect("recovers")[0];
+        }
+        acc
+    });
+
+    println!("== application kernels ==");
+    {
+        use timego_workloads::apps::{collectives, halo, sort};
+        let halo_data: Vec<u32> = payloads::mixed(256, 3).iter().map(|w| w % 1000).collect();
+        bench("apps/halo_exchange_4n_256w_3iters", 10, || {
+            let mut m =
+                Machine::new(share(scenarios::table_in_order(4)), 4, CmamConfig::default());
+            halo::run(&mut m, &halo_data, 3, 2).expect("completes")
+        });
+        let sort_data = payloads::random(256, 11);
+        bench("apps/odd_even_sort_4n_256w", 10, || {
+            let mut m =
+                Machine::new(share(scenarios::table_in_order(4)), 4, CmamConfig::default());
+            sort::run(&mut m, &sort_data).expect("completes")
+        });
+        let inputs: Vec<u32> = (1..=8).collect();
+        bench("apps/allreduce_8n", 10, || {
+            let mut m =
+                Machine::new(share(scenarios::table_in_order(8)), 8, CmamConfig::default());
+            collectives::allreduce_sum(&mut m, &inputs).expect("completes")
         });
     }
-    g.finish();
-}
 
-/// Ablation: ordering strategies — offset-carrying packets (finite)
-/// versus sequence numbers + receiver buffering (indefinite), the
-/// design choice §3.2 calls out.
-fn bench_ordering_strategies(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ordering_strategies");
-    g.sample_size(10);
-    g.bench_function("offsets_finite_1024w", |b| {
-        b.iter(|| black_box(measure_xfer(1024, 4)))
+    println!("== wormhole: deadlock resolution under CR ==");
+    bench("wormhole/cr_resolves_torus_cycle", 10, || {
+        let mut net = scenarios::wormhole_torus_cr(4, 1, 0.0, 3);
+        for s in 0..4usize {
+            let d = (s + 2) % 4;
+            net.try_inject(Packet::new(n(s), n(d), 1, 0, vec![7; 8]))
+                .expect("first channels free");
+        }
+        assert!(net.drain_extracting(50_000));
+        net.kills()
     });
-    g.bench_function("seqnums_indefinite_1024w", |b| {
-        b.iter(|| black_box(measure_stream(1024, 4, 1)))
-    });
-    g.finish();
 }
-
-/// Simulator throughput: raw packet delivery on the switched fat tree
-/// and the CR substrate (wall-clock performance of the substrates
-/// themselves).
-fn bench_substrates(c: &mut Criterion) {
-    let mut g = c.benchmark_group("substrate_throughput");
-    g.sample_size(10);
-    g.bench_function("fat_tree_adaptive_500pkts", |b| {
-        b.iter(|| {
-            let mut net = scenarios::cm5_adaptive(64, 7);
-            let mut sent = 0u32;
-            while sent < 500 {
-                let s = (sent as usize * 5) % 64;
-                let d = (s + 17) % 64;
-                if net
-                    .try_inject(Packet::new(NodeId::new(s), NodeId::new(d), 1, sent, vec![0; 4]))
-                    .is_ok()
-                {
-                    sent += 1;
-                }
-                net.advance(1);
-            }
-            net.drain(1_000_000);
-            black_box(net.stats().delivered)
-        })
-    });
-    g.bench_function("cr_500pkts", |b| {
-        b.iter(|| {
-            let mut net = scenarios::cr(64, 7);
-            let mut sent = 0u32;
-            while sent < 500 {
-                let s = (sent as usize * 5) % 64;
-                let d = (s + 17) % 64;
-                if net
-                    .try_inject(Packet::new(NodeId::new(s), NodeId::new(d), 1, sent, vec![0; 4]))
-                    .is_ok()
-                {
-                    sent += 1;
-                }
-                net.advance(1);
-                let _ = net.try_receive(NodeId::new(d));
-            }
-            net.drain(1_000_000);
-            black_box(net.stats().delivered)
-        })
-    });
-    g.finish();
-}
-
-/// End-to-end: a reliable stream over a lossy network (fault-tolerance
-/// machinery really exercised) versus the same payload over lossy CR.
-fn bench_fault_recovery(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fault_recovery");
-    g.sample_size(10);
-    let data = payloads::mixed(512, 13);
-    g.bench_function("cmam_stream_2pct_loss", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(
-                share(scenarios::cm5_lossy(4, 0.02, 31)),
-                4,
-                CmamConfig::default(),
-            );
-            let id = m.open_stream(
-                NodeId::new(0),
-                NodeId::new(1),
-                StreamConfig { rto_iterations: 128, ..StreamConfig::default() },
-            );
-            m.stream_send(id, &data).expect("recovers");
-            black_box(m.stream_received(id).len())
-        })
-    });
-    g.bench_function("hl_stream_2pct_loss", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(share(scenarios::cr_lossy(2, 0.02, 31)), 2, CmamConfig::default());
-            let got = m
-                .hl_stream_send(NodeId::new(0), NodeId::new(1), &data)
-                .expect("hardware recovers");
-            black_box(got.len())
-        })
-    });
-    g.finish();
-}
-
-/// Application kernels over the public API (the workloads the paper's
-/// introduction motivates).
-fn bench_apps(c: &mut Criterion) {
-    use timego_workloads::apps::{collectives, halo, sort};
-    let mut g = c.benchmark_group("apps");
-    g.sample_size(10);
-    g.bench_function("halo_exchange_4n_256w_3iters", |b| {
-        let data: Vec<u32> = payloads::mixed(256, 3).iter().map(|w| w % 1000).collect();
-        b.iter(|| {
-            let mut m = Machine::new(
-                share(scenarios::table_in_order(4)),
-                4,
-                CmamConfig::default(),
-            );
-            black_box(halo::run(&mut m, &data, 3, 2).expect("completes"))
-        })
-    });
-    g.bench_function("odd_even_sort_4n_256w", |b| {
-        let data = payloads::random(256, 11);
-        b.iter(|| {
-            let mut m = Machine::new(
-                share(scenarios::table_in_order(4)),
-                4,
-                CmamConfig::default(),
-            );
-            black_box(sort::run(&mut m, &data).expect("completes"))
-        })
-    });
-    g.bench_function("allreduce_8n", |b| {
-        let inputs: Vec<u32> = (1..=8).collect();
-        b.iter(|| {
-            let mut m = Machine::new(
-                share(scenarios::table_in_order(8)),
-                8,
-                CmamConfig::default(),
-            );
-            black_box(collectives::allreduce_sum(&mut m, &inputs).expect("completes"))
-        })
-    });
-    g.finish();
-}
-
-/// Wormhole substrate: deadlock resolution cost under CR.
-fn bench_wormhole(c: &mut Criterion) {
-    use timego_netsim::{NodeId, Packet};
-    let mut g = c.benchmark_group("wormhole");
-    g.sample_size(10);
-    g.bench_function("cr_resolves_torus_cycle", |b| {
-        b.iter(|| {
-            let mut net = scenarios::wormhole_torus_cr(4, 1, 0.0, 3);
-            for s in 0..4usize {
-                let d = (s + 2) % 4;
-                net.try_inject(Packet::new(NodeId::new(s), NodeId::new(d), 1, 0, vec![7; 8]))
-                    .expect("first channels free");
-            }
-            assert!(net.drain_extracting(50_000));
-            black_box(net.kills())
-        })
-    });
-    g.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_single_packet,
-    bench_multi_packet,
-    bench_cmam_vs_hl,
-    bench_packet_size_sweep,
-    bench_group_acks,
-    bench_ordering_strategies,
-    bench_substrates,
-    bench_fault_recovery,
-    bench_apps,
-    bench_wormhole,
-);
-criterion_main!(benches);

@@ -374,8 +374,8 @@ pub fn latency() -> String {
     .unwrap();
     writeln!(
         out,
-        "{:<26} | {:>11} | {:>11} | {:>9} | {}",
-        "workload", "unpipelined", "pipelined", "software%", "breakeven hops"
+        "{:<26} | {:>11} | {:>11} | {:>9} | breakeven hops",
+        "workload", "unpipelined", "pipelined", "software%"
     )
     .unwrap();
     let single = timego_cost::analytic::single_packet();
@@ -559,7 +559,7 @@ pub fn substrate_demo() -> String {
             tick += 1;
             // Receiver extracts slowly: header rejects occur, nothing is
             // lost, and the rest of the machine stays live.
-            if tick % 3 == 0 && net.try_receive(NodeId::new(1)).is_some() {
+            if tick.is_multiple_of(3) && net.try_receive(NodeId::new(1)).is_some() {
                 got += 1;
             }
         }
@@ -856,8 +856,8 @@ pub fn segment_reuse() -> String {
     out.push_str("== Segment reuse: amortizing buffer management (16-word messages) ==\n\n");
     writeln!(
         out,
-        "{:>6} | {:>14} | {:>13} | {:>10} | {}",
-        "batch", "separate instr", "batched instr", "saved", "buffer mgmt share"
+        "{:>6} | {:>14} | {:>13} | {:>10} | buffer mgmt share",
+        "batch", "separate instr", "batched instr", "saved"
     )
     .unwrap();
     let msg: Vec<u32> = (0..16).collect();
@@ -918,8 +918,8 @@ pub fn tension() -> String {
     out.push_str("the receiver) are charged at CM-5 unit weights.\n\n");
     writeln!(
         out,
-        "{:>6} | {:>9} {:>6} | {:>9} {:>6} | {:>7} | {:>9} | {:>9} | {}",
-        "burst", "det lat", "dlvd", "ada lat", "dlvd", "ooo%", "lat saved", "sw added", "net effect"
+        "{:>6} | {:>9} {:>6} | {:>9} {:>6} | {:>7} | {:>9} | {:>9} | net effect",
+        "burst", "det lat", "dlvd", "ada lat", "dlvd", "ooo%", "lat saved", "sw added"
     )
     .unwrap();
 

@@ -107,10 +107,7 @@ impl Machine {
                     self.advance(1);
                     waited += 1;
                     if waited > max_wait {
-                        return Err(ProtocolError::Timeout {
-                            waiting_for: "batched xfer data injection",
-                            cycles: waited,
-                        });
+                        return Err(ProtocolError::timeout("batched xfer data injection", waited));
                     }
                 }
             }
@@ -123,10 +120,7 @@ impl Machine {
                     self.advance(1);
                     waited += 1;
                     if waited > max_wait {
-                        return Err(ProtocolError::Timeout {
-                            waiting_for: "batched xfer data packets",
-                            cycles: waited,
-                        });
+                        return Err(ProtocolError::timeout("batched xfer data packets", waited));
                     }
                 }
             }
@@ -140,7 +134,7 @@ impl Machine {
                 });
                 node.cpu.mem_store(xfer_recv::EXIT_STATE_MEM);
                 node.cpu.clone().with_feature(Feature::FaultTol, |_| {
-                    send_ctl_retrying(node, src, Tags::XFER_ACK, segment_id, max_wait)
+                    send_ctl_retrying(node, src, Tags::XFER_ACK, segment_id, [0; 4], max_wait)
                 })?;
             }
             {

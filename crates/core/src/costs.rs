@@ -133,6 +133,31 @@ pub(crate) mod stream_dst {
     pub const OOO_UNLINK_MEM: u64 = 6;
 }
 
+/// Recovery-path costs of the fault-tolerant protocol variants
+/// (`xfer_reliable`, retried RPC). Every constant here is charged to
+/// `Feature::FaultTol` and only ever on a faulted execution path: a
+/// clean run executes none of these, which is what the
+/// zero-cost-when-clean tests pin down.
+pub(crate) mod recovery {
+    /// Discard a stray packet (wrong tag / stale segment) at either
+    /// endpoint: tag compare + branch.
+    pub const STRAY_DISCARD_REG: u64 = 2;
+    /// Detect and discard a duplicate data packet: bitmap index compute,
+    /// test, branch, discard.
+    pub const DUP_DATA_REG: u64 = 4;
+    /// Scan the receive bitmap for the missing-packet set before sending
+    /// a NACK.
+    pub const GAP_SCAN_REG: u64 = 6;
+    /// Persist the NACK bookkeeping (last-nacked watermark).
+    pub const NACK_STATE_MEM: u64 = 1;
+    /// Re-arm the send loop for a selective retransmission: reload
+    /// pointers and counts for the missing range.
+    pub const RETRANSMIT_SETUP_REG: u64 = 4;
+    /// Duplicate-request lookup at the RPC callee: hash the
+    /// (caller, call-id) key and probe the reply cache.
+    pub const RPC_DEDUP_REG: u64 = 6;
+}
+
 /// High-level (CR substrate) finite-sequence receive: the specialized
 /// last-packet handler makes the per-message overhead 4 reg + 1 mem +
 /// 1 dev instead of CMAM's 14 reg + 3 mem + 1 dev; buffer management is

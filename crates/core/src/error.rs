@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use timego_netsim::Guarantees;
+use timego_netsim::{Guarantees, NodeId};
 
 /// Errors raised by protocol executions.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,6 +17,11 @@ pub enum ProtocolError {
         waiting_for: &'static str,
         /// Cycles waited.
         cycles: u64,
+        /// The node that was waiting, when known.
+        node: Option<NodeId>,
+        /// Recovery attempts made before giving up (`0` when no retry
+        /// policy was in effect).
+        attempts: u32,
     },
     /// A high-level protocol was started on a substrate that lacks the
     /// required hardware guarantees.
@@ -36,8 +41,15 @@ pub enum ProtocolError {
 impl fmt::Display for ProtocolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ProtocolError::Timeout { waiting_for, cycles } => {
-                write!(f, "timed out after {cycles} cycles waiting for {waiting_for}")
+            ProtocolError::Timeout { waiting_for, cycles, node, attempts } => {
+                write!(f, "timed out after {cycles} cycles waiting for {waiting_for}")?;
+                if let Some(n) = node {
+                    write!(f, " at node {}", n.index())?;
+                }
+                if *attempts > 0 {
+                    write!(f, " ({attempts} recovery attempts)")?;
+                }
+                Ok(())
             }
             ProtocolError::MissingGuarantees { have } => write!(
                 f,
@@ -52,6 +64,22 @@ impl fmt::Display for ProtocolError {
     }
 }
 
+impl ProtocolError {
+    /// A [`ProtocolError::Timeout`] with no retry context.
+    #[must_use]
+    pub fn timeout(waiting_for: &'static str, cycles: u64) -> Self {
+        ProtocolError::Timeout { waiting_for, cycles, node: None, attempts: 0 }
+    }
+
+    /// Would retrying the operation plausibly succeed? Timeouts are
+    /// transient (a packet was lost or delayed); everything else is a
+    /// configuration or usage error that retrying cannot fix.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ProtocolError::Timeout { .. })
+    }
+}
+
 impl Error for ProtocolError {}
 
 #[cfg(test)]
@@ -60,12 +88,36 @@ mod tests {
 
     #[test]
     fn display_mentions_details() {
-        let e = ProtocolError::Timeout { waiting_for: "ack", cycles: 99 };
+        let e = ProtocolError::timeout("ack", 99);
         assert!(e.to_string().contains("99"));
         assert!(e.to_string().contains("ack"));
+        assert!(!e.to_string().contains("node"), "no context, no clutter");
         let e = ProtocolError::MissingGuarantees { have: Guarantees::RAW };
         assert!(e.to_string().contains("in_order=false"));
         assert!(ProtocolError::BadTransfer("x".into()).to_string().contains("x"));
         assert!(ProtocolError::UnexpectedPacket { tag: 9 }.to_string().contains('9'));
+    }
+
+    #[test]
+    fn timeout_display_includes_retry_context() {
+        let e = ProtocolError::Timeout {
+            waiting_for: "xfer acknowledgement",
+            cycles: 512,
+            node: Some(NodeId::new(3)),
+            attempts: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("512"), "{s}");
+        assert!(s.contains("xfer acknowledgement"), "{s}");
+        assert!(s.contains("node 3"), "{s}");
+        assert!(s.contains("4 recovery attempts"), "{s}");
+    }
+
+    #[test]
+    fn only_timeouts_are_retryable() {
+        assert!(ProtocolError::timeout("x", 1).is_retryable());
+        assert!(!ProtocolError::MissingGuarantees { have: Guarantees::RAW }.is_retryable());
+        assert!(!ProtocolError::BadTransfer("x".into()).is_retryable());
+        assert!(!ProtocolError::UnexpectedPacket { tag: 1 }.is_retryable());
     }
 }

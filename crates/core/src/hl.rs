@@ -152,7 +152,7 @@ impl Machine {
                 waited += 1;
             }
             if waited > max_wait {
-                return Err(ProtocolError::Timeout { waiting_for: "hl transfer completion", cycles: waited });
+                return Err(ProtocolError::timeout("hl transfer completion", waited));
             }
         }
 
@@ -256,7 +256,7 @@ impl Machine {
                 self.advance(1);
                 waited += 1;
                 if waited > max_wait {
-                    return Err(ProtocolError::Timeout { waiting_for: "hl stream completion", cycles: waited });
+                    return Err(ProtocolError::timeout("hl stream completion", waited));
                 }
             }
         }

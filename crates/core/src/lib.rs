@@ -68,9 +68,11 @@ mod hl;
 mod interrupt;
 mod machine;
 mod measure;
+mod retry;
 mod rpc;
 mod stream;
 mod xfer;
+mod xfer_reliable;
 
 pub use am::{Am4Msg, PollOutcome};
 pub use dma::{cmam_finite_dma, measure_xfer_dma};
@@ -80,6 +82,8 @@ pub use machine::{CmamConfig, Machine, Tags};
 pub use measure::{
     measure_hl_stream, measure_hl_xfer, measure_single_packet, measure_stream, measure_xfer,
 };
+pub use retry::RetryPolicy;
 pub use rpc::{classify_poll, RpcEvent};
 pub use stream::{StreamConfig, StreamId, StreamOutcome};
 pub use xfer::XferOutcome;
+pub use xfer_reliable::ReliableOutcome;

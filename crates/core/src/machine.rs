@@ -36,6 +36,13 @@ impl Tags {
     pub const HL_DATA: u8 = 7;
     /// High-level-network stream: data packet.
     pub const HL_STREAM: u8 = 8;
+    /// Reliable finite-sequence transfer: selective retransmission
+    /// request (header = index of the first missing packet, payload =
+    /// missing-packet bitmap).
+    pub const XFER_NACK: u8 = 9;
+    /// Reliable finite-sequence transfer: acknowledgement probe (the
+    /// source suspects the final ack was lost and asks for a resend).
+    pub const XFER_PROBE: u8 = 10;
     /// RPC reply packets (highest tag, so a
     /// [`DualNetwork`](timego_netsim::DualNetwork) with this threshold
     /// routes every reply onto its second network — footnote 6).
@@ -108,7 +115,7 @@ impl Node {
         let mut waited = 0;
         while !self.ni.poll_status() {
             if waited >= max_cycles {
-                return Err(ProtocolError::Timeout { waiting_for: what, cycles: waited });
+                return Err(ProtocolError::timeout(what, waited));
             }
             self.ni.advance(1);
             waited += 1;
@@ -154,6 +161,10 @@ pub struct Machine {
     pub(crate) cfg: CmamConfig,
     pub(crate) streams: Vec<StreamState>,
     pub(crate) next_call_id: u64,
+    /// Replies already computed per (caller, call id), kept by the
+    /// callee so a retransmitted request is answered from cache instead
+    /// of re-running the handler (exactly-once execution under retry).
+    pub(crate) rpc_replies: HashMap<(NodeId, u32), [u32; 4]>,
 }
 
 impl Machine {
@@ -171,7 +182,7 @@ impl Machine {
             net.borrow().num_nodes()
         );
         assert!(
-            cfg.packet_words >= 2 && cfg.packet_words % 2 == 0,
+            cfg.packet_words >= 2 && cfg.packet_words.is_multiple_of(2),
             "packet_words must be even and at least 2"
         );
         let mut node_vec = Vec::with_capacity(nodes);
@@ -191,6 +202,7 @@ impl Machine {
             cfg,
             streams: Vec::new(),
             next_call_id: 0,
+            rpc_replies: HashMap::new(),
         }
     }
 
@@ -312,7 +324,7 @@ impl Machine {
                 return Ok(());
             }
             if waited >= max_wait {
-                return Err(ProtocolError::Timeout { waiting_for: "am4 injection", cycles: waited });
+                return Err(ProtocolError::timeout("am4 injection", waited));
             }
             node.ni.advance(1);
             waited += 1;

@@ -254,10 +254,7 @@ impl Machine {
             }
             total_iterations += 1;
             if total_iterations > max_iterations {
-                return Err(ProtocolError::Timeout {
-                    waiting_for: "stream completion",
-                    cycles: total_iterations,
-                });
+                return Err(ProtocolError::timeout("stream completion", total_iterations));
             }
         }
 
@@ -412,10 +409,7 @@ impl Machine {
             let mut waited = 0;
             while !node.send_ctl(srcn, Tags::STREAM_ACK, seq as u32, [0, 0, 0, 0]) {
                 if waited >= max_wait {
-                    return Err(ProtocolError::Timeout {
-                        waiting_for: "stream ack injection",
-                        cycles: waited,
-                    });
+                    return Err(ProtocolError::timeout("stream ack injection", waited));
                 }
                 node.ni.advance(1);
                 waited += 1;
@@ -437,10 +431,7 @@ impl Machine {
             let mut waited = 0;
             while !node.send_ctl(srcn, Tags::STREAM_ACK, below as u32, [1, 0, 0, 0]) {
                 if waited >= max_wait {
-                    return Err(ProtocolError::Timeout {
-                        waiting_for: "stream group-ack injection",
-                        cycles: waited,
-                    });
+                    return Err(ProtocolError::timeout("stream group-ack injection", waited));
                 }
                 node.ni.advance(1);
                 waited += 1;

@@ -135,7 +135,7 @@ impl Machine {
             let offset = k * n as u64;
             let mut waited = 0;
             loop {
-                let accepted = self.send_data_packet(src, dst, src_buf, offset, n, engine);
+                let accepted = self.send_data_packet(src, dst, src_buf, offset, n, engine, 0);
                 if accepted {
                     break;
                 }
@@ -145,7 +145,7 @@ impl Machine {
                 self.advance(1);
                 waited += 1;
                 if waited > max_wait {
-                    return Err(ProtocolError::Timeout { waiting_for: "xfer data injection", cycles: waited });
+                    return Err(ProtocolError::timeout("xfer data injection", waited));
                 }
             }
         }
@@ -159,7 +159,7 @@ impl Machine {
                 self.advance(1);
                 waited += 1;
                 if waited > max_wait {
-                    return Err(ProtocolError::Timeout { waiting_for: "xfer data packets", cycles: waited });
+                    return Err(ProtocolError::timeout("xfer data packets", waited));
                 }
             }
         }
@@ -178,7 +178,7 @@ impl Machine {
                 cpu.mem_store(segment::DISASSOCIATE_MEM);
             });
             node.cpu.clone().with_feature(Feature::FaultTol, |_| {
-                send_ctl_retrying(node, src, Tags::XFER_ACK, segment_id, max_wait)
+                send_ctl_retrying(node, src, Tags::XFER_ACK, segment_id, [0; 4], max_wait)
             })?;
         }
 
@@ -217,7 +217,7 @@ impl Machine {
         {
             let node = self.node_mut(src);
             node.cpu.clone().with_feature(Feature::BufferMgmt, |_| {
-                send_ctl_retrying(node, dst, Tags::XFER_REQ, words as u32, max_wait)
+                send_ctl_retrying(node, dst, Tags::XFER_REQ, words as u32, [0; 4], max_wait)
             })?;
         }
 
@@ -240,7 +240,7 @@ impl Machine {
                 node.cpu.reg(Fine::RegOp, segment::ASSOCIATE_REG);
                 node.cpu.mem_store(segment::ASSOCIATE_MEM);
                 let seg = (buffer.0 & 0xffff) as u32 ^ 0x5e60_0000;
-                send_ctl_retrying(node, src, Tags::XFER_REPLY, seg, max_wait)?;
+                send_ctl_retrying(node, src, Tags::XFER_REPLY, seg, [0; 4], max_wait)?;
                 Ok((seg, buffer))
             })?
         };
@@ -268,6 +268,11 @@ impl Machine {
     /// with the target offset in the header word, and commit. Returns
     /// `false` on backpressure (nothing delivered; caller re-issues and
     /// the costs are paid again, as on the real machine).
+    ///
+    /// `hdr_tag` is OR-ed into the header's high bits; the reliable
+    /// variant uses it to stamp a per-transfer nonce so stale duplicates
+    /// from an earlier transfer are recognizable (plain `xfer` passes 0).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn send_data_packet(
         &mut self,
         src: NodeId,
@@ -276,18 +281,26 @@ impl Machine {
         offset: u64,
         n: usize,
         engine: PayloadEngine,
+        hdr_tag: u32,
     ) -> bool {
         let node = self.node_mut(src);
-        // In-order delivery: increment and stage the buffer offset.
-        node.cpu.clone().with_feature(Feature::InOrder, |cpu| {
-            cpu.reg(Fine::RegOp, xfer_order::SRC_PER_PACKET);
-        });
+        // In-order delivery: increment and stage the buffer offset. When
+        // the caller already runs in a fault-tolerance scope (a selective
+        // retransmission), the bookkeeping is recovery work and stays
+        // attributed there.
+        if node.cpu.current_feature() == Feature::FaultTol {
+            node.cpu.reg(Fine::RegOp, xfer_order::SRC_PER_PACKET);
+        } else {
+            node.cpu.clone().with_feature(Feature::InOrder, |cpu| {
+                cpu.reg(Fine::RegOp, xfer_order::SRC_PER_PACKET);
+            });
+        }
         match engine {
             PayloadEngine::Cpu => {
                 node.cpu.ctrl(xfer_send::LOOP_CTRL);
                 node.cpu.reg(Fine::RegOp, xfer_send::PTR_ADVANCE);
                 node.cpu.reg(Fine::NiSetup, xfer_send::SETUP_REG);
-                node.ni.stage_envelope(dst, Tags::XFER_DATA, offset as u32);
+                node.ni.stage_envelope(dst, Tags::XFER_DATA, hdr_tag | offset as u32);
                 for d in 0..(n / 2) {
                     let (w0, w1) = node.mem.load2(buf.offset(offset as usize + 2 * d));
                     node.ni.push_payload2(w0, w1);
@@ -302,7 +315,7 @@ impl Machine {
                 node.cpu.ctrl(2);
                 node.cpu.reg(Fine::RegOp, 2);
                 node.cpu.reg(Fine::NiSetup, 2);
-                node.ni.stage_envelope(dst, Tags::XFER_DATA, offset as u32);
+                node.ni.stage_envelope(dst, Tags::XFER_DATA, hdr_tag | offset as u32);
                 node.ni.dma_stage_payload(&node.mem, buf.offset(offset as usize), n);
                 node.cpu.reg(Fine::CheckStatus, 2);
             }
@@ -345,12 +358,13 @@ pub(crate) fn send_ctl_retrying(
     dst: NodeId,
     tag: u8,
     header: u32,
+    words: [u32; 4],
     max_wait: u64,
 ) -> Result<(), ProtocolError> {
     let mut waited = 0;
-    while !node.send_ctl(dst, tag, header, [0; 4]) {
+    while !node.send_ctl(dst, tag, header, words) {
         if waited >= max_wait {
-            return Err(ProtocolError::Timeout { waiting_for: "control-packet injection", cycles: waited });
+            return Err(ProtocolError::timeout("control-packet injection", waited));
         }
         node.ni.advance(1);
         waited += 1;

@@ -62,7 +62,7 @@ impl MsgShape {
     ///
     /// Returns [`ShapeError`] if `n` is zero or odd, or `p` is zero.
     pub fn new(n: u64, p: u64) -> Result<Self, ShapeError> {
-        if n == 0 || n % 2 != 0 {
+        if n == 0 || !n.is_multiple_of(2) {
             return Err(ShapeError::BadPacketWords(n));
         }
         if p == 0 {
@@ -79,7 +79,7 @@ impl MsgShape {
     /// Returns [`ShapeError`] if `n` is zero or odd, or the message is
     /// empty.
     pub fn for_message(message_words: u64, n: u64) -> Result<Self, ShapeError> {
-        if n == 0 || n % 2 != 0 {
+        if n == 0 || !n.is_multiple_of(2) {
             return Err(ShapeError::BadPacketWords(n));
         }
         if message_words == 0 {

@@ -22,12 +22,10 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::id::{NodeId, PacketId};
 use crate::network::{Guarantees, InjectError, Network};
 use crate::packet::Packet;
+use crate::rng::SimRng;
 use crate::stats::NetStats;
 use crate::time::Time;
 
@@ -88,7 +86,7 @@ pub struct CrNetwork {
     pair_seq: HashMap<(NodeId, NodeId), u64>,
     in_flight: usize,
     stats: NetStats,
-    rng: StdRng,
+    rng: SimRng,
 }
 
 impl CrNetwork {
@@ -102,7 +100,7 @@ impl CrNetwork {
         assert!(cfg.pair_window >= 1, "pair window must be at least 1");
         assert!(cfg.rx_queue_capacity >= 1, "rx queue must hold at least 1 packet");
         let rx = (0..cfg.nodes).map(|_| VecDeque::new()).collect();
-        let rng = StdRng::seed_from_u64(cfg.seed);
+        let rng = SimRng::new(cfg.seed);
         CrNetwork {
             cfg,
             now: Time::ZERO,

@@ -78,6 +78,11 @@ impl<A: Network, B: Network> DualNetwork<A, B> {
         self.merged.dropped_corrupt = a.dropped_corrupt + b.dropped_corrupt;
         self.merged.hw_retransmits = a.hw_retransmits + b.hw_retransmits;
         self.merged.rejects = a.rejects + b.rejects;
+        self.merged.dropped_fault = a.dropped_fault + b.dropped_fault;
+        self.merged.duplicated = a.duplicated + b.duplicated;
+        self.merged.reordered = a.reordered + b.reordered;
+        self.merged.jitter_delayed = a.jitter_delayed + b.jitter_delayed;
+        self.merged.outage_drops = a.outage_drops + b.outage_drops;
     }
 }
 
@@ -181,11 +186,9 @@ mod tests {
         let mut stuck = 0;
         while stuck < 50 && (requests_sent[0] < rounds || requests_sent[1] < rounds) {
             let mut progressed = false;
-            for me in 0..2usize {
-                if requests_sent[me] < rounds
-                    && net.try_inject(pkt(me, 1 - me, 1, requests_sent[me])).is_ok()
-                {
-                    requests_sent[me] += 1;
+            for (me, sent) in requests_sent.iter_mut().enumerate() {
+                if *sent < rounds && net.try_inject(pkt(me, 1 - me, 1, *sent)).is_ok() {
+                    *sent += 1;
                     progressed = true;
                 }
             }

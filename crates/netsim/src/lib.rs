@@ -50,9 +50,11 @@
 
 mod cr;
 mod dual;
+mod fault;
 mod id;
 mod network;
 mod packet;
+pub mod rng;
 mod scripted;
 mod stats;
 mod switched;
@@ -63,12 +65,14 @@ mod wormhole;
 
 pub use cr::{CrConfig, CrNetwork};
 pub use dual::DualNetwork;
+pub use fault::{FaultConfig, FaultSchedule, OutageWindow};
 pub use id::{NodeId, PacketId};
 pub use network::{Guarantees, InjectError, Network};
 pub use packet::Packet;
+pub use rng::SimRng;
 pub use scripted::{DeliveryScript, ScriptedNetwork};
 pub use stats::{LatencyStats, NetStats, OrderTracker};
-pub use switched::{FaultConfig, RouteStrategy, SwappedContext, SwitchedConfig, SwitchedNetwork};
+pub use switched::{RouteStrategy, SwappedContext, SwitchedConfig, SwitchedNetwork};
 pub use time::Time;
 pub use topology::{FatTree, Hypercube, LinkId, Mesh2D, Topology, Torus2D};
 pub use trace::{TraceBuffer, TraceEvent, TraceKind};

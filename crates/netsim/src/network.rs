@@ -144,6 +144,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn guarantee_presets() {
         assert!(!Guarantees::RAW.in_order);
         assert!(Guarantees::HIGH_LEVEL.reliable);

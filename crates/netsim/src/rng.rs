@@ -1,0 +1,204 @@
+//! A small, self-contained deterministic PRNG.
+//!
+//! The simulator needs randomness for routing choices, fault schedules
+//! and workload generation, and it needs the streams to be
+//! bit-reproducible across platforms and builds (fault schedules are
+//! part of experiment identity). A seeded xoshiro256** generator with
+//! splitmix64 state expansion gives both without any external
+//! dependency.
+
+/// One splitmix64 step: maps any 64-bit value to a well-mixed 64-bit
+/// value. Used for seeding and for cheap stateless hashing (e.g.
+/// deterministic per-attempt retry jitter).
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256** generator seeded via splitmix64.
+///
+/// Identical seeds produce identical streams on every platform; the
+/// generator is `Clone`, so a schedule can be forked and replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Build a generator from a 64-bit seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut x = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *slot = z ^ (z >> 31);
+        }
+        SimRng { s }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform value in `0..bound` (`0` when `bound <= 1`). Uses
+    /// Lemire's multiply-shift reduction with rejection, so the result
+    /// is unbiased.
+    pub fn gen_index(&mut self, bound: usize) -> usize {
+        if bound <= 1 {
+            return 0;
+        }
+        let bound = bound as u64;
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(bound);
+            let lo = m as u64;
+            if lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as usize;
+            }
+            // Rejected to stay unbiased; draw again.
+        }
+    }
+
+    /// A uniform value in `0..=bound` (inclusive).
+    pub fn gen_inclusive(&mut self, bound: u64) -> u64 {
+        if bound == u64::MAX {
+            return self.next_u64();
+        }
+        self.gen_index((bound + 1) as usize) as u64
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // 53 high bits give a uniform double in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// A uniform `u32`.
+    pub fn gen_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn stream_is_pinned_across_builds() {
+        // Fault schedules are part of experiment identity: the first
+        // outputs for seed 0 must never change.
+        let mut r = SimRng::new(0);
+        assert_eq!(r.next_u64(), 11091344671253066420);
+        assert_eq!(r.next_u64(), 13793997310169335082);
+        assert_eq!(r.next_u64(), 1900383378846508768);
+    }
+
+    #[test]
+    fn gen_index_in_range_and_covers() {
+        let mut r = SimRng::new(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = r.gen_index(5);
+            assert!(v < 5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values hit: {seen:?}");
+        assert_eq!(r.gen_index(0), 0);
+        assert_eq!(r.gen_index(1), 0);
+    }
+
+    #[test]
+    fn gen_inclusive_hits_both_ends() {
+        let mut r = SimRng::new(9);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..300 {
+            match r.gen_inclusive(3) {
+                0 => lo = true,
+                3 => hi = true,
+                v => assert!(v <= 3),
+            }
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SimRng::new(11);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "{hits}");
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SimRng::new(13);
+        let mut v: Vec<u32> = (0..32).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        assert_ne!(v, (0..32).collect::<Vec<_>>(), "seed 13 moves something");
+    }
+
+    #[test]
+    fn splitmix_is_stateless_and_mixing() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+}

@@ -15,13 +15,10 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-
 use crate::id::{NodeId, PacketId};
 use crate::network::{Guarantees, InjectError, Network};
 use crate::packet::Packet;
+use crate::rng::SimRng;
 use crate::stats::NetStats;
 use crate::time::Time;
 
@@ -60,7 +57,7 @@ pub struct ScriptedNetwork {
     pair_seq: HashMap<(NodeId, NodeId), u64>,
     held_count: usize,
     stats: NetStats,
-    rng: StdRng,
+    rng: SimRng,
 }
 
 impl ScriptedNetwork {
@@ -95,7 +92,7 @@ impl ScriptedNetwork {
             pair_seq: HashMap::new(),
             held_count: 0,
             stats: NetStats::new(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::new(seed),
         }
     }
 
@@ -127,7 +124,7 @@ impl ScriptedNetwork {
                 &mut self.buffers.get_mut(&key).expect("key just listed").held,
             );
             if matches!(self.script, DeliveryScript::WindowShuffle { .. }) {
-                held.shuffle(&mut self.rng);
+                self.rng.shuffle(&mut held);
             }
             self.held_count -= held.len();
             for p in held {
@@ -175,7 +172,7 @@ impl Network for ScriptedNetwork {
         match self.script {
             DeliveryScript::InOrder => self.deliver(packet),
             DeliveryScript::AlternateSwap => {
-                if this_seq % 2 == 0 {
+                if this_seq.is_multiple_of(2) {
                     self.buffers.entry((src, dst)).or_default().held.push(packet);
                     self.held_count += 1;
                 } else {
@@ -193,7 +190,7 @@ impl Network for ScriptedNetwork {
                 self.held_count += 1;
                 if buf.held.len() >= window {
                     let mut held = std::mem::take(&mut buf.held);
-                    held.shuffle(&mut self.rng);
+                    self.rng.shuffle(&mut held);
                     self.held_count -= held.len();
                     for p in held {
                         self.deliver(p);

@@ -202,6 +202,19 @@ pub struct NetStats {
     /// Header rejections followed by automatic hardware retry (CR
     /// substrate end-to-end flow control).
     pub rejects: u64,
+    /// Packets silently lost by the fault plane (random drop).
+    pub dropped_fault: u64,
+    /// Packets delivered twice by the fault plane (link-level retry
+    /// duplication); each counts one extra delivery.
+    pub duplicated: u64,
+    /// Packets held back by the fault plane so later traffic overtakes
+    /// them (reorder bursts).
+    pub reordered: u64,
+    /// Packets given extra delivery delay by the fault plane.
+    pub jitter_delayed: u64,
+    /// Packets discarded because an endpoint was inside a scripted
+    /// outage window.
+    pub outage_drops: u64,
     /// Delivery-order accounting.
     pub order: OrderTracker,
     /// Injection→delivery latency.
@@ -235,7 +248,8 @@ impl fmt::Display for NetStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "injected {} delivered {} (ooo {:.1}%) backpressure {} corrupt-drops {} hw-retx {} rejects {} latency[{}]",
+            "injected {} delivered {} (ooo {:.1}%) backpressure {} corrupt-drops {} hw-retx {} rejects {} \
+             fault-drops {} dup {} reorder {} jitter {} outage-drops {} latency[{}]",
             self.injected,
             self.delivered,
             self.order.ooo_fraction() * 100.0,
@@ -243,6 +257,11 @@ impl fmt::Display for NetStats {
             self.dropped_corrupt,
             self.hw_retransmits,
             self.rejects,
+            self.dropped_fault,
+            self.duplicated,
+            self.reordered,
+            self.jitter_delayed,
+            self.outage_drops,
             self.latency
         )
     }

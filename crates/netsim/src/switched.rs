@@ -11,12 +11,11 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use crate::fault::{FaultConfig, FaultSchedule};
 use crate::id::{NodeId, PacketId};
 use crate::network::{Guarantees, InjectError, Network};
 use crate::packet::Packet;
+use crate::rng::SimRng;
 use crate::stats::NetStats;
 use crate::time::Time;
 use crate::topology::{rng_fn, LinkId, Topology};
@@ -42,21 +41,6 @@ pub enum RouteStrategy {
     },
 }
 
-/// Packet-fault injection parameters.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct FaultConfig {
-    /// Probability that an injected packet is corrupted in flight.
-    /// Detected by CRC at the receiving NI and discarded (the CM-5
-    /// provides detection, not correction).
-    pub corruption_prob: f64,
-}
-
-impl Default for FaultConfig {
-    fn default() -> Self {
-        FaultConfig { corruption_prob: 0.0 }
-    }
-}
-
 /// Configuration for [`SwitchedNetwork`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SwitchedConfig {
@@ -75,7 +59,8 @@ pub struct SwitchedConfig {
     /// routing), and a reason even deterministic routing cannot promise
     /// order on such hardware.
     pub virtual_channels: usize,
-    /// Fault injection.
+    /// Fault injection (see [`FaultConfig`]); executed by a
+    /// [`FaultSchedule`] seeded from `seed`.
     pub fault: FaultConfig,
     /// RNG seed (the simulation is fully deterministic given the seed).
     pub seed: u64,
@@ -102,6 +87,9 @@ struct Transit {
     hop: usize,
     vc: usize,
     ready_at: Time,
+    /// Fault-plane delay jitter still to be applied, consumed the first
+    /// time the packet reaches a queue head.
+    jitter: u64,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -158,7 +146,8 @@ pub struct SwitchedNetwork<T> {
     last_progress: Time,
     stats: NetStats,
     trace: Option<TraceBuffer>,
-    rng: StdRng,
+    rng: SimRng,
+    faults: FaultSchedule,
 }
 
 impl<T: Topology> SwitchedNetwork<T> {
@@ -177,7 +166,8 @@ impl<T: Topology> SwitchedNetwork<T> {
             .map(|_| Link::with_vcs(cfg.virtual_channels))
             .collect();
         let rx = (0..topo.num_nodes()).map(|_| VecDeque::new()).collect();
-        let rng = StdRng::seed_from_u64(cfg.seed);
+        let rng = SimRng::new(cfg.seed);
+        let faults = FaultSchedule::new(cfg.fault.clone(), cfg.seed);
         SwitchedNetwork {
             topo,
             cfg,
@@ -191,7 +181,13 @@ impl<T: Topology> SwitchedNetwork<T> {
             stats: NetStats::new(),
             trace: None,
             rng,
+            faults,
         }
+    }
+
+    /// The fault schedule driving this network's fault plane.
+    pub fn fault_schedule(&self) -> &FaultSchedule {
+        &self.faults
     }
 
     /// Start recording packet events into a ring of `capacity` entries
@@ -239,8 +235,7 @@ impl<T: Topology> SwitchedNetwork<T> {
     /// Reinjection bypasses link-queue capacity (the OS owns the
     /// buffers during the swap).
     pub fn swap_in(&mut self, mut context: SwappedContext) {
-        use rand::seq::SliceRandom;
-        context.transits.shuffle(&mut self.rng);
+        self.rng.shuffle(&mut context.transits);
         self.in_flight += context.transits.len();
         for mut transit in context.transits.drain(..) {
             let li = transit.path[transit.hop].index();
@@ -296,7 +291,7 @@ impl<T: Topology> SwitchedNetwork<T> {
                     let mut f = rng_fn(&mut self.rng);
                     self.topo.candidate_paths(src, dst, &mut f, candidates.max(1))
                 };
-                let pick = self.rng.gen_range(0..cands.len());
+                let pick = self.rng.gen_index(cands.len());
                 cands.swap_remove(pick)
             }
         }
@@ -322,6 +317,7 @@ impl<T: Topology> SwitchedNetwork<T> {
 
     fn step(&mut self) {
         self.now += 1;
+        self.release_due_holds();
         let vcs = self.cfg.virtual_channels;
         // Move at most one packet per physical link per cycle: the
         // round-robin scan over virtual-channel heads finds the first
@@ -389,7 +385,56 @@ impl<T: Topology> SwitchedNetwork<T> {
     fn wake_new_head(&mut self, li: usize, vc: usize) {
         if let Some(new_head) = self.links[li].queues[vc].front_mut() {
             if new_head.ready_at == Time::from_cycles(u64::MAX) {
-                new_head.ready_at = self.now + self.cfg.link_latency;
+                new_head.ready_at = self.now + self.cfg.link_latency + new_head.jitter;
+                new_head.jitter = 0;
+            }
+        }
+    }
+
+    /// Put one packet (already stamped and counted) onto the first hop
+    /// of a freshly chosen path. Returns `false` if the first-hop queue
+    /// is full.
+    fn enqueue_on_path(&mut self, packet: Packet, jitter: u64) -> bool {
+        let (src, dst) = (packet.src(), packet.dst());
+        let path = self.choose_path(src, dst);
+        let first = path[0].index();
+        let vc = if self.cfg.virtual_channels == 1 {
+            0
+        } else {
+            self.rng.gen_index(self.cfg.virtual_channels)
+        };
+        if self.links[first].queues[vc].len() >= self.cfg.link_queue_capacity {
+            return false;
+        }
+        let (ready_at, pending_jitter) = if self.links[first].queues[vc].is_empty() {
+            (self.now + self.cfg.link_latency + jitter, 0)
+        } else {
+            (Time::from_cycles(u64::MAX), jitter)
+        };
+        self.links[first].queues[vc].push_back(Transit {
+            packet,
+            path,
+            hop: 0,
+            vc,
+            ready_at,
+            jitter: pending_jitter,
+        });
+        true
+    }
+
+    /// Re-enter any reorder-held packets that are now due. They were
+    /// counted in `in_flight` when first accepted, so only the queue
+    /// entry happens here.
+    fn release_due_holds(&mut self) {
+        if self.faults.held_count() == 0 {
+            return;
+        }
+        let now = self.now;
+        for packet in self.faults.take_released(now) {
+            if self.enqueue_on_path(packet.clone(), 0) {
+                self.last_progress = now;
+            } else {
+                self.faults.hold_again(packet, now);
             }
         }
     }
@@ -437,13 +482,44 @@ impl<T: Topology> Network for SwitchedNetwork<T> {
             return Ok(());
         }
 
+        // The fault plane decides this packet's fate up front (its RNG
+        // stream is independent of the routing stream).
+        let faults = self.faults.on_inject(src, dst, self.now, &mut self.stats);
+
+        if faults.vanish {
+            // Lost outright (random drop or outage): software paid for
+            // a successful injection, the packet just never arrives.
+            // The pair sequence is *not* advanced — the order tracker
+            // only reasons about packets that can still be delivered.
+            self.stats.injected += 1;
+            self.record_trace(None, src, dst, TraceKind::Inject);
+            return Ok(());
+        }
+
+        if faults.hold {
+            // Reorder burst: park the packet so later traffic overtakes
+            // it. Held packets bypass the first-hop queue (they are,
+            // conceptually, stuck inside the fabric), so no
+            // backpressure applies.
+            let seq = self.pair_seq.entry((src, dst)).or_insert(0);
+            packet.stamp(PacketId::new(self.next_id), *seq, self.now);
+            self.next_id += 1;
+            *seq += 1;
+            self.stats.injected += 1;
+            self.in_flight += 1;
+            self.last_progress = self.now;
+            self.record_trace(Some(PacketId::new(self.next_id - 1)), src, dst, TraceKind::Inject);
+            self.faults.hold(packet, self.now);
+            return Ok(());
+        }
+
         let path = self.choose_path(src, dst);
         let first = path[0].index();
         // Hardware assigns the virtual channel; software has no say.
         let vc = if self.cfg.virtual_channels == 1 {
             0
         } else {
-            self.rng.gen_range(0..self.cfg.virtual_channels)
+            self.rng.gen_index(self.cfg.virtual_channels)
         };
         if self.links[first].queues[vc].len() >= self.cfg.link_queue_capacity {
             self.stats.backpressure += 1;
@@ -455,15 +531,14 @@ impl<T: Topology> Network for SwitchedNetwork<T> {
         packet.stamp(PacketId::new(self.next_id), *seq, self.now);
         self.next_id += 1;
         *seq += 1;
-        if self.cfg.fault.corruption_prob > 0.0
-            && self.rng.gen_bool(self.cfg.fault.corruption_prob)
-        {
+        let duplicate = faults.duplicate.then(|| packet.clone());
+        if faults.corrupt {
             packet.corrupt();
         }
-        let ready_at = if self.links[first].queues[vc].is_empty() {
-            self.now + self.cfg.link_latency
+        let (ready_at, jitter) = if self.links[first].queues[vc].is_empty() {
+            (self.now + self.cfg.link_latency + faults.extra_delay, 0)
         } else {
-            Time::from_cycles(u64::MAX)
+            (Time::from_cycles(u64::MAX), faults.extra_delay)
         };
         self.links[first].queues[vc].push_back(Transit {
             packet,
@@ -471,11 +546,30 @@ impl<T: Topology> Network for SwitchedNetwork<T> {
             hop: 0,
             vc,
             ready_at,
+            jitter,
         });
         self.in_flight += 1;
         self.stats.injected += 1;
         self.last_progress = self.now;
         self.record_trace(Some(PacketId::new(self.next_id - 1)), src, dst, TraceKind::Inject);
+
+        // Link-level retry duplication: a second, identical copy enters
+        // on its own (freshly routed) path with its own pair sequence,
+        // if the fabric has room for it.
+        if let Some(mut dup) = duplicate {
+            let next_seq = *self.pair_seq.get(&(src, dst)).expect("pair just stamped");
+            dup.stamp(PacketId::new(self.next_id), next_seq, self.now);
+            if self.enqueue_on_path(dup, 0) {
+                self.next_id += 1;
+                *self.pair_seq.get_mut(&(src, dst)).expect("pair just stamped") += 1;
+                self.in_flight += 1;
+                self.stats.duplicated += 1;
+            }
+        }
+
+        // Accepted traffic pushes reorder-held packets toward release.
+        self.faults.note_injection();
+        self.release_due_holds();
         Ok(())
     }
 
@@ -506,6 +600,7 @@ impl<T: Topology> Network for SwitchedNetwork<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::OutageWindow;
     use crate::topology::{FatTree, Mesh2D};
 
     fn n(i: usize) -> NodeId {
@@ -607,7 +702,7 @@ mod tests {
         let mut net = SwitchedNetwork::new(
             Mesh2D::new(4, 4),
             SwitchedConfig {
-                fault: FaultConfig { corruption_prob: 0.5 },
+                fault: FaultConfig { corruption_prob: 0.5, ..FaultConfig::default() },
                 rx_queue_capacity: 4096,
                 link_queue_capacity: 64,
                 seed: 7,
@@ -864,6 +959,136 @@ mod tests {
                 order.push(p.header());
             }
             order
+        };
+        assert_eq!(run(), run());
+    }
+
+    fn faulty_net(fault: FaultConfig, seed: u64) -> SwitchedNetwork<Mesh2D> {
+        SwitchedNetwork::new(
+            Mesh2D::new(4, 4),
+            SwitchedConfig {
+                fault,
+                rx_queue_capacity: 4096,
+                link_queue_capacity: 64,
+                seed,
+                ..SwitchedConfig::default()
+            },
+        )
+    }
+
+    fn pump(net: &mut SwitchedNetwork<Mesh2D>, count: u32) {
+        for s in 0..count {
+            while net.try_inject(pkt(0, 15, s)).is_err() {
+                net.advance(1);
+            }
+            net.advance(1);
+        }
+        assert!(net.drain(1_000_000));
+    }
+
+    #[test]
+    fn fault_plane_drops_packets_silently() {
+        let mut net = faulty_net(
+            FaultConfig { drop_prob: 0.3, ..FaultConfig::default() },
+            19,
+        );
+        pump(&mut net, 100);
+        let s = net.stats().clone();
+        assert!(s.dropped_fault > 10, "{s}");
+        assert_eq!(s.delivered + s.dropped_fault, 100, "{s}");
+        assert_eq!(drain_all(&mut net, n(15)).len() as u64, s.delivered);
+    }
+
+    #[test]
+    fn fault_plane_duplicates_packets() {
+        let mut net = faulty_net(
+            FaultConfig { duplicate_prob: 0.4, ..FaultConfig::default() },
+            23,
+        );
+        pump(&mut net, 100);
+        let s = net.stats();
+        assert!(s.duplicated > 10, "{s}");
+        assert_eq!(s.delivered, 100 + s.duplicated, "every copy arrives: {s}");
+        let got = drain_all(&mut net, n(15));
+        // Some header value must appear twice — software really does
+        // see the duplicate.
+        let mut seen = std::collections::HashMap::new();
+        for p in &got {
+            *seen.entry(p.header()).or_insert(0u32) += 1;
+        }
+        assert!(seen.values().any(|&c| c >= 2));
+    }
+
+    #[test]
+    fn fault_plane_reorders_deterministic_routing() {
+        let mut net = faulty_net(
+            FaultConfig { reorder_prob: 0.2, reorder_depth: 3, ..FaultConfig::default() },
+            31,
+        );
+        pump(&mut net, 100);
+        let s = net.stats();
+        assert_eq!(s.delivered, 100, "nothing lost: {s}");
+        assert!(s.reordered > 5, "{s}");
+        assert!(
+            s.order.out_of_order() > 0,
+            "held packets must be overtaken: {s}"
+        );
+    }
+
+    #[test]
+    fn fault_plane_jitter_delays_but_loses_nothing() {
+        let mut net = faulty_net(
+            FaultConfig { delay_jitter: 24, ..FaultConfig::default() },
+            37,
+        );
+        pump(&mut net, 50);
+        let s = net.stats();
+        assert_eq!(s.delivered, 50, "{s}");
+        assert!(s.jitter_delayed > 10, "{s}");
+    }
+
+    #[test]
+    fn outage_window_silences_traffic_then_recovers() {
+        let mut net = faulty_net(
+            FaultConfig {
+                outages: vec![OutageWindow { node: n(15), start: 0, end: 40 }],
+                ..FaultConfig::default()
+            },
+            41,
+        );
+        pump(&mut net, 60);
+        let s = net.stats();
+        assert!(s.outage_drops > 0, "{s}");
+        assert_eq!(s.delivered + s.outage_drops, 60, "{s}");
+        assert!(s.delivered > 0, "traffic resumes after the window: {s}");
+    }
+
+    #[test]
+    fn full_fault_mix_is_deterministic_per_seed() {
+        let run = || {
+            let mut net = faulty_net(
+                FaultConfig {
+                    corruption_prob: 0.05,
+                    drop_prob: 0.05,
+                    duplicate_prob: 0.1,
+                    delay_jitter: 8,
+                    reorder_prob: 0.1,
+                    reorder_depth: 4,
+                    outages: vec![OutageWindow { node: n(3), start: 5, end: 25 }],
+                },
+                77,
+            );
+            for s in 0..80u32 {
+                let d = if s % 4 == 0 { 3 } else { 15 };
+                while net.try_inject(pkt(0, d, s)).is_err() {
+                    net.advance(1);
+                }
+                net.advance(1);
+            }
+            assert!(net.drain(1_000_000));
+            let mut order: Vec<u32> = drain_all(&mut net, n(15)).iter().map(Packet::header).collect();
+            order.extend(drain_all(&mut net, n(3)).iter().map(Packet::header));
+            (order, format!("{}", net.stats()))
         };
         assert_eq!(run(), run());
     }

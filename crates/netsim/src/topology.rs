@@ -8,7 +8,7 @@
 //! from: a single canonical path per pair preserves order, multipath
 //! routing does not.
 
-use rand::Rng;
+use crate::rng::SimRng;
 
 use crate::id::NodeId;
 
@@ -55,17 +55,11 @@ pub trait Topology {
     fn diameter(&self) -> usize;
 }
 
-/// Sample helper: adapts an `rand::Rng` to the `FnMut(usize) -> usize`
+/// Sample helper: adapts a [`SimRng`] to the `FnMut(usize) -> usize`
 /// bound used by [`Topology::candidate_paths`] (returns a uniform value
 /// in `0..bound`).
-pub fn rng_fn<R: Rng>(rng: &mut R) -> impl FnMut(usize) -> usize + '_ {
-    move |bound| {
-        if bound <= 1 {
-            0
-        } else {
-            rng.gen_range(0..bound)
-        }
-    }
+pub fn rng_fn(rng: &mut SimRng) -> impl FnMut(usize) -> usize + '_ {
+    move |bound| rng.gen_index(bound)
 }
 
 // ---------------------------------------------------------------------
@@ -294,14 +288,14 @@ impl Mesh2D {
         let (dx, dy) = self.coords(dst);
         let mut m = Vec::new();
         if dx >= sx {
-            m.extend(std::iter::repeat(Move::XPlus).take(dx - sx));
+            m.extend(std::iter::repeat_n(Move::XPlus, dx - sx));
         } else {
-            m.extend(std::iter::repeat(Move::XMinus).take(sx - dx));
+            m.extend(std::iter::repeat_n(Move::XMinus, sx - dx));
         }
         if dy >= sy {
-            m.extend(std::iter::repeat(Move::YPlus).take(dy - sy));
+            m.extend(std::iter::repeat_n(Move::YPlus, dy - sy));
         } else {
-            m.extend(std::iter::repeat(Move::YMinus).take(sy - dy));
+            m.extend(std::iter::repeat_n(Move::YMinus, sy - dy));
         }
         m
     }
@@ -429,9 +423,9 @@ impl Torus2D {
         let fwd = (to + len - from) % len;
         let bwd = (from + len - to) % len;
         if fwd <= bwd {
-            std::iter::repeat(plus).take(fwd).collect()
+            std::iter::repeat_n(plus, fwd).collect()
         } else {
-            std::iter::repeat(minus).take(bwd).collect()
+            std::iter::repeat_n(minus, bwd).collect()
         }
     }
 
@@ -623,8 +617,6 @@ impl Topology for Hypercube {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn n(i: usize) -> NodeId {
         NodeId::new(i)
@@ -669,7 +661,7 @@ mod tests {
         let a = ft.canonical_path(n(5), n(60));
         let b = ft.canonical_path(n(5), n(60));
         assert_eq!(a, b);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::new(1);
         let mut f = rng_fn(&mut rng);
         let cands = ft.candidate_paths(n(5), n(60), &mut f, 8);
         assert_eq!(cands.len(), 8);
@@ -702,7 +694,7 @@ mod tests {
     #[test]
     fn mesh_candidates_are_minimal_interleavings() {
         let m = Mesh2D::new(4, 4);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SimRng::new(7);
         let mut f = rng_fn(&mut rng);
         let cands = m.candidate_paths(n(0), n(15), &mut f, 6);
         assert_eq!(cands.len(), 6);
@@ -738,7 +730,7 @@ mod tests {
     #[test]
     fn torus_candidates_valid() {
         let t = Torus2D::new(4, 4);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SimRng::new(3);
         let mut f = rng_fn(&mut rng);
         for c in t.candidate_paths(n(1), n(14), &mut f, 5) {
             path_links_valid(&t, &c);
@@ -771,7 +763,7 @@ mod tests {
     #[test]
     fn hypercube_candidates_are_minimal_and_varied() {
         let h = Hypercube::new(5);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SimRng::new(2);
         let mut f = rng_fn(&mut rng);
         let cands = h.candidate_paths(n(0), n(31), &mut f, 8);
         assert_eq!(cands.len(), 8);

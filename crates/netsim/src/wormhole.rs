@@ -26,15 +26,14 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use crate::fault::{FaultConfig, FaultSchedule};
 use crate::id::{NodeId, PacketId};
 use crate::network::{Guarantees, InjectError, Network};
 use crate::packet::Packet;
+use crate::rng::SimRng;
 use crate::stats::NetStats;
 use crate::time::Time;
-use crate::topology::{rng_fn, LinkId, Topology};
+use crate::topology::{LinkId, Topology};
 
 /// Virtual-channel assignment discipline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,10 +84,13 @@ pub struct WormholeConfig {
     pub discipline: VcDiscipline,
     /// Completed packets a node's receive queue holds.
     pub rx_queue_capacity: usize,
-    /// Probability a worm is corrupted in flight. Without CR the packet
-    /// is dropped at the receiving NI (detect-only); with CR the tail
-    /// acknowledgement fails and the source retransmits.
-    pub corruption_prob: f64,
+    /// Fault plane (see [`FaultConfig`]), executed by a seeded
+    /// [`FaultSchedule`]. Corruption: without CR the packet is dropped
+    /// at the receiving NI (detect-only); with CR the tail
+    /// acknowledgement fails and the source retransmits. Under CR the
+    /// duplicate/reorder faults are suppressed (the substrate's
+    /// in-order guarantee is part of its contract).
+    pub fault: FaultConfig,
     /// Compressionless Routing mode; `None` is a plain wormhole network.
     pub cr: Option<CrMode>,
     /// RNG seed.
@@ -102,7 +104,7 @@ impl Default for WormholeConfig {
             virtual_channels: 1,
             discipline: VcDiscipline::Single,
             rx_queue_capacity: 16,
-            corruption_prob: 0.0,
+            fault: FaultConfig::default(),
             cr: None,
             seed: 0xC0FFEE,
         }
@@ -161,7 +163,8 @@ pub struct WormholeNetwork<T> {
     last_progress: Time,
     stats: NetStats,
     kills: u64,
-    rng: StdRng,
+    rng: SimRng,
+    faults: FaultSchedule,
 }
 
 impl<T: Topology> WormholeNetwork<T> {
@@ -181,7 +184,8 @@ impl<T: Topology> WormholeNetwork<T> {
             );
         }
         let rx = (0..topo.num_nodes()).map(|_| Default::default()).collect();
-        let rng = StdRng::seed_from_u64(cfg.seed);
+        let rng = SimRng::new(cfg.seed);
+        let faults = FaultSchedule::new(cfg.fault.clone(), cfg.seed);
         WormholeNetwork {
             topo,
             cfg,
@@ -197,7 +201,13 @@ impl<T: Topology> WormholeNetwork<T> {
             stats: NetStats::new(),
             kills: 0,
             rng,
+            faults,
         }
+    }
+
+    /// The fault schedule driving this network's fault plane.
+    pub fn fault_schedule(&self) -> &FaultSchedule {
+        &self.faults
     }
 
     /// The active configuration.
@@ -230,7 +240,7 @@ impl<T: Topology> WormholeNetwork<T> {
     fn pick_vc(&mut self, path: &[LinkId], src: NodeId, dst: NodeId) -> usize {
         match self.cfg.discipline {
             VcDiscipline::Single => 0,
-            VcDiscipline::Random => self.rng.gen_range(0..self.cfg.virtual_channels),
+            VcDiscipline::Random => self.rng.gen_index(self.cfg.virtual_channels),
             VcDiscipline::Dateline => {
                 // Wrapping worms (canonical torus paths whose first link
                 // differs in direction class) ride VC 1. We approximate
@@ -247,8 +257,70 @@ impl<T: Topology> WormholeNetwork<T> {
         }
     }
 
+    /// Build a worm for `packet` if its injection channel is free.
+    /// `stamped` packets (re-entering from a reorder hold) keep their
+    /// sequence number; fresh ones are stamped here, after the channel
+    /// check, so a refused injection never consumes a sequence slot.
+    /// `delay` postpones the head's first allocation attempt
+    /// (fault-plane jitter). On refusal the packet is handed back.
+    fn spawn_worm(
+        &mut self,
+        mut packet: Packet,
+        stamped: bool,
+        corrupted: bool,
+        delay: u64,
+    ) -> Result<(), Packet> {
+        let (src, dst) = (packet.src(), packet.dst());
+        let path = self.topo.canonical_path(src, dst);
+        let vc = self.pick_vc(&path, src, dst);
+        // The injection port is the first channel: refuse if held.
+        let first = ChannelId { link: path[0], vc };
+        if self.owners.contains_key(&first) {
+            return Err(packet);
+        }
+        if !stamped {
+            let seq = self.pair_seq.entry((src, dst)).or_insert(0);
+            packet.stamp(PacketId::new(self.next_id), *seq, self.now);
+            self.next_id += 1;
+            *seq += 1;
+        }
+        let total_flits = self.flits_for(packet.len(), path.len());
+        let id = self.next_id;
+        self.next_id += 1;
+        let worm = Worm {
+            packet,
+            path,
+            vc,
+            head_idx: 0,
+            chain: Vec::new(),
+            at_source: total_flits,
+            delivered: 0,
+            total_flits,
+            blocked_since: None,
+            corrupted,
+            retries: 0,
+            retry_at: (delay > 0).then(|| self.now + delay),
+        };
+        self.worms.insert(id, worm);
+        self.order.push(id);
+        if self.cfg.cr.is_some() {
+            self.pair_active.insert((src, dst), id);
+        }
+        Ok(())
+    }
+
+    /// Re-inject packets whose reorder hold has expired.
+    fn release_due_holds(&mut self) {
+        for p in self.faults.take_released(self.now) {
+            if let Err(p) = self.spawn_worm(p, true, false, 0) {
+                self.faults.hold_again(p, self.now);
+            }
+        }
+    }
+
     fn step(&mut self) {
         self.now += 1;
+        self.release_due_holds();
         let ids: Vec<u64> = self.order.clone();
         for id in ids {
             self.step_worm(id);
@@ -279,8 +351,8 @@ impl<T: Topology> WormholeNetwork<T> {
                 link: worm.path[head_idx],
                 vc: worm.vc,
             };
-            if !self.owners.contains_key(&ch) {
-                self.owners.insert(ch, id);
+            if let std::collections::hash_map::Entry::Vacant(e) = self.owners.entry(ch) {
+                e.insert(id);
                 let w = self.worms.get_mut(&id).expect("exists");
                 w.chain.push((ch, 0));
                 w.head_idx += 1;
@@ -423,10 +495,10 @@ impl<T: Topology> WormholeNetwork<T> {
         // Jittered backoff: symmetric retries would re-create the same
         // cyclic allocation forever (livelock); randomization breaks the
         // symmetry, as in the CR paper's probabilistic progress argument.
-        let jitter = self.rng.gen_range(0..=cr.retry_backoff.max(1));
+        let jitter = self.rng.gen_inclusive(cr.retry_backoff.max(1));
         // A retransmission may be corrupted again, independently.
-        let corrupted_again =
-            self.cfg.corruption_prob > 0.0 && self.rng.gen_bool(self.cfg.corruption_prob);
+        let prob = self.cfg.fault.corruption_prob;
+        let corrupted_again = prob > 0.0 && self.rng.gen_bool(prob);
         let Some(w) = self.worms.get_mut(&id) else { return };
         let released: Vec<ChannelId> = w.chain.drain(..).map(|(ch, _)| ch).collect();
         w.head_idx = 0;
@@ -492,51 +564,42 @@ impl<T: Topology> Network for WormholeNetwork<T> {
             return Err(InjectError::Backpressure);
         }
 
-        let path = {
-            let mut f = rng_fn(&mut self.rng);
-            // Wormhole networks here route deterministically (the
-            // paper's CR substrate provides in-order delivery); the
-            // candidate machinery stays available via the topology.
-            let _ = &mut f;
-            self.topo.canonical_path(src, dst)
-        };
-        let vc = self.pick_vc(&path, src, dst);
-        // The injection port is the first channel: refuse if held.
-        let first = ChannelId { link: path[0], vc };
-        if self.owners.contains_key(&first) {
+        let faults = self.faults.on_inject(src, dst, self.now, &mut self.stats);
+        if faults.vanish {
+            // Lost before a worm ever forms. The packet was never
+            // stamped, so surviving per-pair sequence numbers stay
+            // contiguous for the order tracker.
+            self.stats.injected += 1;
+            return Ok(());
+        }
+        if faults.hold && self.cfg.cr.is_none() {
+            // Reorder burst: stamp now (the packet keeps its place in
+            // the pair sequence) but let later traffic overtake it.
+            // Suppressed under CR, whose contract is in-order delivery.
+            let seq = self.pair_seq.entry((src, dst)).or_insert(0);
+            packet.stamp(PacketId::new(self.next_id), *seq, self.now);
+            self.next_id += 1;
+            *seq += 1;
+            self.stats.injected += 1;
+            self.faults.hold(packet, self.now);
+            return Ok(());
+        }
+
+        let dup = (faults.duplicate && self.cfg.cr.is_none()).then(|| packet.clone());
+        if self.spawn_worm(packet, false, faults.corrupt, faults.extra_delay).is_err() {
             self.stats.backpressure += 1;
             return Err(InjectError::Backpressure);
         }
-
-        let seq = self.pair_seq.entry((src, dst)).or_insert(0);
-        packet.stamp(PacketId::new(self.next_id), *seq, self.now);
-        self.next_id += 1;
-        *seq += 1;
-        let corrupted =
-            self.cfg.corruption_prob > 0.0 && self.rng.gen_bool(self.cfg.corruption_prob);
-        let total_flits = self.flits_for(packet.len(), path.len());
-        let id = self.next_id;
-        self.next_id += 1;
-        let worm = Worm {
-            packet,
-            path,
-            vc,
-            head_idx: 0,
-            chain: Vec::new(),
-            at_source: total_flits,
-            delivered: 0,
-            total_flits,
-            blocked_since: None,
-            corrupted,
-            retries: 0,
-            retry_at: None,
-        };
-        self.worms.insert(id, worm);
-        self.order.push(id);
-        if self.cfg.cr.is_some() {
-            self.pair_active.insert((src, dst), id);
-        }
         self.stats.injected += 1;
+        if let Some(dup) = dup {
+            // Link-level retry ghost: a second worm carrying the same
+            // payload under the next sequence number.
+            if self.spawn_worm(dup, false, false, 0).is_ok() {
+                self.stats.duplicated += 1;
+            }
+        }
+        self.faults.note_injection();
+        self.release_due_holds();
         self.last_progress = self.now;
         Ok(())
     }
@@ -550,7 +613,7 @@ impl<T: Topology> Network for WormholeNetwork<T> {
     }
 
     fn in_flight(&self) -> usize {
-        self.worms.len()
+        self.worms.len() + self.faults.held_count()
     }
 
     fn stats(&self) -> &NetStats {
@@ -700,7 +763,7 @@ mod tests {
     #[test]
     fn cr_mode_retransmits_corrupted_worms() {
         let mut net = mesh(WormholeConfig {
-            corruption_prob: 0.3,
+            fault: FaultConfig { corruption_prob: 0.3, ..FaultConfig::default() },
             cr: Some(CrMode::default()),
             seed: 11,
             ..WormholeConfig::default()
@@ -726,7 +789,7 @@ mod tests {
     #[test]
     fn plain_mode_drops_corrupted_worms() {
         let mut net = mesh(WormholeConfig {
-            corruption_prob: 0.4,
+            fault: FaultConfig { corruption_prob: 0.4, ..FaultConfig::default() },
             seed: 3,
             // Room for every packet: nothing must block on the receive
             // queue while the source is still injecting.

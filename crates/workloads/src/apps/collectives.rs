@@ -21,10 +21,7 @@ fn deliver_all(m: &mut Machine, node: NodeId, expect: usize) -> Result<Vec<[u32;
                 m.advance(1);
                 spins += 1;
                 if spins > m.config().max_wait_cycles {
-                    return Err(ProtocolError::Timeout {
-                        waiting_for: "collective packet",
-                        cycles: spins,
-                    });
+                    return Err(ProtocolError::timeout("collective packet", spins));
                 }
             }
             _ => {}
@@ -97,9 +94,9 @@ pub fn allreduce_sum(m: &mut Machine, inputs: &[u32]) -> Result<Vec<u32>, Protoc
             }
         }
         let mut incoming = vec![0u32; n];
-        for node in 0..n {
+        for (node, slot) in incoming.iter_mut().enumerate() {
             let got = deliver_all(m, NodeId::new(node), 1)?;
-            incoming[node] = got[0][0];
+            *slot = got[0][0];
         }
         for node in 0..n {
             acc[node] = acc[node].wrapping_add(incoming[node]);

@@ -54,9 +54,9 @@ pub fn run(
     halo_width: usize,
 ) -> Result<HaloOutcome, ProtocolError> {
     let nodes = m.num_nodes();
-    assert!(halo_width >= 2 && halo_width % 2 == 0, "halo width must be even and ≥ 2");
+    assert!(halo_width >= 2 && halo_width.is_multiple_of(2), "halo width must be even and ≥ 2");
     assert!(
-        initial.len() % nodes == 0 && initial.len() / nodes >= halo_width,
+        initial.len().is_multiple_of(nodes) && initial.len() / nodes >= halo_width,
         "array must split evenly into blocks of at least one halo"
     );
     let block = initial.len() / nodes;

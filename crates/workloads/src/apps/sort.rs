@@ -33,7 +33,7 @@ pub struct SortOutcome {
 pub fn run(m: &mut Machine, data: &[u32]) -> Result<SortOutcome, ProtocolError> {
     let nodes = m.num_nodes();
     assert!(
-        data.len() % nodes == 0 && !data.is_empty(),
+        data.len().is_multiple_of(nodes) && !data.is_empty(),
         "array must split evenly across nodes"
     );
     let block = data.len() / nodes;

@@ -5,10 +5,7 @@
 //! classic patterns of the parallel-machine literature the paper's
 //! machines ran.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use timego_netsim::NodeId;
+use timego_netsim::{NodeId, SimRng};
 
 /// A communication pattern over `nodes` nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,9 +66,9 @@ impl Pattern {
                     .collect()
             }
             Pattern::RandomPermutation(seed) => {
-                let mut rng = StdRng::seed_from_u64(seed);
+                let mut rng = SimRng::new(seed);
                 let mut targets: Vec<usize> = (0..nodes).collect();
-                targets.shuffle(&mut rng);
+                rng.shuffle(&mut targets);
                 (0..nodes)
                     .map(|i| (id(i), id(targets[i])))
                     .filter(|(a, b)| a != b)
@@ -109,11 +106,11 @@ impl Pattern {
 /// uniformly random distinct pairs.
 pub fn random_pairs(nodes: usize, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
     assert!(nodes >= 2, "need at least two nodes for traffic");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SimRng::new(seed);
     (0..count)
         .map(|_| {
-            let s = rng.gen_range(0..nodes);
-            let mut d = rng.gen_range(0..nodes - 1);
+            let s = rng.gen_index(nodes);
+            let mut d = rng.gen_index(nodes - 1);
             if d >= s {
                 d += 1;
             }

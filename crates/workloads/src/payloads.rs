@@ -1,8 +1,7 @@
 //! Deterministic payload generators, so every experiment can verify
 //! end-to-end data integrity.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use timego_netsim::SimRng;
 
 /// A well-mixed deterministic pattern of `words` words; distinct seeds
 /// give distinct streams.
@@ -22,8 +21,8 @@ pub fn ramp(words: usize) -> Vec<u32> {
 
 /// Uniformly random words from a seeded generator.
 pub fn random(words: usize, seed: u64) -> Vec<u32> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..words).map(|_| rng.gen()).collect()
+    let mut rng = SimRng::new(seed);
+    (0..words).map(|_| rng.gen_u32()).collect()
 }
 
 #[cfg(test)]

@@ -36,19 +36,19 @@ pub fn run_fetch(net: &mut dyn Network, rounds: u32, reply_packets: u32) -> Fetc
     let mut stuck = 0;
     while stuck < 50 && (requests_sent[0] < rounds || requests_sent[1] < rounds) {
         let mut progressed = false;
-        for me in 0..2usize {
-            if requests_sent[me] < rounds
+        for (me, sent) in requests_sent.iter_mut().enumerate() {
+            if *sent < rounds
                 && net
                     .try_inject(Packet::new(
                         NodeId::new(me),
                         NodeId::new(1 - me),
                         REQUEST_TAG,
-                        requests_sent[me],
+                        *sent,
                         vec![0; 4],
                     ))
                     .is_ok()
             {
-                requests_sent[me] += 1;
+                *sent += 1;
                 progressed = true;
             }
         }

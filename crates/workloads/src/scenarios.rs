@@ -2,9 +2,9 @@
 //! benches.
 
 use timego_netsim::{
-    CrConfig, CrMode, CrNetwork, DeliveryScript, FatTree, FaultConfig, Mesh2D, RouteStrategy,
-    ScriptedNetwork, SwitchedConfig, SwitchedNetwork, Torus2D, VcDiscipline, WormholeConfig,
-    WormholeNetwork,
+    CrConfig, CrMode, CrNetwork, DeliveryScript, FatTree, FaultConfig, Mesh2D, NodeId,
+    OutageWindow, RouteStrategy, ScriptedNetwork, SwitchedConfig, SwitchedNetwork, Torus2D,
+    VcDiscipline, WormholeConfig, WormholeNetwork,
 };
 
 /// A CM-5-flavoured fat-tree network with deterministic routing:
@@ -48,7 +48,7 @@ pub fn cm5_lossy(nodes: usize, corruption_prob: f64, seed: u64) -> SwitchedNetwo
             strategy: RouteStrategy::Adaptive { candidates: 4 },
             rx_queue_capacity: 64,
             link_queue_capacity: 16,
-            fault: FaultConfig { corruption_prob },
+            fault: FaultConfig { corruption_prob, ..FaultConfig::default() },
             seed,
             ..SwitchedConfig::default()
         },
@@ -136,12 +136,69 @@ pub fn wormhole_torus_cr(w: usize, h: usize, corruption_prob: f64, seed: u64) ->
         Torus2D::new(w, h),
         WormholeConfig {
             flit_buffer: 1,
-            corruption_prob,
+            fault: FaultConfig { corruption_prob, ..FaultConfig::default() },
             cr: Some(CrMode::default()),
             seed,
             ..WormholeConfig::default()
         },
     )
+}
+
+/// A CM-5-flavoured adaptive network with an arbitrary fault mix — the
+/// chaos-soak substrate. All recovery must come from software.
+pub fn cm5_chaos(nodes: usize, fault: FaultConfig, seed: u64) -> SwitchedNetwork<FatTree> {
+    SwitchedNetwork::new(
+        fat_tree_for(nodes),
+        SwitchedConfig {
+            strategy: RouteStrategy::Adaptive { candidates: 4 },
+            rx_queue_capacity: 64,
+            link_queue_capacity: 16,
+            fault,
+            seed,
+            ..SwitchedConfig::default()
+        },
+    )
+}
+
+/// Named fault mixes for chaos experiments. Each stresses one recovery
+/// path of the software protocols; [`fault_mixes`] returns all of them.
+pub fn fault_mix(name: &str) -> FaultConfig {
+    match name {
+        "drop" => FaultConfig { drop_prob: 0.08, ..FaultConfig::default() },
+        "duplicate" => FaultConfig { duplicate_prob: 0.10, ..FaultConfig::default() },
+        "reorder" => FaultConfig {
+            reorder_prob: 0.15,
+            reorder_depth: 6,
+            delay_jitter: 12,
+            ..FaultConfig::default()
+        },
+        "outage" => FaultConfig {
+            drop_prob: 0.02,
+            outages: vec![
+                OutageWindow { node: NodeId::new(1), start: 120, end: 420 },
+                OutageWindow { node: NodeId::new(0), start: 900, end: 1_100 },
+            ],
+            ..FaultConfig::default()
+        },
+        "storm" => FaultConfig {
+            drop_prob: 0.05,
+            duplicate_prob: 0.05,
+            reorder_prob: 0.08,
+            reorder_depth: 4,
+            delay_jitter: 8,
+            corruption_prob: 0.03,
+            ..FaultConfig::default()
+        },
+        _ => panic!("unknown fault mix {name:?}"),
+    }
+}
+
+/// Every named fault mix, for sweeping.
+pub fn fault_mixes() -> Vec<(&'static str, FaultConfig)> {
+    ["drop", "duplicate", "reorder", "outage", "storm"]
+        .into_iter()
+        .map(|n| (n, fault_mix(n)))
+        .collect()
 }
 
 fn fat_tree_for(nodes: usize) -> FatTree {
