@@ -5,8 +5,10 @@
 //! performance).
 //!
 //! Dependency-free harness: each benchmark runs a warmup pass, then a
-//! fixed number of timed iterations, and reports min/mean per
-//! iteration. Run with `cargo bench -p timego-bench`.
+//! fixed number of timed iterations, and reports min/median/mean per
+//! iteration. Run with `cargo bench -p timego-bench`. The medians are
+//! also written to `BENCH_results.json` at the repository root
+//! (merged with the concurrency report's cycle counts).
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -15,23 +17,53 @@ use timego_am::{
     measure_hl_stream, measure_hl_xfer, measure_single_packet, measure_stream, measure_xfer,
     CmamConfig, Machine, RetryPolicy, StreamConfig,
 };
+use timego_bench::results::BenchResults;
 use timego_netsim::{FaultConfig, Network, NodeId, Packet};
 use timego_ni::share;
 use timego_workloads::{payloads, scenarios, sweeps};
 
-/// Time `f` over `iters` iterations (after one warmup) and print one
-/// aligned result line.
-fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
-    black_box(f()); // warmup
-    let mut min = u128::MAX;
-    let start = Instant::now();
-    for _ in 0..iters {
-        let t = Instant::now();
-        black_box(f());
-        min = min.min(t.elapsed().as_nanos());
+/// Harness state: prints one aligned line per benchmark and collects
+/// each median for the JSON emission at exit.
+struct Harness {
+    results: BenchResults,
+}
+
+impl Harness {
+    fn new() -> Self {
+        Harness { results: BenchResults::new("bench/") }
     }
-    let mean = start.elapsed().as_nanos() / u128::from(iters);
-    println!("{name:<44} {iters:>5} iters   min {:>10}   mean {:>10}", ns(min), ns(mean));
+
+    /// Time `f` over `iters` iterations (after one warmup), print one
+    /// aligned result line, and record the median.
+    fn bench<R>(&mut self, name: &str, iters: u32, mut f: impl FnMut() -> R) {
+        black_box(f()); // warmup
+        let mut samples = Vec::with_capacity(iters as usize);
+        let start = Instant::now();
+        for _ in 0..iters {
+            let t = Instant::now();
+            black_box(f());
+            samples.push(t.elapsed().as_nanos());
+        }
+        let mean = start.elapsed().as_nanos() / u128::from(iters);
+        samples.sort_unstable();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        println!(
+            "{name:<44} {iters:>5} iters   min {:>10}   median {:>10}   mean {:>10}",
+            ns(min),
+            ns(median),
+            ns(mean)
+        );
+        self.results.record_wall(name, median);
+    }
+
+    fn finish(&self) {
+        let path = BenchResults::default_path();
+        match self.results.write_merged(&path) {
+            Ok(n) => println!("\nwrote {n} entries to {}", path.display()),
+            Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+        }
+    }
 }
 
 fn ns(v: u128) -> String {
@@ -49,50 +81,51 @@ fn n(i: usize) -> NodeId {
 }
 
 fn main() {
+    let mut h = Harness::new();
     println!("== table1: single-packet delivery ==");
-    bench("table1/single_packet_delivery", 200, measure_single_packet);
+    h.bench("table1/single_packet_delivery", 200, measure_single_packet);
 
     println!("== table2/3: finite and indefinite sequences ==");
     for words in sweeps::TABLE_MESSAGE_SIZES {
-        bench(&format!("table2/finite_sequence/{words}w"), 50, || {
+        h.bench(&format!("table2/finite_sequence/{words}w"), 50, || {
             measure_xfer(words as usize, 4)
         });
-        bench(&format!("table3/indefinite_sequence/{words}w"), 50, || {
+        h.bench(&format!("table3/indefinite_sequence/{words}w"), 50, || {
             measure_stream(words as usize, 4, 1)
         });
     }
 
     println!("== figure6: high-level-network counterparts ==");
     for words in sweeps::TABLE_MESSAGE_SIZES {
-        bench(&format!("figure6/hl_finite/{words}w"), 50, || {
+        h.bench(&format!("figure6/hl_finite/{words}w"), 50, || {
             measure_hl_xfer(words as usize, 4)
         });
-        bench(&format!("figure6/hl_indefinite/{words}w"), 50, || {
+        h.bench(&format!("figure6/hl_indefinite/{words}w"), 50, || {
             measure_hl_stream(words as usize, 4)
         });
     }
 
     println!("== figure8: packet-size sweep (1024 words) ==");
     for pkt in sweeps::FIGURE8_PACKET_SIZES {
-        bench(&format!("figure8/finite_1024w/pkt{pkt}"), 10, || {
+        h.bench(&format!("figure8/finite_1024w/pkt{pkt}"), 10, || {
             measure_xfer(1024, pkt as usize)
         });
-        bench(&format!("figure8/indefinite_1024w/pkt{pkt}"), 10, || {
+        h.bench(&format!("figure8/indefinite_1024w/pkt{pkt}"), 10, || {
             measure_stream(1024, pkt as usize, 1)
         });
     }
 
     println!("== §3.2 ablation: group acknowledgements ==");
     for period in sweeps::GROUP_ACK_PERIODS {
-        bench(&format!("group_acks/period{period}"), 10, || measure_stream(1024, 4, period));
+        h.bench(&format!("group_acks/period{period}"), 10, || measure_stream(1024, 4, period));
     }
 
     println!("== ablation: ordering strategies (1024 words) ==");
-    bench("ordering/offsets_finite", 10, || measure_xfer(1024, 4));
-    bench("ordering/seqnums_indefinite", 10, || measure_stream(1024, 4, 1));
+    h.bench("ordering/offsets_finite", 10, || measure_xfer(1024, 4));
+    h.bench("ordering/seqnums_indefinite", 10, || measure_stream(1024, 4, 1));
 
     println!("== substrate throughput (500 packets) ==");
-    bench("substrate/fat_tree_adaptive", 10, || {
+    h.bench("substrate/fat_tree_adaptive", 10, || {
         let mut net = scenarios::cm5_adaptive(64, 7);
         let mut sent = 0u32;
         while sent < 500 {
@@ -106,7 +139,7 @@ fn main() {
         net.drain(1_000_000);
         net.stats().delivered
     });
-    bench("substrate/cr", 10, || {
+    h.bench("substrate/cr", 10, || {
         let mut net = scenarios::cr(64, 7);
         let mut sent = 0u32;
         while sent < 500 {
@@ -124,7 +157,7 @@ fn main() {
 
     println!("== fault recovery (512 words, 2% loss) ==");
     let data = payloads::mixed(512, 13);
-    bench("recovery/cmam_stream", 10, || {
+    h.bench("recovery/cmam_stream", 10, || {
         let mut m =
             Machine::new(share(scenarios::cm5_lossy(4, 0.02, 31)), 4, CmamConfig::default());
         let id = m.open_stream(
@@ -135,18 +168,18 @@ fn main() {
         m.stream_send(id, &data).expect("recovers");
         m.stream_received(id).len()
     });
-    bench("recovery/hl_stream", 10, || {
+    h.bench("recovery/hl_stream", 10, || {
         let mut m = Machine::new(share(scenarios::cr_lossy(2, 0.02, 31)), 2, CmamConfig::default());
         m.hl_stream_send(n(0), n(1), &data).expect("hardware recovers").len()
     });
-    bench("recovery/xfer_reliable_5pct_drop", 10, || {
+    h.bench("recovery/xfer_reliable_5pct_drop", 10, || {
         let fault = FaultConfig { drop_prob: 0.05, ..FaultConfig::default() };
         let mut m =
             Machine::new(share(scenarios::cm5_chaos(4, fault, 31)), 4, CmamConfig::default());
         let out = m.xfer_reliable(n(0), n(1), &data, &RetryPolicy::default()).expect("recovers");
         out.data_retransmits
     });
-    bench("recovery/rpc_retrying_5pct_drop", 10, || {
+    h.bench("recovery/rpc_retrying_5pct_drop", 10, || {
         let fault = FaultConfig { drop_prob: 0.05, ..FaultConfig::default() };
         let mut m =
             Machine::new(share(scenarios::cm5_chaos(4, fault, 31)), 4, CmamConfig::default());
@@ -164,19 +197,19 @@ fn main() {
     {
         use timego_workloads::apps::{collectives, halo, sort};
         let halo_data: Vec<u32> = payloads::mixed(256, 3).iter().map(|w| w % 1000).collect();
-        bench("apps/halo_exchange_4n_256w_3iters", 10, || {
+        h.bench("apps/halo_exchange_4n_256w_3iters", 10, || {
             let mut m =
                 Machine::new(share(scenarios::table_in_order(4)), 4, CmamConfig::default());
             halo::run(&mut m, &halo_data, 3, 2).expect("completes")
         });
         let sort_data = payloads::random(256, 11);
-        bench("apps/odd_even_sort_4n_256w", 10, || {
+        h.bench("apps/odd_even_sort_4n_256w", 10, || {
             let mut m =
                 Machine::new(share(scenarios::table_in_order(4)), 4, CmamConfig::default());
             sort::run(&mut m, &sort_data).expect("completes")
         });
         let inputs: Vec<u32> = (1..=8).collect();
-        bench("apps/allreduce_8n", 10, || {
+        h.bench("apps/allreduce_8n", 10, || {
             let mut m =
                 Machine::new(share(scenarios::table_in_order(8)), 8, CmamConfig::default());
             collectives::allreduce_sum(&mut m, &inputs).expect("completes")
@@ -184,7 +217,7 @@ fn main() {
     }
 
     println!("== wormhole: deadlock resolution under CR ==");
-    bench("wormhole/cr_resolves_torus_cycle", 10, || {
+    h.bench("wormhole/cr_resolves_torus_cycle", 10, || {
         let mut net = scenarios::wormhole_torus_cr(4, 1, 0.0, 3);
         for s in 0..4usize {
             let d = (s + 2) % 4;
@@ -194,4 +227,6 @@ fn main() {
         assert!(net.drain_extracting(50_000));
         net.kills()
     });
+
+    h.finish();
 }

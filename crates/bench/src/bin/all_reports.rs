@@ -17,6 +17,7 @@ fn main() {
         reports::segment_reuse(),
         reports::latency(),
         reports::tension(),
+        reports::concurrency(),
         reports::substrate_demo(),
     ] {
         println!("{report}");

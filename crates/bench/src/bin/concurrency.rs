@@ -1,0 +1,22 @@
+//! Engine concurrency report: throughput and per-feature cost vs the
+//! number of transfers interleaved through one engine run. Also emits
+//! the deterministic cycle counts into `BENCH_results.json`.
+
+use timego_bench::{reports, results::BenchResults};
+
+fn main() {
+    let rows = reports::concurrency_rows();
+    print!("{}", reports::concurrency());
+
+    let mut res = BenchResults::new("concurrency/");
+    for r in &rows {
+        res.record_cycles(&format!("k{}/serial_cycles", r.k), r.serial_cycles);
+        res.record_cycles(&format!("k{}/engine_cycles", r.k), r.engine_cycles);
+        res.record_cycles(&format!("k{}/instr_total", r.k), r.instr_engine);
+    }
+    let path = BenchResults::default_path();
+    match res.write_merged(&path) {
+        Ok(n) => println!("\nwrote {n} entries to {}", path.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
+}

@@ -1,0 +1,5 @@
+//! Engine concurrency study as CSV, for plotting.
+
+fn main() {
+    print!("{}", timego_bench::reports::concurrency_csv());
+}

@@ -1,0 +1,185 @@
+//! Machine-readable benchmark results: `BENCH_results.json`.
+//!
+//! Both emitters — the wall-clock bench harness (`benches/paper_benches`)
+//! and the concurrency report binary — funnel through this module, so
+//! the file accumulates entries from either without clobbering the
+//! other's. The format is deliberately line-oriented, one entry per
+//! line, which lets the merge logic stay a prefix filter instead of a
+//! JSON parser (the repo is dependency-free by policy; see `DESIGN.md
+//! §8`).
+//!
+//! ```json
+//! {
+//!   "table1/single_packet_delivery": {"median_ns": 1234},
+//!   "concurrency/k8/engine_cycles": {"cycles": 5678}
+//! }
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One named result: a wall-clock median or a derived cycle count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Metric {
+    /// Median wall time per iteration, in nanoseconds.
+    MedianNs(u128),
+    /// A deterministic simulated-cycle (or instruction) count.
+    Cycles(u64),
+}
+
+/// An accumulating set of named results belonging to one producer.
+#[derive(Debug, Clone)]
+pub struct BenchResults {
+    /// Name prefix identifying the producer (e.g. `"bench/"`); merging
+    /// replaces exactly the existing entries under this prefix.
+    prefix: String,
+    entries: Vec<(String, Metric)>,
+}
+
+impl BenchResults {
+    /// A new, empty result set for `prefix` (must end with `/`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prefix does not end with `/` — merging relies on
+    /// prefix boundaries falling on separators.
+    #[must_use]
+    pub fn new(prefix: &str) -> Self {
+        assert!(prefix.ends_with('/'), "producer prefix must end with '/'");
+        BenchResults { prefix: prefix.to_string(), entries: Vec::new() }
+    }
+
+    /// Record a wall-clock median, in nanoseconds.
+    pub fn record_wall(&mut self, name: &str, median_ns: u128) {
+        self.push(name, Metric::MedianNs(median_ns));
+    }
+
+    /// Record a deterministic cycle/instruction count.
+    pub fn record_cycles(&mut self, name: &str, cycles: u64) {
+        self.push(name, Metric::Cycles(cycles));
+    }
+
+    fn push(&mut self, name: &str, metric: Metric) {
+        self.entries.push((format!("{}{name}", self.prefix), metric));
+    }
+
+    /// The entry lines this set contributes (no surrounding braces, no
+    /// trailing commas).
+    fn lines(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .map(|(name, metric)| {
+                let mut line = String::new();
+                match metric {
+                    Metric::MedianNs(v) => {
+                        write!(line, "  {}: {{\"median_ns\": {v}}}", json_string(name)).unwrap();
+                    }
+                    Metric::Cycles(v) => {
+                        write!(line, "  {}: {{\"cycles\": {v}}}", json_string(name)).unwrap();
+                    }
+                }
+                line
+            })
+            .collect()
+    }
+
+    /// Merge this set into the JSON file at `path`: entries from other
+    /// producers are kept, previous entries under this producer's
+    /// prefix are replaced. Returns the total entry count written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from reading or writing the file.
+    pub fn write_merged(&self, path: &Path) -> io::Result<usize> {
+        let mut kept: Vec<String> = Vec::new();
+        if let Ok(existing) = fs::read_to_string(path) {
+            let mine = format!("  \"{}", self.prefix);
+            kept.extend(
+                existing
+                    .lines()
+                    .filter(|l| l.starts_with("  \"") && !l.starts_with(&mine))
+                    .map(|l| l.trim_end_matches(',').to_string()),
+            );
+        }
+        kept.extend(self.lines());
+        let mut out = String::from("{\n");
+        for (i, line) in kept.iter().enumerate() {
+            out.push_str(line);
+            if i + 1 < kept.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("}\n");
+        fs::write(path, out)?;
+        Ok(kept.len())
+    }
+
+    /// The canonical output location: `BENCH_results.json` at the
+    /// repository root (resolved relative to this crate's manifest).
+    #[must_use]
+    pub fn default_path() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_results.json")
+    }
+}
+
+/// Minimal JSON string quoting: the names we emit are ASCII, but quote
+/// and backslash are escaped for safety.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_preserves_other_producers() {
+        let dir = std::env::temp_dir().join(format!("timego-results-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_results.json");
+
+        let mut wall = BenchResults::new("bench/");
+        wall.record_wall("table1", 42);
+        assert_eq!(wall.write_merged(&path).unwrap(), 1);
+
+        let mut cyc = BenchResults::new("concurrency/");
+        cyc.record_cycles("k4/engine_cycles", 999);
+        assert_eq!(cyc.write_merged(&path).unwrap(), 2);
+
+        // Re-emitting the wall set replaces its old entry, keeps the other.
+        let mut wall2 = BenchResults::new("bench/");
+        wall2.record_wall("table1", 43);
+        wall2.record_wall("table2", 44);
+        assert_eq!(wall2.write_merged(&path).unwrap(), 3);
+
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"bench/table1\": {\"median_ns\": 43}"), "{text}");
+        assert!(text.contains("\"concurrency/k4/engine_cycles\": {\"cycles\": 999}"), "{text}");
+        assert!(!text.contains("\"median_ns\": 42"), "{text}");
+        assert!(text.starts_with("{\n") && text.ends_with("}\n"), "{text}");
+        // Every entry line but the last carries a trailing comma.
+        assert_eq!(text.matches(',').count(), 2, "{text}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+}

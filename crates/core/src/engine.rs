@@ -1,0 +1,1606 @@
+//! Event-driven protocol engine: concurrent per-node protocol state
+//! machines replacing the world-driving blocking loops.
+//!
+//! Each in-flight operation (finite transfer, reliable transfer, stream
+//! send, RPC) is a state machine whose `step` performs exactly one
+//! iteration of the corresponding blocking driver loop — minus the
+//! `advance(1)` the blocking loop used to pass time. The [`Engine`]
+//! owns the clock: it round-robins every active operation, and only
+//! when **no** operation makes progress does it advance the substrate
+//! one cycle and deliver a timer tick to every operation (this is what
+//! drives retry deadlines from [`RetryPolicy`](crate::RetryPolicy) and
+//! stream retransmission timeouts).
+//!
+//! Because a single-operation engine run performs the same instruction
+//! sequence as the old blocking loop, the blocking entry points
+//! ([`Machine::xfer`], [`Machine::stream_send`], [`Machine::rpc_call`],
+//! …) are now thin run-to-completion wrappers over the engine and stay
+//! cost-identical per feature — the paper's tables regenerate exactly.
+//!
+//! ## Concurrency model
+//!
+//! Operations are admitted in submission order. Two operations conflict
+//! when they would consume each other's packets: finite transfers
+//! (plain or reliable) between the same ordered `(src, dst)` pair, and
+//! stream sends between the same ordered pair. Conflicting operations
+//! are serialized; everything else interleaves freely. RPCs never
+//! conflict — replies are correlated by call id, so any number of
+//! concurrent calls (even between the same pair) sort themselves out.
+//!
+//! Packet consumption is *gated*: an operation only issues the receive
+//! sequence when a cost-free NI peek ([`RxMeta`]) shows that the
+//! packet at the head of its node's queue belongs to it. Reserved-tag
+//! packets claimed by no active operation (stale duplicates of
+//! completed operations) are discarded by the engine with the same
+//! instruction shape the blocking recovery paths charged for stray
+//! discards.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+use timego_cost::{Feature, Fine};
+use timego_netsim::{NodeId, RxMeta};
+use timego_ni::Addr;
+
+use crate::costs::{recovery, segment, xfer_order, xfer_recv, xfer_send};
+use crate::error::ProtocolError;
+use crate::machine::{Machine, Tags};
+use crate::retry::RetryPolicy;
+use crate::rpc::RpcEvent;
+use crate::stream::{StreamId, StreamOutcome};
+use crate::xfer::{PayloadEngine, XferOutcome, XferRx};
+use crate::xfer_reliable::{ReliableOutcome, OFFSET_BITS};
+
+/// Identifies one submitted operation within an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(u64);
+
+impl OpId {
+    /// The raw id (monotonically increasing in submission order).
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// What a completed operation produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpOutcome {
+    /// A finite-sequence transfer completed.
+    Xfer(XferOutcome),
+    /// A fault-tolerant finite-sequence transfer completed.
+    Reliable(ReliableOutcome),
+    /// A stream send completed.
+    Stream(StreamOutcome),
+    /// An RPC completed with these reply words.
+    Rpc([u32; 4]),
+}
+
+/// Scheduler trace events, in order. Tests use the interleaving of
+/// `Progressed` events to prove operations ran concurrently rather than
+/// back to back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// The operation was accepted into the engine.
+    Submitted(OpId),
+    /// The operation was admitted (its conflict key was free) and
+    /// started executing.
+    Started(OpId),
+    /// The operation's step made protocol progress (sent, received, or
+    /// transitioned).
+    Progressed(OpId),
+    /// The operation finished; `true` means it produced an outcome,
+    /// `false` an error.
+    Completed(OpId, bool),
+}
+
+/// One step's verdict.
+enum Stepped {
+    /// The operation did real protocol work this step.
+    Progress,
+    /// Nothing to do until the world changes (a packet arrives or a
+    /// cycle passes).
+    Idle,
+    /// The operation finished.
+    Done(OpOutcome),
+}
+
+/// Conflict key: operations with equal keys are serialized.
+type ConflictKey = (u8, NodeId, NodeId);
+
+const CLASS_XFER: u8 = 0;
+const CLASS_STREAM: u8 = 1;
+
+struct ActiveOp {
+    id: OpId,
+    op: OpKind,
+}
+
+enum OpKind {
+    Xfer(XferOp),
+    Reliable(ReliableOp),
+    Stream(StreamOp),
+    Rpc(RpcOp),
+}
+
+impl OpKind {
+    fn conflict_key(&self) -> Option<ConflictKey> {
+        match self {
+            OpKind::Xfer(op) => Some((CLASS_XFER, op.src, op.dst)),
+            OpKind::Reliable(op) => Some((CLASS_XFER, op.src, op.dst)),
+            OpKind::Stream(op) => Some((CLASS_STREAM, op.src, op.dst)),
+            OpKind::Rpc(_) => None,
+        }
+    }
+
+    fn start(&mut self, m: &mut Machine) {
+        match self {
+            OpKind::Xfer(op) => op.start(m),
+            OpKind::Reliable(op) => op.start(m),
+            OpKind::Stream(op) => op.start(m),
+            OpKind::Rpc(_) => {}
+        }
+    }
+
+    fn step(&mut self, m: &mut Machine) -> Result<Stepped, ProtocolError> {
+        match self {
+            OpKind::Xfer(op) => op.step(m),
+            OpKind::Reliable(op) => op.step(m),
+            OpKind::Stream(op) => op.step(m),
+            OpKind::Rpc(op) => op.step(m),
+        }
+    }
+
+    fn tick(&mut self) {
+        match self {
+            OpKind::Xfer(op) => op.tick(),
+            OpKind::Reliable(op) => op.tick(),
+            OpKind::Stream(op) => op.tick(),
+            OpKind::Rpc(op) => op.tick(),
+        }
+    }
+
+    /// Does a reserved-tag packet at `node`'s queue head belong to this
+    /// operation? Claims are pair-wide and conservative: anything an
+    /// operation might still consume must be claimed, or the engine's
+    /// orphan discard would eat it.
+    fn claims(&self, node: NodeId, meta: &RxMeta) -> bool {
+        const XFER_TAGS: [u8; 6] = [
+            Tags::XFER_REQ,
+            Tags::XFER_REPLY,
+            Tags::XFER_DATA,
+            Tags::XFER_ACK,
+            Tags::XFER_NACK,
+            Tags::XFER_PROBE,
+        ];
+        match self {
+            OpKind::Xfer(op) => {
+                pairwise(node, meta.src, op.src, op.dst) && XFER_TAGS.contains(&meta.tag)
+            }
+            OpKind::Reliable(op) => {
+                pairwise(node, meta.src, op.src, op.dst) && XFER_TAGS.contains(&meta.tag)
+            }
+            OpKind::Stream(op) => {
+                pairwise(node, meta.src, op.src, op.dst)
+                    && (meta.tag == Tags::STREAM_DATA || meta.tag == Tags::STREAM_ACK)
+            }
+            OpKind::Rpc(op) => {
+                (node == op.dst && meta.src == op.src && meta.tag == op.tag)
+                    || (node == op.src
+                        && meta.src == op.dst
+                        && meta.tag == Tags::RPC_REPLY
+                        && meta.header == op.call_id as u32)
+            }
+        }
+    }
+}
+
+fn pairwise(node: NodeId, pkt_src: NodeId, a: NodeId, b: NodeId) -> bool {
+    (node == a || node == b) && (pkt_src == a || pkt_src == b)
+}
+
+/// The protocol engine: a scheduler interleaving NI polls, timer
+/// expiries, and injections across every submitted operation.
+///
+/// Submit operations with the `submit_*` methods, drive them to
+/// completion with [`Engine::run`], and collect `OpId`-keyed results
+/// with [`Engine::take_outcome`].
+pub struct Engine {
+    next_id: u64,
+    pending: VecDeque<ActiveOp>,
+    running: Vec<ActiveOp>,
+    busy: HashSet<ConflictKey>,
+    outcomes: BTreeMap<OpId, Result<OpOutcome, ProtocolError>>,
+    trace: Vec<EngineEvent>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An empty engine.
+    #[must_use]
+    pub fn new() -> Self {
+        Engine {
+            next_id: 0,
+            pending: VecDeque::new(),
+            running: Vec::new(),
+            busy: HashSet::new(),
+            outcomes: BTreeMap::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    fn submit(&mut self, op: OpKind) -> OpId {
+        let id = OpId(self.next_id);
+        self.next_id += 1;
+        self.trace.push(EngineEvent::Submitted(id));
+        self.pending.push_back(ActiveOp { id, op });
+        id
+    }
+
+    /// Submit a finite-sequence transfer (the engine form of
+    /// [`Machine::xfer`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadTransfer`] for empty data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` or either node is out of range.
+    pub fn submit_xfer(
+        &mut self,
+        m: &Machine,
+        src: NodeId,
+        dst: NodeId,
+        data: &[u32],
+    ) -> Result<OpId, ProtocolError> {
+        self.submit_xfer_with(m, src, dst, data, PayloadEngine::Cpu)
+    }
+
+    pub(crate) fn submit_xfer_with(
+        &mut self,
+        m: &Machine,
+        src: NodeId,
+        dst: NodeId,
+        data: &[u32],
+        engine: PayloadEngine,
+    ) -> Result<OpId, ProtocolError> {
+        assert_ne!(src, dst, "transfer endpoints must differ");
+        assert!(src.index() < m.num_nodes() && dst.index() < m.num_nodes());
+        if data.is_empty() {
+            return Err(ProtocolError::BadTransfer("empty transfer".into()));
+        }
+        let n = m.config().packet_words;
+        Ok(self.submit(OpKind::Xfer(XferOp::new(src, dst, data.to_vec(), engine, n))))
+    }
+
+    /// Submit a fault-tolerant finite-sequence transfer (the engine form
+    /// of [`Machine::xfer_reliable`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadTransfer`] for empty or oversized data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`, either node is out of range, or the
+    /// policy allows zero attempts.
+    pub fn submit_xfer_reliable(
+        &mut self,
+        m: &Machine,
+        src: NodeId,
+        dst: NodeId,
+        data: &[u32],
+        policy: &RetryPolicy,
+    ) -> Result<OpId, ProtocolError> {
+        assert_ne!(src, dst, "transfer endpoints must differ");
+        assert!(src.index() < m.num_nodes() && dst.index() < m.num_nodes());
+        assert!(policy.max_attempts >= 1, "need at least one attempt");
+        if data.is_empty() {
+            return Err(ProtocolError::BadTransfer("empty transfer".into()));
+        }
+        if data.len() >= (1 << OFFSET_BITS) {
+            return Err(ProtocolError::BadTransfer(format!(
+                "reliable transfer caps at {} words, got {}",
+                (1 << OFFSET_BITS) - 1,
+                data.len()
+            )));
+        }
+        let n = m.config().packet_words;
+        Ok(self.submit(OpKind::Reliable(ReliableOp::new(
+            src,
+            dst,
+            data.to_vec(),
+            n,
+            policy.clone(),
+        ))))
+    }
+
+    /// Submit a stream send (the engine form of
+    /// [`Machine::stream_send`]). Sends on the same stream (or between
+    /// the same node pair) are serialized in submission order.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadTransfer`] for empty data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale.
+    pub fn submit_stream_send(
+        &mut self,
+        m: &Machine,
+        id: StreamId,
+        data: &[u32],
+    ) -> Result<OpId, ProtocolError> {
+        if data.is_empty() {
+            return Err(ProtocolError::BadTransfer("empty stream send".into()));
+        }
+        let st = m.stream_state(id);
+        let n = m.config().packet_words;
+        Ok(self.submit(OpKind::Stream(StreamOp::new(
+            id,
+            st.src,
+            st.dst,
+            data.to_vec(),
+            n,
+            st.rto_iterations(),
+        ))))
+    }
+
+    /// Submit an RPC (the engine form of [`Machine::rpc_call`] without a
+    /// policy, [`Machine::rpc_call_retrying`] with one). The call id is
+    /// allocated at submission, so replies of concurrent calls — even
+    /// between the same pair of nodes — are matched by correlation id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`, either node is out of range, or a policy
+    /// allows zero attempts.
+    pub fn submit_rpc(
+        &mut self,
+        m: &mut Machine,
+        src: NodeId,
+        dst: NodeId,
+        tag: u8,
+        args: [u32; 4],
+        policy: Option<&RetryPolicy>,
+    ) -> OpId {
+        assert_ne!(src, dst, "rpc endpoints must differ");
+        assert!(src.index() < m.num_nodes() && dst.index() < m.num_nodes());
+        if let Some(p) = policy {
+            assert!(p.max_attempts >= 1, "need at least one attempt");
+        }
+        let call_id = m.alloc_call_id();
+        self.submit(OpKind::Rpc(RpcOp {
+            src,
+            dst,
+            tag,
+            args,
+            call_id,
+            policy: policy.cloned(),
+            sent: false,
+            stalled: false,
+            attempt: 0,
+            waited: 0,
+            total_waited: 0,
+        }))
+    }
+
+    /// Number of operations not yet finished.
+    #[must_use]
+    pub fn unfinished(&self) -> usize {
+        self.pending.len() + self.running.len()
+    }
+
+    /// The scheduler trace so far.
+    #[must_use]
+    pub fn trace(&self) -> &[EngineEvent] {
+        &self.trace
+    }
+
+    /// Take the outcome of a finished operation (at most once).
+    pub fn take_outcome(&mut self, id: OpId) -> Option<Result<OpOutcome, ProtocolError>> {
+        self.outcomes.remove(&id)
+    }
+
+    /// Drive every submitted operation to completion (success or
+    /// error), interleaving all of them over the machine's substrate.
+    /// Outcomes are collected per [`OpId`]; an individual operation's
+    /// failure does not abort the others.
+    pub fn run(&mut self, m: &mut Machine) {
+        let mut idle_streak: u64 = 0;
+        loop {
+            self.admit(m);
+            if self.running.is_empty() {
+                if self.pending.is_empty() {
+                    return;
+                }
+                // Pending ops blocked on keys held by nothing running:
+                // impossible, but don't spin.
+                unreachable!("pending operations with no running key holder");
+            }
+            let mut progressed = false;
+            let mut i = 0;
+            while i < self.running.len() {
+                match self.running[i].op.step(m) {
+                    Ok(Stepped::Progress) => {
+                        let id = self.running[i].id;
+                        self.trace.push(EngineEvent::Progressed(id));
+                        progressed = true;
+                        i += 1;
+                    }
+                    Ok(Stepped::Idle) => i += 1,
+                    Ok(Stepped::Done(out)) => {
+                        self.finish(i, Ok(out));
+                        progressed = true;
+                    }
+                    Err(e) => {
+                        self.finish(i, Err(e));
+                        progressed = true;
+                    }
+                }
+            }
+            if progressed {
+                idle_streak = 0;
+                continue;
+            }
+            if self.discard_orphan(m) {
+                continue;
+            }
+            m.advance(1);
+            for op in &mut self.running {
+                op.op.tick();
+            }
+            idle_streak += 1;
+            if idle_streak > m.config().max_wait_cycles {
+                // Backstop: every op's own deadline logic should fire
+                // first; if the world is truly wedged, fail what's left.
+                while !self.running.is_empty() {
+                    self.finish(0, Err(ProtocolError::timeout("engine progress", idle_streak)));
+                }
+                while let Some(op) = self.pending.pop_front() {
+                    self.outcomes.insert(
+                        op.id,
+                        Err(ProtocolError::timeout("engine progress", idle_streak)),
+                    );
+                    self.trace.push(EngineEvent::Completed(op.id, false));
+                }
+                return;
+            }
+        }
+    }
+
+    fn admit(&mut self, m: &mut Machine) {
+        let mut still_pending = VecDeque::new();
+        while let Some(mut op) = self.pending.pop_front() {
+            let key = op.op.conflict_key();
+            let blocked = match key {
+                Some(k) => {
+                    self.busy.contains(&k)
+                        // Keep same-key pending ops in submission order.
+                        || still_pending
+                            .iter()
+                            .any(|p: &ActiveOp| p.op.conflict_key() == Some(k))
+                }
+                None => false,
+            };
+            if blocked {
+                still_pending.push_back(op);
+                continue;
+            }
+            if let Some(k) = key {
+                self.busy.insert(k);
+            }
+            self.trace.push(EngineEvent::Started(op.id));
+            op.op.start(m);
+            self.running.push(op);
+        }
+        self.pending = still_pending;
+    }
+
+    fn finish(&mut self, idx: usize, result: Result<OpOutcome, ProtocolError>) {
+        let op = self.running.remove(idx);
+        if let Some(k) = op.op.conflict_key() {
+            self.busy.remove(&k);
+        }
+        self.trace.push(EngineEvent::Completed(op.id, result.is_ok()));
+        self.outcomes.insert(op.id, result);
+    }
+
+    /// Discard one reserved-tag packet claimed by no active operation
+    /// (a stale duplicate of an already-completed operation). Charged
+    /// with the same instruction shape the blocking recovery paths used
+    /// for stray discards. Returns `true` if something was discarded.
+    fn discard_orphan(&mut self, m: &mut Machine) -> bool {
+        for node in (0..m.num_nodes()).map(NodeId::new) {
+            let Some(meta) = m.rx_peek_at(node) else {
+                continue;
+            };
+            let reserved = meta.tag < Tags::USER_BASE || meta.tag == Tags::RPC_REPLY;
+            if !reserved {
+                continue;
+            }
+            if self.running.iter().any(|op| op.op.claims(node, &meta)) {
+                continue;
+            }
+            m.discard_stray(node);
+            return true;
+        }
+        false
+    }
+}
+
+// ---------------------------------------------------------------------
+// Finite-sequence transfer (plain).
+// ---------------------------------------------------------------------
+
+enum XferPhase {
+    Handshake,
+    Transfer,
+    SendAck,
+    AwaitAck,
+}
+
+struct XferOp {
+    src: NodeId,
+    dst: NodeId,
+    data: Vec<u32>,
+    engine: PayloadEngine,
+    n: usize,
+    packets: u64,
+    phase: XferPhase,
+    src_buf: Addr,
+    req_sent: bool,
+    reply_sent: bool,
+    segment: Option<(u32, Addr)>,
+    rx: XferRx,
+    next_packet: u64,
+    send_retries: u64,
+    waited: u64,
+    stalled: bool,
+}
+
+impl XferOp {
+    fn new(src: NodeId, dst: NodeId, data: Vec<u32>, engine: PayloadEngine, n: usize) -> Self {
+        let packets = (data.len() as u64).div_ceil(n as u64);
+        XferOp {
+            src,
+            dst,
+            data,
+            engine,
+            n,
+            packets,
+            phase: XferPhase::Handshake,
+            src_buf: Addr(0),
+            req_sent: false,
+            reply_sent: false,
+            segment: None,
+            rx: XferRx {
+                buffer: Addr(0),
+                packets_expected: packets,
+                packets_received: 0,
+            },
+            next_packet: 0,
+            send_retries: 0,
+            waited: 0,
+            stalled: false,
+        }
+    }
+
+    fn start(&mut self, m: &mut Machine) {
+        // Harness setup: stage the data in source memory (cost-free).
+        self.src_buf = m.write_buffer(self.src, &self.data);
+    }
+
+    fn tick(&mut self) {
+        self.waited += 1;
+        self.stalled = false;
+    }
+
+    fn step(&mut self, m: &mut Machine) -> Result<Stepped, ProtocolError> {
+        let max_wait = m.config().max_wait_cycles;
+        let (src, dst, n) = (self.src, self.dst, self.n);
+        match self.phase {
+            XferPhase::Handshake => {
+                if self.waited > max_wait {
+                    return Err(ProtocolError::timeout("xfer reply", self.waited));
+                }
+                let mut progress = false;
+                // Step 1: allocation request (buffer management).
+                if !self.req_sent && !self.stalled {
+                    let node = m.node_mut(src);
+                    let sent = node.cpu.clone().with_feature(Feature::BufferMgmt, |_| {
+                        node.send_ctl(dst, Tags::XFER_REQ, self.data.len() as u32, [0; 4])
+                    });
+                    if sent {
+                        self.req_sent = true;
+                        progress = true;
+                    } else {
+                        self.stalled = true;
+                    }
+                }
+                // Step 2: receiver allocates a segment.
+                if self.segment.is_none() && peek_is(m, dst, src, Tags::XFER_REQ) {
+                    let node = m.node_mut(dst);
+                    let cpu = node.cpu.clone();
+                    let seg = cpu.with_feature(Feature::BufferMgmt, |_| {
+                        let (_, tag, header, _) = node.recv_ctl_now();
+                        debug_assert_eq!(tag, Tags::XFER_REQ);
+                        let words = header as usize;
+                        let buffer = node.mem.alloc(words.div_ceil(n) * n);
+                        node.cpu.reg(Fine::RegOp, segment::ASSOCIATE_REG);
+                        node.cpu.mem_store(segment::ASSOCIATE_MEM);
+                        ((buffer.0 & 0xffff) as u32 ^ 0x5e60_0000, buffer)
+                    });
+                    self.segment = Some(seg);
+                    progress = true;
+                }
+                // Step 3: the reply.
+                if let Some((seg, _)) = self.segment {
+                    if !self.reply_sent && !self.stalled {
+                        let node = m.node_mut(dst);
+                        let sent = node.cpu.clone().with_feature(Feature::BufferMgmt, |_| {
+                            node.send_ctl(src, Tags::XFER_REPLY, seg, [0; 4])
+                        });
+                        if sent {
+                            self.reply_sent = true;
+                            progress = true;
+                        } else {
+                            self.stalled = true;
+                        }
+                    }
+                    if self.reply_sent && peek_is(m, src, dst, Tags::XFER_REPLY) {
+                        let node = m.node_mut(src);
+                        let cpu = node.cpu.clone();
+                        cpu.with_feature(Feature::BufferMgmt, |_| {
+                            let (_, tag, header, _) = node.recv_ctl_now();
+                            debug_assert_eq!(tag, Tags::XFER_REPLY);
+                            debug_assert_eq!(header, seg);
+                        });
+                        self.rx.buffer = self.segment.expect("just checked").1;
+                        transfer_prologue(m, src, dst);
+                        self.phase = XferPhase::Transfer;
+                        self.waited = 0;
+                        return Ok(Stepped::Progress);
+                    }
+                }
+                Ok(if progress { Stepped::Progress } else { Stepped::Idle })
+            }
+            XferPhase::Transfer => {
+                if self.waited > max_wait {
+                    return Err(ProtocolError::timeout("xfer data packets", self.waited));
+                }
+                let mut progress = false;
+                // Step 4: inject (source side).
+                if !self.stalled {
+                    while self.next_packet < self.packets {
+                        let offset = self.next_packet * n as u64;
+                        if m.send_data_packet(src, dst, self.src_buf, offset, n, self.engine, 0) {
+                            self.next_packet += 1;
+                            progress = true;
+                        } else {
+                            self.send_retries += 1;
+                            self.stalled = true;
+                            break;
+                        }
+                    }
+                }
+                // Step 4: drain (destination side), gated on our data.
+                while self.rx.packets_received < self.rx.packets_expected
+                    && peek_is(m, dst, src, Tags::XFER_DATA)
+                {
+                    m.recv_one_data_packet(dst, n, &mut self.rx);
+                    progress = true;
+                }
+                if progress {
+                    self.waited = 0;
+                }
+                if self.next_packet == self.packets
+                    && self.rx.packets_received == self.rx.packets_expected
+                {
+                    // Step 5: free the segment.
+                    let node = m.node_mut(dst);
+                    node.cpu.clone().with_feature(Feature::InOrder, |cpu| {
+                        cpu.reg(Fine::RegOp, xfer_order::DST_FINAL);
+                    });
+                    node.cpu.mem_store(xfer_recv::EXIT_STATE_MEM);
+                    node.cpu.clone().with_feature(Feature::BufferMgmt, |cpu| {
+                        cpu.reg(Fine::RegOp, segment::DISASSOCIATE_REG);
+                        cpu.mem_store(segment::DISASSOCIATE_MEM);
+                    });
+                    self.phase = XferPhase::SendAck;
+                    self.waited = 0;
+                    return Ok(Stepped::Progress);
+                }
+                Ok(if progress { Stepped::Progress } else { Stepped::Idle })
+            }
+            XferPhase::SendAck => {
+                if self.waited > max_wait {
+                    return Err(ProtocolError::timeout("control-packet injection", self.waited));
+                }
+                if self.stalled {
+                    return Ok(Stepped::Idle);
+                }
+                let seg = self.segment.expect("segment allocated").0;
+                let node = m.node_mut(dst);
+                let sent = node.cpu.clone().with_feature(Feature::FaultTol, |_| {
+                    node.send_ctl(src, Tags::XFER_ACK, seg, [0; 4])
+                });
+                if sent {
+                    self.phase = XferPhase::AwaitAck;
+                    self.waited = 0;
+                    Ok(Stepped::Progress)
+                } else {
+                    self.stalled = true;
+                    Ok(Stepped::Idle)
+                }
+            }
+            XferPhase::AwaitAck => {
+                if self.waited > max_wait {
+                    return Err(ProtocolError::timeout("xfer acknowledgement", self.waited));
+                }
+                if !peek_is(m, src, dst, Tags::XFER_ACK) {
+                    return Ok(Stepped::Idle);
+                }
+                let seg = self.segment.expect("segment allocated").0;
+                let node = m.node_mut(src);
+                let cpu = node.cpu.clone();
+                cpu.with_feature(Feature::FaultTol, |_| {
+                    let (_, tag, header, _) = node.recv_ctl_now();
+                    debug_assert_eq!(tag, Tags::XFER_ACK);
+                    debug_assert_eq!(header, seg);
+                });
+                Ok(Stepped::Done(OpOutcome::Xfer(XferOutcome {
+                    dst_buffer: self.rx.buffer,
+                    packets: self.packets,
+                    segment_id: seg,
+                    send_retries: self.send_retries,
+                })))
+            }
+        }
+    }
+}
+
+/// The per-message source prologue and destination handler entry charged
+/// between the handshake and the data phase (identical in the plain and
+/// reliable protocols).
+fn transfer_prologue(m: &mut Machine, src: NodeId, dst: NodeId) {
+    {
+        let node = m.node_mut(src);
+        node.cpu.reg(Fine::CallReturn, xfer_send::PROLOGUE_REG);
+        node.cpu.mem_load(xfer_send::PROLOGUE_MEM);
+    }
+    {
+        let node = m.node_mut(dst);
+        node.cpu.call(xfer_recv::ENTRY_CALL);
+        node.cpu.ctrl(xfer_recv::ENTRY_CTRL);
+        node.cpu.handler(xfer_recv::ENTRY_HANDLER);
+        node.cpu.mem_load(xfer_recv::ENTRY_STATE_MEM);
+        let _ = node.ni.poll_status();
+    }
+}
+
+/// Cost-free gate: is the packet at `node`'s queue head from `from`
+/// with tag `tag`?
+fn peek_is(m: &mut Machine, node: NodeId, from: NodeId, tag: u8) -> bool {
+    m.rx_peek_at(node)
+        .is_some_and(|meta| meta.src == from && meta.tag == tag)
+}
+
+// ---------------------------------------------------------------------
+// RPC.
+// ---------------------------------------------------------------------
+
+struct RpcOp {
+    src: NodeId,
+    dst: NodeId,
+    tag: u8,
+    args: [u32; 4],
+    call_id: u64,
+    policy: Option<RetryPolicy>,
+    sent: bool,
+    stalled: bool,
+    attempt: u32,
+    waited: u64,
+    total_waited: u64,
+}
+
+impl RpcOp {
+    fn tick(&mut self) {
+        self.stalled = false;
+        self.waited += 1;
+        if self.sent {
+            self.total_waited += 1;
+        }
+    }
+
+    fn step(&mut self, m: &mut Machine) -> Result<Stepped, ProtocolError> {
+        // Deadline / retry-window bookkeeping.
+        if let Some(policy) = self.policy.clone() {
+            if self.sent && self.waited > policy.backoff(self.attempt) {
+                self.attempt += 1;
+                if self.attempt >= policy.max_attempts {
+                    return Err(ProtocolError::Timeout {
+                        waiting_for: "rpc reply",
+                        cycles: self.total_waited,
+                        node: Some(self.src),
+                        attempts: policy.max_attempts - 1,
+                    });
+                }
+                // Recover: retransmit the request in the next window.
+                self.sent = false;
+                self.waited = 0;
+            }
+        } else if self.sent && self.waited > m.config().max_wait_cycles {
+            return Err(ProtocolError::timeout("rpc reply", self.waited));
+        }
+        if !self.sent && self.waited > m.config().max_wait_cycles {
+            return Err(ProtocolError::timeout("rpc injection", self.waited));
+        }
+
+        let mut progress = false;
+        if !self.sent && !self.stalled {
+            let ok = if self.attempt == 0 {
+                m.rpc_send_once(self.src, self.dst, self.tag, self.call_id, self.args)
+            } else {
+                let cpu = m.cpu(self.src);
+                cpu.with_feature(Feature::FaultTol, |_| {
+                    m.rpc_send_once(self.src, self.dst, self.tag, self.call_id, self.args)
+                })
+            };
+            if ok {
+                self.sent = true;
+                self.waited = 0;
+                progress = true;
+            } else {
+                self.stalled = true;
+            }
+        }
+
+        // Serve the callee when our request is at its queue head.
+        if peek_is(m, self.dst, self.src, self.tag) {
+            let _ = m.rpc_service(self.dst);
+            progress = true;
+        }
+
+        // Surface the reply when it is at the caller's queue head and
+        // carries our correlation id (a concurrent call's reply stays
+        // for its own operation).
+        if m.rx_peek_at(self.src).is_some_and(|meta| {
+            meta.src == self.dst
+                && meta.tag == Tags::RPC_REPLY
+                && meta.header == self.call_id as u32
+        }) {
+            match m.rpc_service(self.src) {
+                RpcEvent::Reply(id, words) => {
+                    debug_assert_eq!(id, self.call_id);
+                    return Ok(Stepped::Done(OpOutcome::Rpc(words)));
+                }
+                other => unreachable!("gated reply peek yielded {other:?}"),
+            }
+        }
+        Ok(if progress { Stepped::Progress } else { Stepped::Idle })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stream send.
+// ---------------------------------------------------------------------
+
+struct StreamOp {
+    id: StreamId,
+    src: NodeId,
+    dst: NodeId,
+    data: Vec<u32>,
+    n: usize,
+    packets: u64,
+    rto_iterations: u64,
+    // Captured at start (an earlier send on the same stream may still
+    // be advancing the sequence when this op is submitted).
+    first_seq: u64,
+    target_contig: u64,
+    expected_acks: u64,
+    outcome: StreamOutcome,
+    sent: u64,
+    pending_acks: VecDeque<(u64, bool)>,
+    stalled: bool,
+    rto_due: bool,
+    idle_iterations: u64,
+    total_iterations: u64,
+}
+
+impl StreamOp {
+    fn new(
+        id: StreamId,
+        src: NodeId,
+        dst: NodeId,
+        data: Vec<u32>,
+        n: usize,
+        rto_iterations: u64,
+    ) -> Self {
+        let packets = (data.len() as u64).div_ceil(n as u64);
+        StreamOp {
+            id,
+            src,
+            dst,
+            data,
+            n,
+            packets,
+            rto_iterations,
+            first_seq: 0,
+            target_contig: 0,
+            expected_acks: 0,
+            outcome: StreamOutcome {
+                packets,
+                acks: 0,
+                retransmits: 0,
+                duplicates: 0,
+                out_of_order: 0,
+            },
+            sent: 0,
+            pending_acks: VecDeque::new(),
+            stalled: false,
+            rto_due: false,
+            idle_iterations: 0,
+            total_iterations: 0,
+        }
+    }
+
+    fn start(&mut self, m: &mut Machine) {
+        let st = m.stream_state(self.id);
+        self.first_seq = st.next_seq;
+        self.target_contig = self.first_seq + self.packets;
+        self.expected_acks = self.packets.div_ceil(st.ack_period().max(1));
+        m.stream_entry_charge(self.id);
+    }
+
+    fn tick(&mut self) {
+        self.stalled = false;
+        self.idle_iterations += 1;
+        if self.idle_iterations >= self.rto_iterations {
+            self.rto_due = true;
+            self.idle_iterations = 0;
+        }
+    }
+
+    fn flush_acks(&mut self, m: &mut Machine) -> bool {
+        let mut progress = false;
+        while let Some(&(value, cumulative)) = self.pending_acks.front() {
+            if self.stalled {
+                break;
+            }
+            if m.stream_try_send_ack(self.id, value, cumulative) {
+                self.pending_acks.pop_front();
+                progress = true;
+            } else {
+                self.stalled = true;
+            }
+        }
+        progress
+    }
+
+    fn step(&mut self, m: &mut Machine) -> Result<Stepped, ProtocolError> {
+        let n = self.n;
+        let mut progress = false;
+
+        // Acknowledgements owed from earlier drains go out first: they
+        // release source window slots.
+        progress |= self.flush_acks(m);
+
+        // Fault tolerance in action: retransmit the oldest
+        // unacknowledged packet after a quiet window.
+        if self.rto_due {
+            self.rto_due = false;
+            if m.stream_retransmit_oldest(self.id) {
+                self.outcome.retransmits += 1;
+                progress = true;
+            }
+        }
+
+        // Phase 1: inject while the window is open.
+        while self.sent < self.packets && !self.stalled && m.stream_window_open(self.id) {
+            let seq = self.first_seq + self.sent;
+            let base = (self.sent as usize) * n;
+            let payload: Vec<u32> = (0..n)
+                .map(|i| self.data.get(base + i).copied().unwrap_or(0))
+                .collect();
+            if m.stream_inject(self.id, seq, &payload) {
+                self.sent += 1;
+                progress = true;
+            } else {
+                self.stalled = true;
+            }
+        }
+
+        // Phase 2: the receiver drains data gated on this stream,
+        // queueing acknowledgements as it goes.
+        while self.pending_acks.is_empty()
+            && m.stream_drain_one(self.id, n, &mut self.outcome, &mut self.pending_acks)
+        {
+            progress = true;
+            progress |= self.flush_acks(m);
+        }
+
+        // Group-ack flush: the burst fully arrived but the final
+        // partial group is not yet acknowledged.
+        if m.stream_group_ack_due(self.id, self.target_contig) {
+            let cum = m.stream_contig_mark(self.id);
+            self.pending_acks.push_back((cum, true));
+            m.stream_reset_ack_counter(self.id);
+            progress = true;
+            progress |= self.flush_acks(m);
+        }
+
+        // Phase 3: the source processes acknowledgements.
+        while (self.outcome.acks < self.expected_acks || !m.stream_unacked_empty(self.id))
+            && m.stream_take_ack(self.id, &mut self.outcome)
+        {
+            progress = true;
+        }
+
+        // Termination: everything sent, delivered, and acknowledged.
+        if self.sent == self.packets
+            && m.stream_unacked_empty(self.id)
+            && m.stream_contig_mark(self.id) >= self.target_contig
+            && self.pending_acks.is_empty()
+        {
+            m.stream_epilogue(self.id, self.data.len());
+            return Ok(Stepped::Done(OpOutcome::Stream(self.outcome)));
+        }
+
+        if progress {
+            self.idle_iterations = 0;
+        }
+        self.total_iterations += 1;
+        if self.total_iterations > m.config().max_wait_cycles {
+            return Err(ProtocolError::timeout(
+                "stream completion",
+                self.total_iterations,
+            ));
+        }
+        Ok(if progress { Stepped::Progress } else { Stepped::Idle })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault-tolerant finite-sequence transfer.
+// ---------------------------------------------------------------------
+
+enum ReliablePhase {
+    Handshake,
+    Transfer,
+    SendAck,
+    AwaitAck,
+}
+
+struct ReliableOp {
+    src: NodeId,
+    dst: NodeId,
+    data: Vec<u32>,
+    n: usize,
+    packets: u64,
+    policy: RetryPolicy,
+    phase: ReliablePhase,
+    src_buf: Addr,
+    nonce: u32,
+    // Handshake state.
+    req_sent: bool,
+    resend_due: bool,
+    segment: Option<(u32, Addr)>,
+    reply_pending: Option<Feature>,
+    hs_attempt: u32,
+    hs_waited: u64,
+    // Transfer state.
+    rx: XferRx,
+    seen: Vec<bool>,
+    next_packet: u64,
+    send_retries: u64,
+    data_retransmits: u64,
+    nack_rounds: u32,
+    drain_attempt: u32,
+    drain_waited: u64,
+    nack_pending: bool,
+    nack_charge_due: bool,
+    retransmit_queue: VecDeque<u64>,
+    // Acknowledgement state.
+    ack_attempt: u32,
+    ack_waited: u64,
+    ack_probes: u32,
+    probe_pending: bool,
+    reack_pending: bool,
+    stalled: bool,
+}
+
+impl ReliableOp {
+    fn new(src: NodeId, dst: NodeId, data: Vec<u32>, n: usize, policy: RetryPolicy) -> Self {
+        let packets = (data.len() as u64).div_ceil(n as u64);
+        ReliableOp {
+            src,
+            dst,
+            data,
+            n,
+            packets,
+            policy,
+            phase: ReliablePhase::Handshake,
+            src_buf: Addr(0),
+            nonce: 0,
+            req_sent: false,
+            resend_due: false,
+            segment: None,
+            reply_pending: None,
+            hs_attempt: 0,
+            hs_waited: 0,
+            rx: XferRx {
+                buffer: Addr(0),
+                packets_expected: packets,
+                packets_received: 0,
+            },
+            seen: vec![false; packets as usize],
+            next_packet: 0,
+            send_retries: 0,
+            data_retransmits: 0,
+            nack_rounds: 0,
+            drain_attempt: 0,
+            drain_waited: 0,
+            nack_pending: false,
+            nack_charge_due: false,
+            retransmit_queue: VecDeque::new(),
+            ack_attempt: 0,
+            ack_waited: 0,
+            ack_probes: 0,
+            probe_pending: false,
+            reack_pending: false,
+            stalled: false,
+        }
+    }
+
+    fn start(&mut self, m: &mut Machine) {
+        self.src_buf = m.write_buffer(self.src, &self.data);
+    }
+
+    fn tick(&mut self) {
+        self.stalled = false;
+        match self.phase {
+            ReliablePhase::Handshake => self.hs_waited += 1,
+            ReliablePhase::Transfer => self.drain_waited += 1,
+            ReliablePhase::SendAck | ReliablePhase::AwaitAck => self.ack_waited += 1,
+        }
+    }
+
+    fn step(&mut self, m: &mut Machine) -> Result<Stepped, ProtocolError> {
+        match self.phase {
+            ReliablePhase::Handshake => self.step_handshake(m),
+            ReliablePhase::Transfer => self.step_transfer(m),
+            ReliablePhase::SendAck => self.step_send_ack(m),
+            ReliablePhase::AwaitAck => self.step_await_ack(m),
+        }
+    }
+
+    fn step_handshake(&mut self, m: &mut Machine) -> Result<Stepped, ProtocolError> {
+        let (src, dst, n) = (self.src, self.dst, self.n);
+        // Window expiry: the reply is overdue — retransmit the request.
+        if self.req_sent && self.hs_waited > self.policy.backoff(self.hs_attempt) {
+            self.hs_attempt += 1;
+            if self.hs_attempt >= self.policy.max_attempts {
+                return Err(ProtocolError::Timeout {
+                    waiting_for: "xfer reply",
+                    cycles: self.policy.backoff(self.hs_attempt - 1),
+                    node: Some(src),
+                    attempts: self.hs_attempt,
+                });
+            }
+            self.resend_due = true;
+            self.hs_waited = 0;
+        }
+        let mut progress = false;
+        // Allocation request. The first issue is ordinary buffer
+        // management; recovery retransmissions are fault tolerance.
+        if !self.stalled && (!self.req_sent || self.resend_due) {
+            let feature = if self.req_sent {
+                Feature::FaultTol
+            } else {
+                Feature::BufferMgmt
+            };
+            let len = self.data.len() as u32;
+            let node = m.node_mut(src);
+            let sent = {
+                let cpu = node.cpu.clone();
+                cpu.with_feature(feature, |_| node.send_ctl(dst, Tags::XFER_REQ, len, [0; 4]))
+            };
+            if sent {
+                self.req_sent = true;
+                self.resend_due = false;
+                progress = true;
+            } else {
+                self.stalled = true;
+            }
+        }
+        // The destination answers a request — the first from the
+        // allocation body (buffer management), a duplicate from its
+        // segment table (fault tolerance).
+        if self.reply_pending.is_none() && peek_is(m, dst, src, Tags::XFER_REQ) {
+            if self.segment.is_some() {
+                let node = m.node_mut(dst);
+                let cpu = node.cpu.clone();
+                cpu.with_feature(Feature::FaultTol, |_| {
+                    let (_, tag, _, _) = node.recv_ctl_now();
+                    debug_assert_eq!(tag, Tags::XFER_REQ);
+                });
+                self.reply_pending = Some(Feature::FaultTol);
+            } else {
+                let node = m.node_mut(dst);
+                let cpu = node.cpu.clone();
+                let seg = cpu.with_feature(Feature::BufferMgmt, |_| {
+                    let (_, tag, header, _) = node.recv_ctl_now();
+                    debug_assert_eq!(tag, Tags::XFER_REQ);
+                    let words = header as usize;
+                    let buffer = node.mem.alloc(words.div_ceil(n) * n);
+                    node.cpu.reg(Fine::RegOp, segment::ASSOCIATE_REG);
+                    node.cpu.mem_store(segment::ASSOCIATE_MEM);
+                    ((buffer.0 & 0xffff) as u32 ^ 0x5e60_0000, buffer)
+                });
+                self.segment = Some(seg);
+                self.reply_pending = Some(Feature::BufferMgmt);
+            }
+            progress = true;
+        }
+        // The reply itself.
+        if let Some(feature) = self.reply_pending {
+            if !self.stalled {
+                let seg = self.segment.expect("reply implies allocation").0;
+                let node = m.node_mut(dst);
+                let sent = {
+                    let cpu = node.cpu.clone();
+                    cpu.with_feature(feature, |_| {
+                        node.send_ctl(src, Tags::XFER_REPLY, seg, [0; 4])
+                    })
+                };
+                if sent {
+                    self.reply_pending = None;
+                    progress = true;
+                } else {
+                    self.stalled = true;
+                }
+            }
+        }
+        // Source receives the reply. On the first window this is what
+        // the plain protocol pays (buffer management); after a
+        // retransmission it is recovery work.
+        if let Some((seg, buffer)) = self.segment.filter(|_| peek_is(m, src, dst, Tags::XFER_REPLY)) {
+            let feature = if self.hs_attempt == 0 {
+                Feature::BufferMgmt
+            } else {
+                Feature::FaultTol
+            };
+            let node = m.node_mut(src);
+            let cpu = node.cpu.clone();
+            cpu.with_feature(feature, |_| {
+                let (_, tag, header, _) = node.recv_ctl_now();
+                debug_assert_eq!(tag, Tags::XFER_REPLY);
+                debug_assert_eq!(header, seg);
+            });
+            self.rx.buffer = buffer;
+            self.nonce = (seg & 0xfff) << OFFSET_BITS;
+            transfer_prologue(m, src, dst);
+            self.phase = ReliablePhase::Transfer;
+            self.drain_waited = 0;
+            return Ok(Stepped::Progress);
+        }
+        Ok(if progress { Stepped::Progress } else { Stepped::Idle })
+    }
+
+    fn step_transfer(&mut self, m: &mut Machine) -> Result<Stepped, ProtocolError> {
+        let (src, dst, n) = (self.src, self.dst, self.n);
+        // Drain stalled for a whole backoff window with packets still
+        // missing: recover via NACK + selective retransmission.
+        if self.rx.packets_received < self.rx.packets_expected
+            && self.next_packet == self.packets
+            && self.drain_waited > self.policy.backoff(self.drain_attempt)
+        {
+            self.drain_attempt += 1;
+            if self.drain_attempt >= self.policy.max_attempts {
+                return Err(ProtocolError::Timeout {
+                    waiting_for: "xfer data packets",
+                    cycles: self.drain_waited,
+                    node: Some(dst),
+                    attempts: self.drain_attempt,
+                });
+            }
+            self.nack_rounds += 1;
+            self.nack_pending = true;
+            self.nack_charge_due = true;
+            self.drain_waited = 0;
+        }
+        let mut progress = false;
+        // Selective retransmissions named by a received NACK go first.
+        while let Some(&k) = self.retransmit_queue.front() {
+            if self.stalled {
+                break;
+            }
+            let offset = k * n as u64;
+            let nonce = self.nonce;
+            let src_buf = self.src_buf;
+            let cpu = m.cpu(src);
+            let accepted = cpu.with_feature(Feature::FaultTol, |_| {
+                m.send_data_packet(src, dst, src_buf, offset, n, PayloadEngine::Cpu, nonce)
+            });
+            if accepted {
+                self.retransmit_queue.pop_front();
+                self.data_retransmits += 1;
+                progress = true;
+            } else {
+                self.stalled = true;
+            }
+        }
+        // Initial injection — identical to the plain protocol.
+        if !self.stalled {
+            while self.next_packet < self.packets {
+                let offset = self.next_packet * n as u64;
+                if m.send_data_packet(
+                    src,
+                    dst,
+                    self.src_buf,
+                    offset,
+                    n,
+                    PayloadEngine::Cpu,
+                    self.nonce,
+                ) {
+                    self.next_packet += 1;
+                    progress = true;
+                } else {
+                    self.send_retries += 1;
+                    self.stalled = true;
+                    break;
+                }
+            }
+        }
+        // Fault-tolerant drain. Anything from our source at the queue
+        // head is ours to classify (data, duplicated handshake
+        // request, stray probe).
+        while self.rx.packets_received < self.rx.packets_expected {
+            let Some(meta) = m.rx_peek_at(dst) else { break };
+            if meta.src != src
+                || !(meta.tag == Tags::XFER_DATA
+                    || meta.tag == Tags::XFER_REQ
+                    || meta.tag == Tags::XFER_PROBE)
+            {
+                break;
+            }
+            if m.recv_one_data_tolerant(dst, n, &mut self.rx, &mut self.seen, self.nonce) {
+                progress = true;
+            } else {
+                break;
+            }
+        }
+        // A late duplicated reply at the source is recovery noise.
+        if peek_is(m, src, dst, Tags::XFER_REPLY) {
+            m.discard_stray(src);
+            progress = true;
+        }
+        // NACK emission (destination): gap scan + NACK packet.
+        if self.nack_pending && !self.stalled {
+            if self.nack_charge_due {
+                let node = m.node_mut(dst);
+                let cpu = node.cpu.clone();
+                cpu.with_feature(Feature::FaultTol, |_| {
+                    node.cpu.reg(Fine::RegOp, recovery::GAP_SCAN_REG);
+                    node.cpu.mem_store(recovery::NACK_STATE_MEM);
+                });
+                self.nack_charge_due = false;
+            }
+            match first_missing(&self.seen) {
+                None => self.nack_pending = false, // gap closed meanwhile
+                Some(first) => {
+                    let bits = missing_bitmap(&self.seen, first);
+                    let node = m.node_mut(dst);
+                    let sent = {
+                        let cpu = node.cpu.clone();
+                        cpu.with_feature(Feature::FaultTol, |_| {
+                            node.send_ctl(src, Tags::XFER_NACK, first as u32, bits)
+                        })
+                    };
+                    if sent {
+                        self.nack_pending = false;
+                        progress = true;
+                    } else {
+                        self.stalled = true;
+                    }
+                }
+            }
+        }
+        // NACK reception (source): build the retransmit queue.
+        if peek_is(m, src, dst, Tags::XFER_NACK) {
+            let node = m.node_mut(src);
+            let cpu = node.cpu.clone();
+            let (first, bits) = cpu.with_feature(Feature::FaultTol, |c| {
+                let (_, tag, header, words) = node.recv_ctl_now();
+                debug_assert_eq!(tag, Tags::XFER_NACK);
+                c.reg(Fine::RegOp, recovery::RETRANSMIT_SETUP_REG);
+                (header, words)
+            });
+            for rel in 0..128u32 {
+                if bits[rel as usize / 32] >> (rel % 32) & 1 == 0 {
+                    continue;
+                }
+                let k = u64::from(first) + u64::from(rel);
+                if k >= self.packets {
+                    break;
+                }
+                self.retransmit_queue.push_back(k);
+            }
+            progress = true;
+        }
+        if progress {
+            self.drain_waited = 0;
+        }
+        if self.next_packet == self.packets
+            && self.rx.packets_received == self.rx.packets_expected
+            && self.retransmit_queue.is_empty()
+            && !self.nack_pending
+        {
+            // Free the segment — identical to the plain protocol.
+            let node = m.node_mut(dst);
+            node.cpu.clone().with_feature(Feature::InOrder, |cpu| {
+                cpu.reg(Fine::RegOp, xfer_order::DST_FINAL);
+            });
+            node.cpu.mem_store(xfer_recv::EXIT_STATE_MEM);
+            node.cpu.clone().with_feature(Feature::BufferMgmt, |cpu| {
+                cpu.reg(Fine::RegOp, segment::DISASSOCIATE_REG);
+                cpu.mem_store(segment::DISASSOCIATE_MEM);
+            });
+            self.phase = ReliablePhase::SendAck;
+            self.ack_waited = 0;
+            return Ok(Stepped::Progress);
+        }
+        Ok(if progress { Stepped::Progress } else { Stepped::Idle })
+    }
+
+    fn step_send_ack(&mut self, m: &mut Machine) -> Result<Stepped, ProtocolError> {
+        if self.ack_waited > m.config().max_wait_cycles {
+            return Err(ProtocolError::timeout(
+                "control-packet injection",
+                self.ack_waited,
+            ));
+        }
+        if self.stalled {
+            return Ok(Stepped::Idle);
+        }
+        let seg = self.segment.expect("segment allocated").0;
+        let src = self.src;
+        let node = m.node_mut(self.dst);
+        let sent = {
+            let cpu = node.cpu.clone();
+            cpu.with_feature(Feature::FaultTol, |_| {
+                node.send_ctl(src, Tags::XFER_ACK, seg, [0; 4])
+            })
+        };
+        if sent {
+            self.phase = ReliablePhase::AwaitAck;
+            self.ack_waited = 0;
+            Ok(Stepped::Progress)
+        } else {
+            self.stalled = true;
+            Ok(Stepped::Idle)
+        }
+    }
+
+    fn step_await_ack(&mut self, m: &mut Machine) -> Result<Stepped, ProtocolError> {
+        let (src, dst) = (self.src, self.dst);
+        let seg = self.segment.expect("segment allocated").0;
+        // Window expiry: the acknowledgement is overdue — probe.
+        if self.ack_waited > self.policy.backoff(self.ack_attempt) {
+            self.ack_attempt += 1;
+            if self.ack_attempt >= self.policy.max_attempts {
+                return Err(ProtocolError::Timeout {
+                    waiting_for: "xfer acknowledgement",
+                    cycles: self.policy.backoff(self.ack_attempt - 1),
+                    node: Some(src),
+                    attempts: self.ack_attempt,
+                });
+            }
+            self.ack_probes += 1;
+            self.probe_pending = true;
+            self.ack_waited = 0;
+        }
+        let mut progress = false;
+        if self.probe_pending && !self.stalled {
+            let node = m.node_mut(src);
+            let sent = {
+                let cpu = node.cpu.clone();
+                cpu.with_feature(Feature::FaultTol, |_| {
+                    node.send_ctl(dst, Tags::XFER_PROBE, seg, [0; 4])
+                })
+            };
+            if sent {
+                self.probe_pending = false;
+                progress = true;
+            } else {
+                self.stalled = true;
+            }
+        }
+        // The destination answers a probe with a re-acknowledgement.
+        if peek_is(m, dst, src, Tags::XFER_PROBE) {
+            let node = m.node_mut(dst);
+            let cpu = node.cpu.clone();
+            cpu.with_feature(Feature::FaultTol, |_| {
+                let (_, tag, _, _) = node.recv_ctl_now();
+                debug_assert_eq!(tag, Tags::XFER_PROBE);
+            });
+            self.reack_pending = true;
+            progress = true;
+        }
+        if self.reack_pending && !self.stalled {
+            let node = m.node_mut(dst);
+            let sent = {
+                let cpu = node.cpu.clone();
+                cpu.with_feature(Feature::FaultTol, |_| {
+                    node.send_ctl(src, Tags::XFER_ACK, seg, [0; 4])
+                })
+            };
+            if sent {
+                self.reack_pending = false;
+                progress = true;
+            } else {
+                self.stalled = true;
+            }
+        }
+        // Stray late data at the destination (retransmitted duplicates
+        // still in flight) is discarded as recovery work.
+        if m.rx_peek_at(dst).is_some_and(|meta| {
+            meta.src == src && (meta.tag == Tags::XFER_DATA || meta.tag == Tags::XFER_REQ)
+        }) {
+            m.discard_stray(dst);
+            progress = true;
+        }
+        if peek_is(m, src, dst, Tags::XFER_ACK) {
+            let node = m.node_mut(src);
+            let cpu = node.cpu.clone();
+            cpu.with_feature(Feature::FaultTol, |_| {
+                let (_, tag, header, _) = node.recv_ctl_now();
+                debug_assert_eq!(tag, Tags::XFER_ACK);
+                debug_assert_eq!(header, seg);
+            });
+            return Ok(Stepped::Done(OpOutcome::Reliable(ReliableOutcome {
+                xfer: XferOutcome {
+                    dst_buffer: self.rx.buffer,
+                    packets: self.packets,
+                    segment_id: seg,
+                    send_retries: self.send_retries,
+                },
+                handshake_retries: self.hs_attempt,
+                data_retransmits: self.data_retransmits,
+                nack_rounds: self.nack_rounds,
+                ack_probes: self.ack_probes,
+            })));
+        }
+        // A stale NACK arriving after the data phase completed.
+        if peek_is(m, src, dst, Tags::XFER_NACK) {
+            m.discard_stray(src);
+            progress = true;
+        }
+        Ok(if progress { Stepped::Progress } else { Stepped::Idle })
+    }
+}
+
+fn first_missing(seen: &[bool]) -> Option<u64> {
+    seen.iter().position(|&s| !s).map(|i| i as u64)
+}
+
+fn missing_bitmap(seen: &[bool], first: u64) -> [u32; 4] {
+    let mut bits = [0u32; 4];
+    for (i, &got) in seen.iter().enumerate().skip(first as usize).take(first as usize + 128) {
+        if !got {
+            let rel = i - first as usize;
+            if rel >= 128 {
+                break;
+            }
+            bits[rel / 32] |= 1 << (rel % 32);
+        }
+    }
+    bits
+}

@@ -4,12 +4,12 @@
 
 use std::collections::HashMap;
 
-use timego_cost::{CostHandle, Fine};
-use timego_netsim::NodeId;
+use timego_cost::{CostHandle, Feature, Fine};
+use timego_netsim::{NodeId, RxMeta};
 use timego_ni::{Addr, Memory, NiPort, SharedNetwork};
 
 use crate::am::{Am4Msg, PollOutcome};
-use crate::costs::{am4_recv, am4_send, ctl_send};
+use crate::costs::{am4_recv, am4_send, ctl_send, recovery};
 use crate::error::ProtocolError;
 use crate::stream::StreamState;
 
@@ -138,6 +138,16 @@ impl Node {
         Some((src, tag, header, [w0, w1, w2, w3]))
     }
 
+    /// Receive one control packet that a cost-free peek has already
+    /// shown to be pending: one favorable-path status probe plus the
+    /// 26-instruction receive — exactly what a successful
+    /// [`wait_rx`](Node::wait_rx) + [`recv_ctl`](Node::recv_ctl) costs.
+    pub(crate) fn recv_ctl_now(&mut self) -> (NodeId, u8, u32, [u32; 4]) {
+        let ok = self.ni.poll_status();
+        debug_assert!(ok, "recv_ctl_now requires a gated (peeked) packet");
+        self.recv_ctl().expect("gated receive")
+    }
+
     /// Temporarily remove a user handler for dispatch (the handler gets
     /// `&mut Memory`, which aliases `self`, so it cannot stay in place).
     pub(crate) fn handlers_take(&mut self, tag: u8) -> Option<Handler> {
@@ -246,6 +256,38 @@ impl Machine {
 
     pub(crate) fn node_mut(&mut self, node: NodeId) -> &mut Node {
         &mut self.nodes[node.index()]
+    }
+
+    /// Cost-free peek at the packet waiting at `node`'s NI (latched
+    /// first, else the head of the substrate's receive queue).
+    pub(crate) fn rx_peek_at(&mut self, node: NodeId) -> Option<RxMeta> {
+        self.nodes[node.index()].ni.rx_peek()
+    }
+
+    /// Allocate a fresh RPC correlation id.
+    pub(crate) fn alloc_call_id(&mut self) -> u64 {
+        let id = self.next_call_id;
+        self.next_call_id += 1;
+        id
+    }
+
+    /// Consume and discard the (peeked) packet at `node`'s queue head as
+    /// recovery noise: the control-receive identification shape plus the
+    /// fault-tolerance stray-discard charge, mirroring what the blocking
+    /// recovery paths paid for strays.
+    pub(crate) fn discard_stray(&mut self, node: NodeId) {
+        let n = self.node_mut(node);
+        let ok = n.ni.poll_status();
+        debug_assert!(ok, "discard_stray requires a gated (peeked) packet");
+        n.cpu.call(am4_recv::CALL);
+        n.cpu.reg(Fine::CheckStatus, am4_recv::STATUS_REG);
+        n.cpu.ctrl(am4_recv::CTRL);
+        let _ = n.ni.latch_rx();
+        let _ = n.ni.read_header();
+        n.cpu.clone().with_feature(Feature::FaultTol, |cpu| {
+            cpu.reg(Fine::RegOp, recovery::STRAY_DISCARD_REG);
+        });
+        n.ni.drop_latched();
     }
 
     // --- harness-side buffer helpers (cost-free by design) ------------

@@ -16,6 +16,7 @@ use timego_ni::Memory;
 
 use crate::am::{Am4Msg, PollOutcome};
 use crate::costs::{am4_recv, am4_send, recovery};
+use crate::engine::{Engine, OpOutcome};
 use crate::error::ProtocolError;
 use crate::machine::{Machine, Tags};
 use crate::retry::RetryPolicy;
@@ -82,28 +83,13 @@ impl Machine {
         tag: u8,
         args: [u32; 4],
     ) -> Result<[u32; 4], ProtocolError> {
-        assert_ne!(src, dst, "rpc endpoints must differ");
-        let call_id = self.next_call_id;
-        self.next_call_id += 1;
-        self.rpc_send(src, dst, tag, call_id, args)?;
-
-        let max_wait = self.cfg.max_wait_cycles;
-        let mut waited = 0;
-        loop {
-            // Service the callee (and anything queued at the caller).
-            let _ = self.rpc_service(dst);
-            match self.rpc_service(src) {
-                RpcEvent::Reply(id, words) if id == call_id => return Ok(words),
-                RpcEvent::Reply(..) => { /* stale reply for someone else: dropped */ }
-                RpcEvent::Idle => {
-                    self.advance(1);
-                    waited += 1;
-                    if waited > max_wait {
-                        return Err(ProtocolError::timeout("rpc reply", waited));
-                    }
-                }
-                RpcEvent::Served(_) | RpcEvent::Duplicate(_) | RpcEvent::Other(_) => {}
-            }
+        let mut eng = Engine::new();
+        let op = eng.submit_rpc(self, src, dst, tag, args, None);
+        eng.run(self);
+        match eng.take_outcome(op).expect("op completed") {
+            Ok(OpOutcome::Rpc(words)) => Ok(words),
+            Err(e) => Err(e),
+            Ok(_) => unreachable!("rpc op yields reply words"),
         }
     }
 
@@ -135,43 +121,14 @@ impl Machine {
         args: [u32; 4],
         policy: &RetryPolicy,
     ) -> Result<[u32; 4], ProtocolError> {
-        assert_ne!(src, dst, "rpc endpoints must differ");
-        assert!(policy.max_attempts >= 1, "need at least one attempt");
-        let call_id = self.next_call_id;
-        self.next_call_id += 1;
-
-        let mut total_waited = 0;
-        for attempt in 0..policy.max_attempts {
-            if attempt == 0 {
-                self.rpc_send(src, dst, tag, call_id, args)?;
-            } else {
-                let cpu = self.cpu(src);
-                cpu.with_feature(Feature::FaultTol, |_| {
-                    self.rpc_send(src, dst, tag, call_id, args)
-                })?;
-            }
-            let window = policy.backoff(attempt);
-            let mut waited = 0;
-            while waited <= window {
-                let _ = self.rpc_service(dst);
-                match self.rpc_service(src) {
-                    RpcEvent::Reply(id, words) if id == call_id => return Ok(words),
-                    RpcEvent::Reply(..) => { /* stale reply for someone else */ }
-                    RpcEvent::Idle => {
-                        self.advance(1);
-                        waited += 1;
-                        total_waited += 1;
-                    }
-                    RpcEvent::Served(_) | RpcEvent::Duplicate(_) | RpcEvent::Other(_) => {}
-                }
-            }
+        let mut eng = Engine::new();
+        let op = eng.submit_rpc(self, src, dst, tag, args, Some(policy));
+        eng.run(self);
+        match eng.take_outcome(op).expect("op completed") {
+            Ok(OpOutcome::Rpc(words)) => Ok(words),
+            Err(e) => Err(e),
+            Ok(_) => unreachable!("rpc op yields reply words"),
         }
-        Err(ProtocolError::Timeout {
-            waiting_for: "rpc reply",
-            cycles: total_waited,
-            node: Some(src),
-            attempts: policy.max_attempts - 1,
-        })
     }
 
     /// Poll `node` once in RPC terms: serve one pending request (run
@@ -235,8 +192,34 @@ impl Machine {
         RpcEvent::Served(tag)
     }
 
-    /// A Table 1-shaped single-packet send with an explicit header word
-    /// (the RPC correlation id).
+    /// One attempt at the Table 1-shaped single-packet send with an
+    /// explicit header word (the RPC correlation id). Returns `false`
+    /// on backpressure; the costs are paid again on re-issue, as on the
+    /// real machine.
+    pub(crate) fn rpc_send_once(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        tag: u8,
+        header: u64,
+        words: [u32; 4],
+    ) -> bool {
+        let node = self.node_mut(from);
+        node.cpu.call(am4_send::CALL);
+        node.cpu.reg(Fine::NiSetup, am4_send::SETUP_REG);
+        node.ni.stage_envelope(to, tag, header as u32);
+        node.ni.push_payload2(words[0], words[1]);
+        node.ni.push_payload2(words[2], words[3]);
+        node.cpu.reg(Fine::CheckStatus, am4_send::STATUS_REG);
+        node.cpu.ctrl(am4_send::CTRL);
+        node.ni.commit_send() && {
+            node.ni.load_send_status();
+            true
+        }
+    }
+
+    /// A Table 1-shaped single-packet send, re-issued on backpressure
+    /// until the network accepts it or the wait bound is exceeded.
     fn rpc_send(
         &mut self,
         from: NodeId,
@@ -246,26 +229,15 @@ impl Machine {
         words: [u32; 4],
     ) -> Result<(), ProtocolError> {
         let max_wait = self.cfg.max_wait_cycles;
-        let node = self.node_mut(from);
         let mut waited = 0;
-        loop {
-            node.cpu.call(am4_send::CALL);
-            node.cpu.reg(Fine::NiSetup, am4_send::SETUP_REG);
-            node.ni.stage_envelope(to, tag, header as u32);
-            node.ni.push_payload2(words[0], words[1]);
-            node.ni.push_payload2(words[2], words[3]);
-            node.cpu.reg(Fine::CheckStatus, am4_send::STATUS_REG);
-            node.cpu.ctrl(am4_send::CTRL);
-            if node.ni.commit_send() {
-                node.ni.load_send_status();
-                return Ok(());
-            }
+        while !self.rpc_send_once(from, to, tag, header, words) {
             if waited >= max_wait {
                 return Err(ProtocolError::timeout("rpc injection", waited));
             }
-            node.ni.advance(1);
+            self.node_mut(from).ni.advance(1);
             waited += 1;
         }
+        Ok(())
     }
 }
 

@@ -20,12 +20,13 @@
 //! acknowledgement itself was lost), so a stream completes even over a
 //! corrupting, detect-only network.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use timego_cost::{Feature, Fine};
 use timego_netsim::NodeId;
 
 use crate::costs::{ctl_send, stream_dst, stream_src};
+use crate::engine::{Engine, OpOutcome};
 use crate::error::ProtocolError;
 use crate::machine::{Machine, Tags};
 
@@ -82,7 +83,7 @@ pub(crate) struct StreamState {
     pub(crate) dst: NodeId,
     cfg: StreamConfig,
     // Source side.
-    next_seq: u64,
+    pub(crate) next_seq: u64,
     unacked: BTreeMap<u64, Vec<u32>>,
     // Destination side.
     expected: u64,
@@ -91,6 +92,18 @@ pub(crate) struct StreamState {
     arrivals_since_ack: u64,
     delivered: Vec<u32>,
     total_pushed_words: usize,
+}
+
+impl StreamState {
+    /// The configured acknowledgement grouping (at least 1).
+    pub(crate) fn ack_period(&self) -> u64 {
+        self.cfg.ack_period.max(1)
+    }
+
+    /// Idle iterations before the retransmission timer fires.
+    pub(crate) fn rto_iterations(&self) -> u64 {
+        self.cfg.rto_iterations
+    }
 }
 
 impl Machine {
@@ -144,131 +157,90 @@ impl Machine {
     ///
     /// Panics if `id` is stale.
     pub fn stream_send(&mut self, id: StreamId, data: &[u32]) -> Result<StreamOutcome, ProtocolError> {
-        if data.is_empty() {
-            return Err(ProtocolError::BadTransfer("empty stream send".into()));
+        let mut eng = Engine::new();
+        let op = eng.submit_stream_send(self, id, data)?;
+        eng.run(self);
+        match eng.take_outcome(op).expect("op completed") {
+            Ok(OpOutcome::Stream(out)) => Ok(out),
+            Err(e) => Err(e),
+            Ok(_) => unreachable!("stream op yields a stream outcome"),
         }
-        let n = self.cfg.packet_words;
-        let packets = (data.len() as u64).div_ceil(n as u64);
-        let first_seq = self.streams[id.0].next_seq;
-        let target_contig = first_seq + packets;
-        let expected_acks = packets.div_ceil(self.streams[id.0].cfg.ack_period.max(1));
-        let max_iterations = self.cfg.max_wait_cycles;
+    }
 
-        let mut outcome = StreamOutcome {
-            packets,
-            acks: 0,
-            retransmits: 0,
-            duplicates: 0,
-            out_of_order: 0,
+    /// Immutable view of a stream's protocol state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale.
+    pub(crate) fn stream_state(&self, id: StreamId) -> &StreamState {
+        &self.streams[id.0]
+    }
+
+    /// Per-burst receiver entry: one receive poll + handler prologue
+    /// (the "+13" constant of Table 3's destination base).
+    pub(crate) fn stream_entry_charge(&mut self, id: StreamId) {
+        let dstn = self.streams[id.0].dst;
+        let node = self.node_mut(dstn);
+        node.cpu.call(stream_dst::ENTRY_CALL);
+        node.cpu.ctrl(stream_dst::ENTRY_CTRL);
+        let _ = node.ni.poll_status();
+    }
+
+    /// Whether the source window admits another in-flight packet.
+    pub(crate) fn stream_window_open(&self, id: StreamId) -> bool {
+        let st = &self.streams[id.0];
+        st.unacked.len() < st.cfg.window
+    }
+
+    /// Retransmit the oldest unacknowledged packet (one attempt, charged
+    /// to fault tolerance). Returns `false` when nothing is buffered.
+    pub(crate) fn stream_retransmit_oldest(&mut self, id: StreamId) -> bool {
+        let Some((&seq, payload)) = self.streams[id.0].unacked.iter().next().map(|(s, p)| (s, p.clone()))
+        else {
+            return false;
         };
+        let (srcn, dstn) = (self.streams[id.0].src, self.streams[id.0].dst);
+        let node = self.node_mut(srcn);
+        node.cpu.clone().with_feature(Feature::FaultTol, |_| {
+            let _ = send_stream_packet(node, dstn, Tags::STREAM_DATA, seq, &payload);
+        });
+        true
+    }
 
-        // Per-burst receiver entry: one receive poll + handler prologue
-        // (the "+13" constant of Table 3's destination base).
-        {
-            let dstn = self.streams[id.0].dst;
-            let node = self.node_mut(dstn);
-            node.cpu.call(stream_dst::ENTRY_CALL);
-            node.cpu.ctrl(stream_dst::ENTRY_CTRL);
-            let _ = node.ni.poll_status();
-        }
+    /// Whether the burst-closing cumulative acknowledgement is owed: the
+    /// whole burst has arrived but a partial final group has not been
+    /// acknowledged yet.
+    pub(crate) fn stream_group_ack_due(&self, id: StreamId, target_contig: u64) -> bool {
+        let st = &self.streams[id.0];
+        st.cfg.ack_period > 1 && st.arrived_contig >= target_contig && st.arrivals_since_ack > 0
+    }
 
-        let mut sent = 0u64;
-        let mut idle_iterations = 0u64;
-        let mut total_iterations = 0u64;
-        loop {
-            let mut progressed = false;
+    /// The receiver's contiguous-arrival mark.
+    pub(crate) fn stream_contig_mark(&self, id: StreamId) -> u64 {
+        self.streams[id.0].arrived_contig
+    }
 
-            // Phase 1: inject while the window is open.
-            while sent < packets && self.streams[id.0].unacked.len() < self.streams[id.0].cfg.window
-            {
-                let seq = first_seq + sent;
-                let base = (sent as usize) * n;
-                let payload: Vec<u32> = (0..n)
-                    .map(|i| data.get(base + i).copied().unwrap_or(0))
-                    .collect();
-                if !self.stream_inject(id, seq, &payload) {
-                    break; // backpressure: service the other phases
-                }
-                sent += 1;
-                progressed = true;
-            }
+    /// Reset the receiver's arrivals-since-acknowledgement counter.
+    pub(crate) fn stream_reset_ack_counter(&mut self, id: StreamId) {
+        self.streams[id.0].arrivals_since_ack = 0;
+    }
 
-            // Phase 2: receiver drains everything pending.
-            while self.stream_drain_one(id, n, &mut outcome)? {
-                progressed = true;
-            }
+    /// Whether every source buffer slot has been released.
+    pub(crate) fn stream_unacked_empty(&self, id: StreamId) -> bool {
+        self.streams[id.0].unacked.is_empty()
+    }
 
-            // Group-ack flush: if the burst has fully arrived but a
-            // partial final group remains unacknowledged, emit one
-            // cumulative acknowledgement so the source can release its
-            // buffers without waiting for a retransmission timeout.
-            {
-                let st = &self.streams[id.0];
-                if st.cfg.ack_period > 1
-                    && st.arrived_contig >= target_contig
-                    && st.arrivals_since_ack > 0
-                {
-                    let (srcn, dstn, cum) = (st.src, st.dst, st.arrived_contig);
-                    self.stream_send_ack_cumulative(srcn, dstn, cum, max_iterations)?;
-                    self.streams[id.0].arrivals_since_ack = 0;
-                    progressed = true;
-                }
-            }
-
-            // Phase 3: source processes acknowledgements. Under loss,
-            // retransmissions provoke re-acknowledgements beyond the
-            // nominal count, so keep draining while buffers are held.
-            while (outcome.acks < expected_acks || !self.streams[id.0].unacked.is_empty())
-                && self.stream_take_ack(id, &mut outcome)
-            {
-                progressed = true;
-            }
-
-            // Termination: everything sent, delivered and acknowledged.
-            let st = &self.streams[id.0];
-            if sent == packets && st.unacked.is_empty() && st.arrived_contig >= target_contig {
-                break;
-            }
-
-            if progressed {
-                idle_iterations = 0;
-            } else {
-                idle_iterations += 1;
-                self.advance(1);
-                // Fault tolerance in action: retransmit the oldest
-                // unacknowledged packet after a timeout.
-                if idle_iterations >= self.streams[id.0].cfg.rto_iterations {
-                    if let Some((&seq, payload)) =
-                        self.streams[id.0].unacked.iter().next().map(|(s, p)| (s, p.clone()))
-                    {
-                        let srcn = self.streams[id.0].src;
-                        let dstn = self.streams[id.0].dst;
-                        let node = self.node_mut(srcn);
-                        node.cpu.clone().with_feature(Feature::FaultTol, |_| {
-                            let _ = send_stream_packet(node, dstn, Tags::STREAM_DATA, seq, &payload);
-                        });
-                        outcome.retransmits += 1;
-                        idle_iterations = 0;
-                    }
-                }
-            }
-            total_iterations += 1;
-            if total_iterations > max_iterations {
-                return Err(ProtocolError::timeout("stream completion", total_iterations));
-            }
-        }
-
-        // Trim padding from the final packet (harness bookkeeping; the
-        // application-level framing is outside the measured layer).
+    /// Trim padding from the final packet (harness bookkeeping; the
+    /// application-level framing is outside the measured layer).
+    pub(crate) fn stream_epilogue(&mut self, id: StreamId, pushed_words: usize) {
         let st = &mut self.streams[id.0];
-        st.total_pushed_words += data.len();
+        st.total_pushed_words += pushed_words;
         st.delivered.truncate(st.total_pushed_words);
-        Ok(outcome)
     }
 
     /// Inject one sequenced, source-buffered data packet. Returns
     /// `false` on backpressure.
-    fn stream_inject(&mut self, id: StreamId, seq: u64, payload: &[u32]) -> bool {
+    pub(crate) fn stream_inject(&mut self, id: StreamId, seq: u64, payload: &[u32]) -> bool {
         let (srcn, dstn) = (self.streams[id.0].src, self.streams[id.0].dst);
         let node = self.node_mut(srcn);
 
@@ -296,31 +268,36 @@ impl Machine {
     }
 
     /// Receive and process one stream packet at the destination, if one
-    /// is pending. Returns `Ok(true)` if a packet was consumed.
-    fn stream_drain_one(
+    /// is pending. Returns `true` if a packet was consumed. Owed
+    /// acknowledgements are queued on `acks` as `(value, cumulative)`
+    /// pairs rather than injected inline, so the caller can retry them
+    /// under backpressure without re-draining.
+    pub(crate) fn stream_drain_one(
         &mut self,
         id: StreamId,
         n: usize,
         outcome: &mut StreamOutcome,
-    ) -> Result<bool, ProtocolError> {
+        acks: &mut VecDeque<(u64, bool)>,
+    ) -> bool {
         let dstn = self.streams[id.0].dst;
         let srcn = self.streams[id.0].src;
-        let max_wait = self.cfg.max_wait_cycles;
-        // Harness-level emptiness check (cost-free): the paper's counts
-        // take "execution paths which minimize the instruction count",
-        // i.e. the poll that would discover an empty FIFO is not charged
-        // to the protocol.
-        if self.net.borrow().rx_pending(dstn) == 0 {
-            return Ok(false);
+        // Harness-level emptiness/identification check (cost-free): the
+        // paper's counts take "execution paths which minimize the
+        // instruction count", i.e. the poll that would discover an empty
+        // FIFO is not charged to the protocol, and packets belonging to
+        // other in-flight operations are left for their owners.
+        let Some(meta) = self.rx_peek_at(dstn) else {
+            return false;
+        };
+        if meta.src != srcn || meta.tag != Tags::STREAM_DATA {
+            return false;
         }
         let node = self.node_mut(dstn);
 
         let Some((_, tag)) = node.ni.latch_rx() else {
-            return Ok(false);
+            return false;
         };
-        if tag != Tags::STREAM_DATA {
-            return Err(ProtocolError::UnexpectedPacket { tag });
-        }
+        debug_assert_eq!(tag, Tags::STREAM_DATA);
         node.cpu.reg(Fine::Handler, stream_dst::PER_PACKET_REG);
         let seq = u64::from(node.ni.read_header());
         let mut payload = Vec::with_capacity(n);
@@ -372,8 +349,8 @@ impl Machine {
             cpu.with_feature(Feature::InOrder, |cpu| {
                 cpu.reg(Fine::RegOp, stream_dst::INSEQ_REG + stream_dst::DUP_EXTRA_REG);
             });
-            self.stream_send_ack(id, srcn, dstn, seq, max_wait)?;
-            return Ok(true);
+            acks.push_back((seq, false));
+            return true;
         }
 
         // Acknowledgement policy.
@@ -383,71 +360,44 @@ impl Machine {
         let period = st.cfg.ack_period.max(1);
         let due = st.arrivals_since_ack >= period;
         if period == 1 {
-            self.stream_send_ack(id, srcn, dstn, seq, max_wait)?;
+            acks.push_back((seq, false));
             self.streams[id.0].arrivals_since_ack = 0;
         } else if due {
             // Group (cumulative) acknowledgement: everything below the
             // contiguous-arrival mark is covered.
             let cum = self.streams[id.0].arrived_contig;
-            self.stream_send_ack_cumulative(srcn, dstn, cum, max_wait)?;
+            acks.push_back((cum, true));
             self.streams[id.0].arrivals_since_ack = 0;
         }
-        Ok(true)
+        true
     }
 
-    fn stream_send_ack(
-        &mut self,
-        _id: StreamId,
-        srcn: NodeId,
-        dstn: NodeId,
-        seq: u64,
-        max_wait: u64,
-    ) -> Result<(), ProtocolError> {
+    /// One attempt at injecting a (possibly cumulative) acknowledgement
+    /// from the stream's receiver back to its source. Returns `false` on
+    /// backpressure; the caller requeues and retries.
+    pub(crate) fn stream_try_send_ack(&mut self, id: StreamId, value: u64, cumulative: bool) -> bool {
+        let (srcn, dstn) = (self.streams[id.0].src, self.streams[id.0].dst);
         let node = self.node_mut(dstn);
         let cpu = node.cpu.clone();
-        cpu.with_feature(Feature::FaultTol, |_| -> Result<(), ProtocolError> {
-            let mut waited = 0;
-            while !node.send_ctl(srcn, Tags::STREAM_ACK, seq as u32, [0, 0, 0, 0]) {
-                if waited >= max_wait {
-                    return Err(ProtocolError::timeout("stream ack injection", waited));
-                }
-                node.ni.advance(1);
-                waited += 1;
-            }
-            Ok(())
-        })
-    }
-
-    fn stream_send_ack_cumulative(
-        &mut self,
-        srcn: NodeId,
-        dstn: NodeId,
-        below: u64,
-        max_wait: u64,
-    ) -> Result<(), ProtocolError> {
-        let node = self.node_mut(dstn);
-        let cpu = node.cpu.clone();
-        cpu.with_feature(Feature::FaultTol, |_| -> Result<(), ProtocolError> {
-            let mut waited = 0;
-            while !node.send_ctl(srcn, Tags::STREAM_ACK, below as u32, [1, 0, 0, 0]) {
-                if waited >= max_wait {
-                    return Err(ProtocolError::timeout("stream group-ack injection", waited));
-                }
-                node.ni.advance(1);
-                waited += 1;
-            }
-            Ok(())
+        let flags = if cumulative { [1, 0, 0, 0] } else { [0, 0, 0, 0] };
+        cpu.with_feature(Feature::FaultTol, |_| {
+            node.send_ctl(srcn, Tags::STREAM_ACK, value as u32, flags)
         })
     }
 
     /// Receive one acknowledgement at the source, if pending, releasing
     /// the covered source-buffer slot(s).
-    fn stream_take_ack(&mut self, id: StreamId, outcome: &mut StreamOutcome) -> bool {
+    pub(crate) fn stream_take_ack(&mut self, id: StreamId, outcome: &mut StreamOutcome) -> bool {
         let srcn = self.streams[id.0].src;
-        // Cost-free emptiness check, as in the drain path: the status
-        // poll is charged per processed acknowledgement (part of its
-        // 18 reg + 5 dev budget), not for discovering an idle FIFO.
-        if self.net.borrow().rx_pending(srcn) == 0 {
+        let dstn = self.streams[id.0].dst;
+        // Cost-free emptiness/identification check, as in the drain
+        // path: the status poll is charged per processed acknowledgement
+        // (part of its 18 reg + 5 dev budget), not for discovering an
+        // idle FIFO.
+        let Some(meta) = self.rx_peek_at(srcn) else {
+            return false;
+        };
+        if meta.src != dstn || meta.tag != Tags::STREAM_ACK {
             return false;
         }
         let node = self.node_mut(srcn);

@@ -21,6 +21,7 @@ use timego_netsim::NodeId;
 use timego_ni::Addr;
 
 use crate::costs::{segment, xfer_order, xfer_recv, xfer_send};
+use crate::engine::{Engine, OpOutcome};
 use crate::error::ProtocolError;
 use crate::machine::{Machine, Node, Tags};
 
@@ -90,119 +91,14 @@ impl Machine {
         data: &[u32],
         engine: PayloadEngine,
     ) -> Result<XferOutcome, ProtocolError> {
-        assert_ne!(src, dst, "transfer endpoints must differ");
-        if data.is_empty() {
-            return Err(ProtocolError::BadTransfer("empty transfer".into()));
+        let mut eng = Engine::new();
+        let op = eng.submit_xfer_with(self, src, dst, data, engine)?;
+        eng.run(self);
+        match eng.take_outcome(op).expect("op completed") {
+            Ok(OpOutcome::Xfer(out)) => Ok(out),
+            Err(e) => Err(e),
+            Ok(_) => unreachable!("xfer op yields a transfer outcome"),
         }
-        let n = self.cfg.packet_words;
-        let packets = (data.len() as u64).div_ceil(n as u64);
-        let max_wait = self.cfg.max_wait_cycles;
-
-        // Harness setup: stage the data in source memory (cost-free, the
-        // data already lives there from the application's perspective).
-        let src_buf = self.write_buffer(src, data);
-
-        // Steps 1–3: preallocation handshake (buffer management).
-        let (segment_id, rx_buffer) = self.xfer_handshake(src, dst, data.len())?;
-
-        // Step 4: stream the data packets; the receiver drains
-        // concurrently (essential on finite-buffer substrates).
-        let mut rx = XferRx {
-            buffer: rx_buffer,
-            packets_expected: packets,
-            packets_received: 0,
-        };
-        let mut send_retries = 0;
-
-        // Per-message source prologue (Table 3 base constants).
-        {
-            let node = self.node_mut(src);
-            node.cpu.reg(Fine::CallReturn, xfer_send::PROLOGUE_REG);
-            node.cpu.mem_load(xfer_send::PROLOGUE_MEM);
-        }
-        // Per-message destination entry: one receive poll plus the
-        // handler prologue.
-        {
-            let node = self.node_mut(dst);
-            node.cpu.call(xfer_recv::ENTRY_CALL);
-            node.cpu.ctrl(xfer_recv::ENTRY_CTRL);
-            node.cpu.handler(xfer_recv::ENTRY_HANDLER);
-            node.cpu.mem_load(xfer_recv::ENTRY_STATE_MEM);
-            let _ = self.nodes[dst.index()].ni.poll_status();
-        }
-
-        for k in 0..packets {
-            let offset = k * n as u64;
-            let mut waited = 0;
-            loop {
-                let accepted = self.send_data_packet(src, dst, src_buf, offset, n, engine, 0);
-                if accepted {
-                    break;
-                }
-                send_retries += 1;
-                // Give the receiver a chance to free buffer space.
-                self.drain_data_packets(dst, n, &mut rx);
-                self.advance(1);
-                waited += 1;
-                if waited > max_wait {
-                    return Err(ProtocolError::timeout("xfer data injection", waited));
-                }
-            }
-        }
-
-        // Step 4 (receiver side): drain the remainder.
-        let mut waited = 0;
-        while rx.packets_received < rx.packets_expected {
-            let before = rx.packets_received;
-            self.drain_data_packets(dst, n, &mut rx);
-            if rx.packets_received == before {
-                self.advance(1);
-                waited += 1;
-                if waited > max_wait {
-                    return Err(ProtocolError::timeout("xfer data packets", waited));
-                }
-            }
-        }
-
-        // Steps 5–6: free the segment, send the acknowledgement.
-        {
-            let node = self.node_mut(dst);
-            // Final expected-count check (in-order delivery bookkeeping).
-            node.cpu.clone().with_feature(Feature::InOrder, |cpu| {
-                cpu.reg(Fine::RegOp, xfer_order::DST_FINAL);
-            });
-            // Write the (register-cached) segment count back.
-            node.cpu.mem_store(xfer_recv::EXIT_STATE_MEM);
-            node.cpu.clone().with_feature(Feature::BufferMgmt, |cpu| {
-                cpu.reg(Fine::RegOp, segment::DISASSOCIATE_REG);
-                cpu.mem_store(segment::DISASSOCIATE_MEM);
-            });
-            node.cpu.clone().with_feature(Feature::FaultTol, |_| {
-                send_ctl_retrying(node, src, Tags::XFER_ACK, segment_id, [0; 4], max_wait)
-            })?;
-        }
-
-        // Step 6 (source side): await the acknowledgement; only now may
-        // the source release its copy of the data.
-        {
-            let node = self.node_mut(src);
-            node.cpu.clone().with_feature(Feature::FaultTol, |_| -> Result<_, ProtocolError> {
-                node.wait_rx(max_wait, "xfer acknowledgement")?;
-                let (_, tag, header, _) = node.recv_ctl().expect("wait_rx saw a packet");
-                if tag != Tags::XFER_ACK {
-                    return Err(ProtocolError::UnexpectedPacket { tag });
-                }
-                debug_assert_eq!(header, segment_id);
-                Ok(())
-            })?;
-        }
-
-        Ok(XferOutcome {
-            dst_buffer: rx_buffer,
-            packets,
-            segment_id,
-            send_retries,
-        })
     }
 
     /// Steps 1–3 of the protocol: the sender requests a communication
@@ -329,25 +225,35 @@ impl Machine {
     /// Drain every data packet currently waiting at the receiver,
     /// storing payloads at their carried offsets.
     pub(crate) fn drain_data_packets(&mut self, dst: NodeId, n: usize, rx: &mut XferRx) {
-        let node = self.node_mut(dst);
         while rx.packets_received < rx.packets_expected {
-            let Some((_, tag)) = node.ni.latch_rx() else {
+            if !self.recv_one_data_packet(dst, n, rx) {
                 return;
-            };
-            debug_assert_eq!(tag, Tags::XFER_DATA, "only data packets in flight during step 4");
-            node.cpu.reg(Fine::Handler, xfer_recv::PER_PACKET_REG);
-            let offset = node.ni.read_header();
-            // In-order delivery: extract the offset and decrement the
-            // (register-cached) expected-packet count.
-            node.cpu.clone().with_feature(Feature::InOrder, |cpu| {
-                cpu.reg(Fine::RegOp, xfer_order::DST_PER_PACKET);
-            });
-            for d in 0..(n / 2) {
-                let (w0, w1) = node.ni.read_payload2();
-                node.mem.store2(rx.buffer.offset(offset as usize + 2 * d), w0, w1);
             }
-            rx.packets_received += 1;
         }
+    }
+
+    /// Receive exactly one data packet of the transfer, storing its
+    /// payload at the carried offset. Returns `false` (after the
+    /// discovery latch) when nothing is waiting.
+    pub(crate) fn recv_one_data_packet(&mut self, dst: NodeId, n: usize, rx: &mut XferRx) -> bool {
+        let node = self.node_mut(dst);
+        let Some((_, tag)) = node.ni.latch_rx() else {
+            return false;
+        };
+        debug_assert_eq!(tag, Tags::XFER_DATA, "only data packets in flight during step 4");
+        node.cpu.reg(Fine::Handler, xfer_recv::PER_PACKET_REG);
+        let offset = node.ni.read_header();
+        // In-order delivery: extract the offset and decrement the
+        // (register-cached) expected-packet count.
+        node.cpu.clone().with_feature(Feature::InOrder, |cpu| {
+            cpu.reg(Fine::RegOp, xfer_order::DST_PER_PACKET);
+        });
+        for d in 0..(n / 2) {
+            let (w0, w1) = node.ni.read_payload2();
+            node.mem.store2(rx.buffer.offset(offset as usize + 2 * d), w0, w1);
+        }
+        rx.packets_received += 1;
+        true
     }
 }
 

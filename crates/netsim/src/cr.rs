@@ -23,7 +23,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use crate::id::{NodeId, PacketId};
-use crate::network::{Guarantees, InjectError, Network};
+use crate::network::{Guarantees, InjectError, Network, RxMeta};
 use crate::packet::Packet;
 use crate::rng::SimRng;
 use crate::stats::NetStats;
@@ -154,7 +154,9 @@ impl CrNetwork {
             let seq = packet.pair_seq().expect("stamped at injection");
             let injected = packet.injected_at();
             self.rx[dst.index()].push_back(packet);
-            self.stats.record_delivery(src, dst, seq, injected, self.now);
+            let depth = self.rx[dst.index()].len();
+            self.stats
+                .record_delivery(src, dst, seq, injected, self.now, depth);
         }
         self.pairs.retain(|_, q| !q.is_empty());
     }
@@ -211,6 +213,10 @@ impl Network for CrNetwork {
         self.in_flight += 1;
         self.stats.injected += 1;
         Ok(())
+    }
+
+    fn rx_peek(&mut self, node: NodeId) -> Option<RxMeta> {
+        self.rx.get(node.index())?.front().map(RxMeta::of)
     }
 
     fn try_receive(&mut self, node: NodeId) -> Option<Packet> {

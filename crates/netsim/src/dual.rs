@@ -15,7 +15,7 @@
 //! handler.
 
 use crate::id::NodeId;
-use crate::network::{Guarantees, InjectError, Network};
+use crate::network::{Guarantees, InjectError, Network, RxMeta};
 use crate::packet::Packet;
 use crate::stats::NetStats;
 use crate::time::Time;
@@ -83,6 +83,7 @@ impl<A: Network, B: Network> DualNetwork<A, B> {
         self.merged.reordered = a.reordered + b.reordered;
         self.merged.jitter_delayed = a.jitter_delayed + b.jitter_delayed;
         self.merged.outage_drops = a.outage_drops + b.outage_drops;
+        self.merged.merge_per_node(a, b);
     }
 }
 
@@ -123,6 +124,13 @@ impl<A: Network, B: Network> Network for DualNetwork<A, B> {
             self.refresh_merged();
         }
         got
+    }
+
+    fn rx_peek(&mut self, node: NodeId) -> Option<RxMeta> {
+        // Mirror try_receive's reply priority.
+        self.reply
+            .rx_peek(node)
+            .or_else(|| self.request.rx_peek(node))
     }
 
     fn rx_pending(&self, node: NodeId) -> usize {

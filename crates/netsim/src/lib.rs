@@ -67,11 +67,11 @@ pub use cr::{CrConfig, CrNetwork};
 pub use dual::DualNetwork;
 pub use fault::{FaultConfig, FaultSchedule, OutageWindow};
 pub use id::{NodeId, PacketId};
-pub use network::{Guarantees, InjectError, Network};
+pub use network::{Guarantees, InjectError, Network, RxMeta};
 pub use packet::Packet;
 pub use rng::SimRng;
 pub use scripted::{DeliveryScript, ScriptedNetwork};
-pub use stats::{LatencyStats, NetStats, OrderTracker};
+pub use stats::{LatencyStats, NetStats, NodeOccupancy, OrderTracker};
 pub use switched::{RouteStrategy, SwappedContext, SwitchedConfig, SwitchedNetwork};
 pub use time::Time;
 pub use topology::{FatTree, Hypercube, LinkId, Mesh2D, Topology, Torus2D};

@@ -40,6 +40,36 @@ impl Guarantees {
     };
 }
 
+/// Envelope metadata of the packet at the head of a node's receive
+/// buffer, surfaced by [`Network::rx_peek`] without consuming it.
+///
+/// This is the substrate's "non-blocking poll" surface: an event-driven
+/// messaging layer inspects the head to decide *which* protocol state
+/// machine should pay for the receive, then latches it through the NI as
+/// usual. Peeking is free (pure harness introspection) — all modeled
+/// costs are still charged by the NI register operations that actually
+/// consume the packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RxMeta {
+    /// Sending node.
+    pub src: NodeId,
+    /// Hardware message tag (handler selector).
+    pub tag: u8,
+    /// The header word (offset or sequence number).
+    pub header: u32,
+}
+
+impl RxMeta {
+    /// Extract the envelope metadata from a delivered packet.
+    pub fn of(packet: &Packet) -> Self {
+        RxMeta {
+            src: packet.src(),
+            tag: packet.tag(),
+            header: packet.header(),
+        }
+    }
+}
+
 /// Why an injection attempt was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InjectError {
@@ -92,6 +122,14 @@ pub trait Network {
     /// internally (counted in [`NetStats::dropped_corrupt`]) and never
     /// surface here.
     fn try_receive(&mut self, node: NodeId) -> Option<Packet>;
+
+    /// Envelope metadata of the packet [`try_receive`](Network::try_receive)
+    /// would return next for `node`, without consuming it. Must be
+    /// consistent with `try_receive`: if this returns `Some`, an
+    /// immediate `try_receive` returns that packet. Takes `&mut self`
+    /// because substrates that release held packets on receive (e.g. the
+    /// scripted network's liveness flush) do the same here.
+    fn rx_peek(&mut self, node: NodeId) -> Option<RxMeta>;
 
     /// Packets currently waiting in `node`'s receive buffer.
     fn rx_pending(&self, node: NodeId) -> usize;

@@ -16,7 +16,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use crate::id::{NodeId, PacketId};
-use crate::network::{Guarantees, InjectError, Network};
+use crate::network::{Guarantees, InjectError, Network, RxMeta};
 use crate::packet::Packet;
 use crate::rng::SimRng;
 use crate::stats::NetStats;
@@ -106,7 +106,9 @@ impl ScriptedNetwork {
         let seq = packet.pair_seq().expect("stamped at injection");
         let injected = packet.injected_at();
         self.rx[dst.index()].push_back(packet);
-        self.stats.record_delivery(src, dst, seq, injected, self.now);
+        let depth = self.rx[dst.index()].len();
+        self.stats
+            .record_delivery(src, dst, seq, injected, self.now, depth);
     }
 
     /// Release every held packet destined for `node` (used when a stream
@@ -199,6 +201,15 @@ impl Network for ScriptedNetwork {
             }
         }
         Ok(())
+    }
+
+    fn rx_peek(&mut self, node: NodeId) -> Option<RxMeta> {
+        // Mirror try_receive's liveness flush so the peeked head is
+        // exactly what try_receive would pop.
+        if self.rx.get(node.index())?.is_empty() && self.held_count > 0 {
+            self.flush_node(Some(node));
+        }
+        self.rx.get(node.index())?.front().map(RxMeta::of)
     }
 
     fn try_receive(&mut self, node: NodeId) -> Option<Packet> {

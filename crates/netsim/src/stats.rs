@@ -184,6 +184,19 @@ impl OrderTracker {
     }
 }
 
+/// Per-node delivery/occupancy accounting, for studying how concurrent
+/// traffic loads individual endpoints (hot receivers, queue build-up).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeOccupancy {
+    /// Packets delivered *to* this node (it was the destination).
+    pub delivered_to: u64,
+    /// Packets this node injected that were delivered somewhere.
+    pub delivered_from: u64,
+    /// High-water mark of this node's receive queue depth, sampled at
+    /// each delivery (after the packet is enqueued).
+    pub peak_rx_depth: usize,
+}
+
 /// Aggregate statistics for one network instance.
 #[derive(Debug, Clone, Default)]
 pub struct NetStats {
@@ -219,6 +232,8 @@ pub struct NetStats {
     pub order: OrderTracker,
     /// Injection→delivery latency.
     pub latency: LatencyStats,
+    // Per-node occupancy, grown on demand (indexed by NodeId).
+    per_node: Vec<NodeOccupancy>,
 }
 
 impl NetStats {
@@ -227,7 +242,9 @@ impl NetStats {
         NetStats::default()
     }
 
-    /// Record a successful delivery.
+    /// Record a successful delivery. `rx_depth` is the destination's
+    /// receive-queue depth *after* enqueueing the packet, used for the
+    /// per-node occupancy high-water mark.
     pub(crate) fn record_delivery(
         &mut self,
         src: NodeId,
@@ -235,11 +252,52 @@ impl NetStats {
         pair_seq: u64,
         injected_at: Option<Time>,
         now: Time,
+        rx_depth: usize,
     ) {
         self.delivered += 1;
         self.order.record(src, dst, pair_seq);
         if let Some(at) = injected_at {
             self.latency.record(now.since(at));
+        }
+        self.node_mut(src).delivered_from += 1;
+        let to = self.node_mut(dst);
+        to.delivered_to += 1;
+        to.peak_rx_depth = to.peak_rx_depth.max(rx_depth);
+    }
+
+    fn node_mut(&mut self, node: NodeId) -> &mut NodeOccupancy {
+        let i = node.index();
+        if self.per_node.len() <= i {
+            self.per_node.resize(i + 1, NodeOccupancy::default());
+        }
+        &mut self.per_node[i]
+    }
+
+    /// Per-node delivery/occupancy accounting for `node` (zeroes if the
+    /// node has seen no traffic).
+    pub fn occupancy(&self, node: NodeId) -> NodeOccupancy {
+        self.per_node.get(node.index()).copied().unwrap_or_default()
+    }
+
+    /// Per-node occupancy table, indexed by node (may be shorter than
+    /// the node count if trailing nodes saw no traffic).
+    pub fn occupancy_table(&self) -> &[NodeOccupancy] {
+        &self.per_node
+    }
+
+    /// Overwrite this instance's per-node table with the elementwise
+    /// merge of two sides (used by composite networks): delivery counts
+    /// add, high-water marks take the maximum.
+    pub(crate) fn merge_per_node(&mut self, a: &NetStats, b: &NetStats) {
+        let len = a.per_node.len().max(b.per_node.len());
+        self.per_node.clear();
+        self.per_node.resize(len, NodeOccupancy::default());
+        for (i, slot) in self.per_node.iter_mut().enumerate() {
+            let x = a.per_node.get(i).copied().unwrap_or_default();
+            let y = b.per_node.get(i).copied().unwrap_or_default();
+            slot.delivered_to = x.delivered_to + y.delivered_to;
+            slot.delivered_from = x.delivered_from + y.delivered_from;
+            slot.peak_rx_depth = x.peak_rx_depth.max(y.peak_rx_depth);
         }
     }
 }

@@ -13,7 +13,7 @@ use std::collections::{HashMap, VecDeque};
 
 use crate::fault::{FaultConfig, FaultSchedule};
 use crate::id::{NodeId, PacketId};
-use crate::network::{Guarantees, InjectError, Network};
+use crate::network::{Guarantees, InjectError, Network, RxMeta};
 use crate::packet::Packet;
 use crate::rng::SimRng;
 use crate::stats::NetStats;
@@ -311,7 +311,9 @@ impl<T: Topology> SwitchedNetwork<T> {
         let seq = packet.pair_seq().expect("stamped at injection");
         let injected = packet.injected_at();
         self.rx[dst.index()].push_back(packet);
-        self.stats.record_delivery(src, dst, seq, injected, self.now);
+        let depth = self.rx[dst.index()].len();
+        self.stats
+            .record_delivery(src, dst, seq, injected, self.now, depth);
         self.record_trace(id, src, dst, TraceKind::Deliver);
     }
 
@@ -478,7 +480,9 @@ impl<T: Topology> Network for SwitchedNetwork<T> {
             let pseq = packet.pair_seq().expect("just stamped");
             let injected = packet.injected_at();
             self.rx[dst.index()].push_back(packet);
-            self.stats.record_delivery(src, dst, pseq, injected, self.now);
+            let depth = self.rx[dst.index()].len();
+            self.stats
+                .record_delivery(src, dst, pseq, injected, self.now, depth);
             return Ok(());
         }
 
@@ -571,6 +575,10 @@ impl<T: Topology> Network for SwitchedNetwork<T> {
         self.faults.note_injection();
         self.release_due_holds();
         Ok(())
+    }
+
+    fn rx_peek(&mut self, node: NodeId) -> Option<RxMeta> {
+        self.rx.get(node.index())?.front().map(RxMeta::of)
     }
 
     fn try_receive(&mut self, node: NodeId) -> Option<Packet> {

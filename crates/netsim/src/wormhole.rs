@@ -28,7 +28,7 @@ use std::collections::HashMap;
 
 use crate::fault::{FaultConfig, FaultSchedule};
 use crate::id::{NodeId, PacketId};
-use crate::network::{Guarantees, InjectError, Network};
+use crate::network::{Guarantees, InjectError, Network, RxMeta};
 use crate::packet::Packet;
 use crate::rng::SimRng;
 use crate::stats::NetStats;
@@ -447,7 +447,9 @@ impl<T: Topology> WormholeNetwork<T> {
                     packet.injected_at(),
                 );
                 self.rx[dst.index()].push_back(packet);
-                self.stats.record_delivery(src, dst, seq, injected, self.now);
+                let depth = self.rx[dst.index()].len();
+                self.stats
+                    .record_delivery(src, dst, seq, injected, self.now, depth);
                 self.last_progress = self.now;
             } else if self.cfg.cr.is_some() {
                 // Rejection: the destination cannot absorb the packet;
@@ -553,7 +555,9 @@ impl<T: Topology> Network for WormholeNetwork<T> {
             let pseq = packet.pair_seq().expect("stamped");
             let injected = packet.injected_at();
             self.rx[dst.index()].push_back(packet);
-            self.stats.record_delivery(src, dst, pseq, injected, self.now);
+            let depth = self.rx[dst.index()].len();
+            self.stats
+                .record_delivery(src, dst, pseq, injected, self.now, depth);
             return Ok(());
         }
 
@@ -602,6 +606,10 @@ impl<T: Topology> Network for WormholeNetwork<T> {
         self.release_due_holds();
         self.last_progress = self.now;
         Ok(())
+    }
+
+    fn rx_peek(&mut self, node: NodeId) -> Option<RxMeta> {
+        self.rx.get(node.index())?.front().map(RxMeta::of)
     }
 
     fn try_receive(&mut self, node: NodeId) -> Option<Packet> {

@@ -5,7 +5,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use timego_cost::{CostHandle, Fine};
-use timego_netsim::{InjectError, Network, NodeId, Packet};
+use timego_netsim::{InjectError, Network, NodeId, Packet, RxMeta};
 
 use crate::memory::{Addr, Memory};
 
@@ -183,6 +183,20 @@ impl NiPort {
         self.cpu.dev(Fine::CheckStatus, 1);
         let net = self.net.borrow();
         net.rx_pending(self.node) > 0 || self.latched.is_some()
+    }
+
+    /// Envelope metadata (source, tag, header) of the packet the next
+    /// [`latch_rx`](NiPort::latch_rx) would pop — the already-latched
+    /// packet if one is held, otherwise the head of the network's
+    /// receive queue. Free of modeled cost: this is the harness-level
+    /// dispatch surface an event-driven scheduler uses to decide *which*
+    /// protocol state machine should pay for the receive; the machine
+    /// that consumes the packet still pays every NI register access.
+    pub fn rx_peek(&mut self) -> Option<RxMeta> {
+        if let Some(l) = &self.latched {
+            return Some(RxMeta::of(&l.packet));
+        }
+        self.net.borrow_mut().rx_peek(self.node)
     }
 
     /// Pop the next waiting packet into the receive latch and load its

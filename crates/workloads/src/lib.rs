@@ -3,13 +3,15 @@
 //! Reusable building blocks for the experiments: standard substrate
 //! configurations ([`scenarios`]), communication patterns over many
 //! nodes ([`patterns`]), deterministic payload generators
-//! ([`payloads`]), and the parameter sweeps the paper's figures are
-//! built from ([`sweeps`]).
+//! ([`payloads`]), the parameter sweeps the paper's figures are built
+//! from ([`sweeps`]), and engine-driven concurrent many-to-many
+//! traffic ([`concurrent`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod concurrent;
 pub mod patterns;
 pub mod payloads;
 pub mod rpc;

@@ -13,6 +13,11 @@ pub const FIGURE8_MESSAGE_WORDS: u64 = 1024;
 /// (§3.2's closing remark); `1` is the paper's per-packet default.
 pub const GROUP_ACK_PERIODS: [u64; 6] = [1, 2, 4, 8, 16, 64];
 
+/// Concurrent-transfer counts for the engine concurrency study: how
+/// aggregate throughput and per-feature cost scale with the number of
+/// transfers interleaved through one engine run.
+pub const CONCURRENCY_KS: [usize; 5] = [1, 2, 4, 8, 16];
+
 /// A geometric message-size sweep from `lo` to `hi` (both inclusive if
 /// on the ×2 grid).
 pub fn message_sizes(lo: u64, hi: u64) -> Vec<u64> {

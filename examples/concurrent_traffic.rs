@@ -1,0 +1,76 @@
+//! Concurrent many-to-many traffic through one engine run.
+//!
+//! Eight nodes on the adaptive (reordering) fat-tree substrate carry a
+//! full random permutation of fault-tolerant bulk transfers *and* a
+//! ring of stream sends at the same time — every operation a state
+//! machine inside a single [`timego_am::Engine`] run, so the transfers
+//! genuinely overlap on the wire instead of executing back to back.
+//! Prints per-node occupancy (who got hot) and the aggregate
+//! per-feature instruction bill.
+//!
+//! Run with: `cargo run -p timego-bench --example concurrent_traffic`
+
+use timego_am::RetryPolicy;
+use timego_cost::Feature;
+use timego_netsim::NodeId;
+use timego_workloads::concurrent::{self, TrafficKind};
+
+const NODES: usize = 8;
+const WORDS: usize = 96;
+
+fn main() {
+    let mut m = concurrent::switched_machine(NODES, 17);
+
+    // A full random permutation of reliable transfers...
+    let mut ops = concurrent::permutation_plan(NODES, TrafficKind::Reliable, WORDS, 5);
+    let transfers = ops.len();
+    // ...plus a ring of streams, all submitted into the same engine run.
+    let ring: Vec<_> =
+        (0..NODES).map(|i| (NodeId::new(i), NodeId::new((i + 1) % NODES))).collect();
+    ops.extend(concurrent::plan(&ring, TrafficKind::Stream, WORDS, 9));
+
+    println!(
+        "submitting {} operations ({transfers} reliable transfers + {} streams) across {NODES} nodes\n",
+        ops.len(),
+        ops.len() - transfers,
+    );
+    let out = concurrent::run_concurrent(&mut m, &ops, &RetryPolicy::default());
+    assert!(out.failures.is_empty(), "failures: {:?}", out.failures);
+
+    println!(
+        "one engine run: {}/{} operations completed byte-exact in {} network cycles",
+        out.completed, out.submitted, out.elapsed_cycles
+    );
+    println!(
+        "{} payload words moved = {:.2} words/cycle aggregate; {} scheduler trace events\n",
+        out.words_moved,
+        out.words_per_cycle(),
+        out.trace_events
+    );
+
+    println!("per-node occupancy (the substrate's view of the contention):");
+    println!("{:>6} | {:>12} | {:>14} | {:>13}", "node", "delivered to", "delivered from", "peak rx depth");
+    let stats = m.network().borrow().stats().clone();
+    for (i, occ) in stats.occupancy_table().iter().enumerate().take(NODES) {
+        println!(
+            "{:>6} | {:>12} | {:>14} | {:>13}",
+            i, occ.delivered_to, occ.delivered_from, occ.peak_rx_depth
+        );
+    }
+
+    println!("\naggregate instruction bill by feature (all nodes):");
+    let mut total = 0u64;
+    for f in Feature::ALL {
+        let c: u64 =
+            (0..NODES).map(|i| m.cpu(NodeId::new(i)).snapshot().feature_total(f)).sum();
+        total += c;
+        println!("{:>12} | {c:>8}", format!("{f:?}"));
+    }
+    println!("{:>12} | {total:>8}", "total");
+    println!(
+        "\nThe per-operation software bill is identical to running each transfer\n\
+         alone (cost identity is test-asserted); concurrency buys wall cycles,\n\
+         not cheaper instructions — the messaging-layer overhead the paper\n\
+         measures does not amortize across concurrent operations."
+    );
+}

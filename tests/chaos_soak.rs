@@ -174,6 +174,112 @@ fn stream_soaks_in_order_exactly_once_across_fault_mixes() {
 }
 
 #[test]
+fn engine_concurrent_ops_soak_exactly_once_across_fault_mixes() {
+    use timego_am::{Engine, OpOutcome};
+
+    const ENGINE_NODES: usize = 8;
+    const ENGINE_SEEDS: u64 = 8;
+    let policy = RetryPolicy::default();
+    for (mix, fault) in scenarios::fault_mixes() {
+        for seed in 0..ENGINE_SEEDS {
+            let mut m = Machine::new(
+                share(scenarios::cm5_chaos(ENGINE_NODES, fault.clone(), seed)),
+                ENGINE_NODES,
+                CmamConfig::default(),
+            );
+            let runs = Rc::new(RefCell::new(0u32));
+            let counter = runs.clone();
+            m.register_rpc_handler(n(1), 40, move |_, msg| {
+                *counter.borrow_mut() += 1;
+                [msg.words[0].wrapping_add(9), 0, 0, 0]
+            });
+
+            // One engine run: three reliable transfers on disjoint pairs,
+            // one retried stream, two retried RPCs — all under the fault
+            // plane at once.
+            let mut eng = Engine::new();
+            let transfers: Vec<_> = [(2usize, 3usize), (4, 5), (6, 7)]
+                .iter()
+                .enumerate()
+                .map(|(i, (s, d))| {
+                    let data = payloads::mixed(24 + (seed as usize % 24), seed + i as u64);
+                    let id = eng
+                        .submit_xfer_reliable(&m, n(*s), n(*d), &data, &policy)
+                        .expect("valid");
+                    (id, n(*d), data)
+                })
+                .collect();
+            let sid = m.open_stream(
+                n(0),
+                n(2),
+                StreamConfig { rto_iterations: 256, ..StreamConfig::default() },
+            );
+            let stream_data = payloads::mixed(20 + (seed as usize % 16), seed.wrapping_add(55));
+            let stream_op = eng.submit_stream_send(&m, sid, &stream_data).expect("valid");
+            let rpcs: Vec<_> = (0..2u32)
+                .map(|v| {
+                    (eng.submit_rpc(&mut m, n(3 + v as usize), n(1), 40, [v, 0, 0, 0], Some(&policy)), v)
+                })
+                .collect();
+
+            eng.run(&mut m);
+            assert_eq!(eng.unfinished(), 0, "{mix}/seed {seed}");
+
+            for (id, dst, data) in &transfers {
+                match eng.take_outcome(*id).expect("finished") {
+                    Ok(OpOutcome::Reliable(out)) => assert_eq!(
+                        &m.read_buffer(*dst, out.xfer.dst_buffer, data.len()),
+                        data,
+                        "{mix}/seed {seed}: reliable payload must be byte-exact"
+                    ),
+                    other => panic!("{mix}/seed {seed}: {other:?}"),
+                }
+            }
+            match eng.take_outcome(stream_op).expect("finished") {
+                Ok(OpOutcome::Stream(_)) => assert_eq!(
+                    m.stream_received(sid),
+                    stream_data.as_slice(),
+                    "{mix}/seed {seed}: stream must deliver in order, exactly once"
+                ),
+                other => panic!("{mix}/seed {seed}: {other:?}"),
+            }
+            for (id, v) in &rpcs {
+                match eng.take_outcome(*id).expect("finished") {
+                    Ok(OpOutcome::Rpc(reply)) => assert_eq!(
+                        reply[0],
+                        v.wrapping_add(9),
+                        "{mix}/seed {seed}: rpc reply must be byte-exact"
+                    ),
+                    other => panic!("{mix}/seed {seed}: {other:?}"),
+                }
+            }
+            assert_eq!(
+                *runs.borrow(),
+                2,
+                "{mix}/seed {seed}: handlers must run exactly once per call under faults"
+            );
+
+            // Residual occupancy stays bounded by injected faults, as in
+            // the blocking soaks.
+            m.advance(4_096);
+            let net = m.network();
+            let mut strays = 0u64;
+            for i in 0..ENGINE_NODES {
+                while net.borrow_mut().try_receive(n(i)).is_some() {
+                    strays += 1;
+                }
+            }
+            let stats = net.borrow().stats().clone();
+            let bound = stats.duplicated + stats.reordered + 16;
+            assert!(
+                strays <= bound,
+                "{mix}/seed {seed}: {strays} stray packets exceed bound {bound}"
+            );
+        }
+    }
+}
+
+#[test]
 fn fault_free_soak_runs_cost_exactly_the_paper_protocols() {
     let clean = FaultConfig::default();
     let data = payloads::mixed(64, 9);

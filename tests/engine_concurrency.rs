@@ -1,0 +1,290 @@
+//! Engine concurrency properties.
+//!
+//! * **One run, many machines**: at least 8 operations across at least
+//!   8 nodes progress concurrently inside a single [`Engine::run`] —
+//!   proven from the scheduler trace (operations alternate `Progressed`
+//!   events; completions land while other operations are still moving),
+//!   not from serialized end states.
+//! * **Cost identity**: interleaving K operations charges exactly the
+//!   same per-node, per-feature instruction totals as running the same
+//!   operations serially through the blocking API — for disjoint node
+//!   pairs, for operations sharing an endpoint, and for same-pair
+//!   operations the engine serializes by conflict key.
+//! * **Correlation**: concurrent RPCs to one server match replies by
+//!   call id and run handlers exactly once each.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use timego_am::{CmamConfig, Engine, EngineEvent, Machine, OpId, OpOutcome, RetryPolicy};
+use timego_cost::Feature;
+use timego_netsim::{DeliveryScript, NodeId, ScriptedNetwork};
+use timego_ni::share;
+use timego_workloads::{concurrent, payloads, scenarios};
+
+fn n(i: usize) -> NodeId {
+    NodeId::new(i)
+}
+
+fn instant_machine(nodes: usize) -> Machine {
+    Machine::new(share(ScriptedNetwork::new(nodes, DeliveryScript::InOrder)), nodes, CmamConfig::default())
+}
+
+/// Per-node, per-feature instruction totals.
+fn feature_matrix(m: &Machine, nodes: usize) -> Vec<Vec<u64>> {
+    (0..nodes)
+        .map(|i| {
+            Feature::ALL.iter().map(|&f| m.cpu(n(i)).snapshot().feature_total(f)).collect()
+        })
+        .collect()
+}
+
+fn progressed(trace: &[EngineEvent]) -> Vec<OpId> {
+    trace
+        .iter()
+        .filter_map(|e| match e {
+            EngineEvent::Progressed(id) => Some(*id),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn eight_plus_ops_across_eight_plus_nodes_interleave_in_one_run() {
+    const NODES: usize = 16;
+    let mut m = concurrent::switched_machine(NODES, 23);
+    let mut eng = Engine::new();
+
+    // 8 reliable transfers on disjoint pairs: 16 distinct nodes.
+    let policy = RetryPolicy::default();
+    let mut expected = Vec::new();
+    for i in 0..8 {
+        let (src, dst) = (n(2 * i), n(2 * i + 1));
+        let data = payloads::mixed(64, i as u64);
+        let id = eng.submit_xfer_reliable(&m, src, dst, &data, &policy).expect("valid");
+        expected.push((id, dst, data));
+    }
+    // Plus 4 concurrent RPCs riding the same run (no conflict keys).
+    let calls = Rc::new(RefCell::new(0u32));
+    let counter = calls.clone();
+    m.register_rpc_handler(n(1), 40, move |_, msg| {
+        *counter.borrow_mut() += 1;
+        [msg.words[0] * 3, 0, 0, 0]
+    });
+    let rpcs: Vec<(OpId, u32)> = (0..4u32)
+        .map(|v| (eng.submit_rpc(&mut m, n(2 + 2 * (v as usize)), n(1), 40, [v, 0, 0, 0], None), v))
+        .collect();
+
+    eng.run(&mut m);
+    assert_eq!(eng.unfinished(), 0);
+
+    // Every operation completed, byte-exact.
+    for (id, dst, data) in &expected {
+        match eng.take_outcome(*id).expect("finished").expect("completed") {
+            OpOutcome::Reliable(out) => {
+                assert_eq!(&m.read_buffer(*dst, out.xfer.dst_buffer, data.len()), data);
+            }
+            other => panic!("expected reliable outcome, got {other:?}"),
+        }
+    }
+    for (id, v) in &rpcs {
+        match eng.take_outcome(*id).expect("finished").expect("completed") {
+            OpOutcome::Rpc(reply) => assert_eq!(reply[0], v * 3),
+            other => panic!("expected rpc outcome, got {other:?}"),
+        }
+    }
+    assert_eq!(*calls.borrow(), 4, "each rpc handler runs exactly once");
+
+    // Interleaving, from the trace. Serial execution would give exactly
+    // (ops - 1) switches between consecutive Progressed events; demand
+    // far more, and demand a strict a-b-a alternation for most ops.
+    let prog = progressed(eng.trace());
+    let distinct: HashMap<OpId, ()> = prog.iter().map(|id| (*id, ())).collect();
+    assert!(distinct.len() >= 12, "all 12 ops progressed, saw {}", distinct.len());
+    let switches = prog.windows(2).filter(|w| w[0] != w[1]).count();
+    assert!(
+        switches >= 2 * distinct.len(),
+        "expected heavy interleaving, saw only {switches} switches across {} ops",
+        distinct.len()
+    );
+    let mut first = HashMap::new();
+    let mut last = HashMap::new();
+    for (i, id) in prog.iter().enumerate() {
+        first.entry(*id).or_insert(i);
+        last.insert(*id, i);
+    }
+    let aba = prog
+        .iter()
+        .enumerate()
+        .filter(|(i, id)| {
+            first.iter().any(|(o, &f)| o != *id && f < *i && last[o] > *i)
+        })
+        .count();
+    assert!(aba > 0, "no operation progressed strictly inside another's lifetime");
+
+    // Completions interleave with progress: after the first Completed
+    // event, other operations are still making progress.
+    let trace = eng.trace();
+    let first_done = trace
+        .iter()
+        .position(|e| matches!(e, EngineEvent::Completed(_, _)))
+        .expect("something completed");
+    let done_id = match trace[first_done] {
+        EngineEvent::Completed(id, _) => id,
+        _ => unreachable!(),
+    };
+    assert!(
+        trace[first_done..]
+            .iter()
+            .any(|e| matches!(e, EngineEvent::Progressed(id) if *id != done_id)),
+        "first completion was not followed by progress of any other op — serialized run"
+    );
+}
+
+#[test]
+fn disjoint_concurrent_ops_cost_identical_to_serial_blocking_runs() {
+    const NODES: usize = 16;
+    for k in [2usize, 4, 8] {
+        let pairs: Vec<_> = (0..k).map(|i| (n(2 * i), n(2 * i + 1))).collect();
+        let payload = |i: usize| payloads::mixed(32, 100 + i as u64);
+
+        let mut serial = instant_machine(NODES);
+        for (i, (src, dst)) in pairs.iter().enumerate() {
+            serial.xfer(*src, *dst, &payload(i)).expect("instant substrate");
+        }
+
+        let mut conc = instant_machine(NODES);
+        let mut eng = Engine::new();
+        let ids: Vec<_> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, (src, dst))| eng.submit_xfer(&conc, *src, *dst, &payload(i)).expect("valid"))
+            .collect();
+        eng.run(&mut conc);
+        for id in ids {
+            assert!(eng.take_outcome(id).expect("finished").is_ok());
+        }
+
+        assert_eq!(
+            feature_matrix(&conc, NODES),
+            feature_matrix(&serial, NODES),
+            "k={k}: interleaving must not change any node's per-feature bill"
+        );
+    }
+}
+
+#[test]
+fn shared_endpoint_concurrent_ops_cost_identical_to_serial() {
+    const NODES: usize = 8;
+    // Fan-out: node 0 transfers to 1..=3 concurrently (distinct conflict
+    // keys), and fan-in: nodes 5..=7 transfer to node 4.
+    let fan: Vec<(NodeId, NodeId)> =
+        vec![(n(0), n(1)), (n(0), n(2)), (n(0), n(3)), (n(5), n(4)), (n(6), n(4)), (n(7), n(4))];
+    let payload = |i: usize| payloads::mixed(24, 7 + i as u64);
+
+    let mut serial = instant_machine(NODES);
+    for (i, (src, dst)) in fan.iter().enumerate() {
+        serial.xfer(*src, *dst, &payload(i)).expect("instant substrate");
+    }
+
+    let mut conc = instant_machine(NODES);
+    let mut eng = Engine::new();
+    let ids: Vec<_> = fan
+        .iter()
+        .enumerate()
+        .map(|(i, (src, dst))| eng.submit_xfer(&conc, *src, *dst, &payload(i)).expect("valid"))
+        .collect();
+    eng.run(&mut conc);
+    for (i, id) in ids.into_iter().enumerate() {
+        let out = eng.take_outcome(id).expect("finished").expect("completed");
+        match out {
+            OpOutcome::Xfer(x) => {
+                assert_eq!(conc.read_buffer(fan[i].1, x.dst_buffer, 24), payload(i));
+            }
+            other => panic!("expected xfer outcome, got {other:?}"),
+        }
+    }
+
+    assert_eq!(
+        feature_matrix(&conc, NODES),
+        feature_matrix(&serial, NODES),
+        "shared-endpoint interleaving must not change any node's per-feature bill"
+    );
+}
+
+#[test]
+fn same_pair_ops_serialize_fifo_with_serial_cost() {
+    let mut serial = instant_machine(2);
+    let a = payloads::mixed(16, 1);
+    let b = payloads::mixed(16, 2);
+    serial.xfer(n(0), n(1), &a).expect("instant substrate");
+    serial.xfer(n(0), n(1), &b).expect("instant substrate");
+
+    let mut conc = instant_machine(2);
+    let mut eng = Engine::new();
+    let ia = eng.submit_xfer(&conc, n(0), n(1), &a).expect("valid");
+    let ib = eng.submit_xfer(&conc, n(0), n(1), &b).expect("valid");
+    eng.run(&mut conc);
+
+    // FIFO: the second op starts only after the first completes.
+    let trace = eng.trace();
+    let done_a = trace
+        .iter()
+        .position(|e| matches!(e, EngineEvent::Completed(id, _) if *id == ia))
+        .expect("first op completed");
+    let start_b = trace
+        .iter()
+        .position(|e| matches!(e, EngineEvent::Started(id) if *id == ib))
+        .expect("second op started");
+    assert!(start_b > done_a, "same-pair ops must serialize in submission order");
+
+    let out_a = match eng.take_outcome(ia).unwrap().unwrap() {
+        OpOutcome::Xfer(x) => x,
+        other => panic!("{other:?}"),
+    };
+    let out_b = match eng.take_outcome(ib).unwrap().unwrap() {
+        OpOutcome::Xfer(x) => x,
+        other => panic!("{other:?}"),
+    };
+    assert_ne!(out_a.dst_buffer, out_b.dst_buffer, "each transfer gets its own segment");
+    assert_eq!(conc.read_buffer(n(1), out_a.dst_buffer, 16), a);
+    assert_eq!(conc.read_buffer(n(1), out_b.dst_buffer, 16), b);
+
+    assert_eq!(feature_matrix(&conc, 2), feature_matrix(&serial, 2));
+}
+
+#[test]
+fn concurrent_rpcs_to_one_server_correlate_by_call_id() {
+    const NODES: usize = 9;
+    let mut m = Machine::new(
+        share(scenarios::cm5_adaptive(NODES, 3)),
+        NODES,
+        CmamConfig::default(),
+    );
+    let calls = Rc::new(RefCell::new(0u32));
+    let counter = calls.clone();
+    m.register_rpc_handler(n(0), 50, move |_, msg| {
+        *counter.borrow_mut() += 1;
+        [msg.words[0].wrapping_mul(7), msg.words[1], 0, 0]
+    });
+
+    let mut eng = Engine::new();
+    let ids: Vec<(OpId, u32)> = (1..NODES)
+        .map(|i| {
+            let v = i as u32;
+            (eng.submit_rpc(&mut m, n(i), n(0), 50, [v, v * 11, 0, 0], None), v)
+        })
+        .collect();
+    eng.run(&mut m);
+
+    for (id, v) in ids {
+        match eng.take_outcome(id).expect("finished").expect("completed") {
+            OpOutcome::Rpc(reply) => {
+                assert_eq!(reply, [v.wrapping_mul(7), v * 11, 0, 0], "caller {v} got its own reply");
+            }
+            other => panic!("expected rpc outcome, got {other:?}"),
+        }
+    }
+    assert_eq!(*calls.borrow(), (NODES - 1) as u32, "handlers ran exactly once per call");
+}
