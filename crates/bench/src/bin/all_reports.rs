@@ -18,6 +18,7 @@ fn main() {
         reports::latency(),
         reports::tension(),
         reports::concurrency(),
+        reports::congestion(),
         reports::substrate_demo(),
     ] {
         println!("{report}");

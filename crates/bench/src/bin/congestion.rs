@@ -1,0 +1,45 @@
+//! Congestion/saturation report: delivered throughput, backpressure,
+//! queue depth and latency percentiles per (pattern × substrate × load
+//! point). Emits the deterministic per-load-point results into
+//! `BENCH_results.json` under the `congestion/` prefix.
+//!
+//! Pass `--quick` to run the reduced CI interval grid; `--csv` to print
+//! the CSV instead of the table.
+
+use timego_bench::{reports, results::BenchResults};
+use timego_workloads::sweeps;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let intervals: &[u64] = if quick {
+        &sweeps::CONGESTION_QUICK_INTERVALS
+    } else {
+        &sweeps::CONGESTION_INTERVALS
+    };
+
+    if csv {
+        print!("{}", reports::congestion_csv());
+        return;
+    }
+
+    let rows = reports::congestion_rows(intervals);
+    print!("{}", reports::congestion_report(&rows));
+
+    let mut res = BenchResults::new("congestion/");
+    for r in &rows {
+        let key = format!("{}/{}/i{}", r.substrate, r.pattern, r.interval);
+        res.record_count(&format!("{key}/delivered_milli_wpc"), r.delivered_milli());
+        res.record_count(&format!("{key}/backpressure"), r.backpressure);
+        res.record_count(&format!("{key}/peak_rx_depth"), r.peak_rx_depth as u64);
+        res.record_cycles(&format!("{key}/packet_p99"), r.pkt_p99);
+        res.record_cycles(&format!("{key}/completion_p50"), r.comp_p50);
+        res.record_cycles(&format!("{key}/completion_p99"), r.comp_p99);
+    }
+    let path = BenchResults::default_path();
+    match res.write_merged(&path) {
+        Ok(n) => println!("\nwrote {n} entries to {}", path.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
+}

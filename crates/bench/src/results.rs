@@ -6,7 +6,7 @@
 //! other's. The format is deliberately line-oriented, one entry per
 //! line, which lets the merge logic stay a prefix filter instead of a
 //! JSON parser (the repo is dependency-free by policy; see `DESIGN.md
-//! §8`).
+//! §9`).
 //!
 //! ```json
 //! {
@@ -27,6 +27,9 @@ pub enum Metric {
     MedianNs(u128),
     /// A deterministic simulated-cycle (or instruction) count.
     Cycles(u64),
+    /// A dimensionless count or scaled ratio (events, queue depths,
+    /// milli-units).
+    Count(u64),
 }
 
 /// An accumulating set of named results belonging to one producer.
@@ -61,6 +64,12 @@ impl BenchResults {
         self.push(name, Metric::Cycles(cycles));
     }
 
+    /// Record a dimensionless count (events, queue depths, scaled
+    /// ratios).
+    pub fn record_count(&mut self, name: &str, count: u64) {
+        self.push(name, Metric::Count(count));
+    }
+
     fn push(&mut self, name: &str, metric: Metric) {
         self.entries.push((format!("{}{name}", self.prefix), metric));
     }
@@ -78,6 +87,9 @@ impl BenchResults {
                     }
                     Metric::Cycles(v) => {
                         write!(line, "  {}: {{\"cycles\": {v}}}", json_string(name)).unwrap();
+                    }
+                    Metric::Count(v) => {
+                        write!(line, "  {}: {{\"count\": {v}}}", json_string(name)).unwrap();
                     }
                 }
                 line
@@ -181,5 +193,26 @@ mod tests {
     #[test]
     fn json_strings_are_escaped() {
         assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn count_metric_round_trips() {
+        let dir = std::env::temp_dir().join(format!("timego-count-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_results.json");
+        let mut res = BenchResults::new("congestion/");
+        res.record_count("cm5/hotspot/i8/backpressure", 17);
+        res.record_cycles("cm5/hotspot/i8/completion_p99", 156);
+        assert_eq!(res.write_merged(&path).unwrap(), 2);
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(
+            text.contains("\"congestion/cm5/hotspot/i8/backpressure\": {\"count\": 17}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("\"congestion/cm5/hotspot/i8/completion_p99\": {\"cycles\": 156}"),
+            "{text}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -38,7 +38,7 @@
 use std::collections::{BTreeMap, HashSet, VecDeque};
 
 use timego_cost::{Feature, Fine};
-use timego_netsim::{NodeId, RxMeta};
+use timego_netsim::{LatencyStats, NodeId, RxMeta};
 use timego_ni::Addr;
 
 use crate::costs::{recovery, segment, xfer_order, xfer_recv, xfer_send};
@@ -91,6 +91,22 @@ pub enum EngineEvent {
     /// The operation finished; `true` means it produced an outcome,
     /// `false` an error.
     Completed(OpId, bool),
+}
+
+/// One scheduler trace entry: an [`EngineEvent`] stamped with the
+/// substrate clock (network cycles) at the moment it was recorded.
+///
+/// The stamps turn the trace into a measurement instrument: the
+/// distance from an operation's `Submitted` stamp to its `Completed`
+/// stamp is its *completion time* — queueing delay included — which is
+/// what an open-loop offered-load study needs (see
+/// [`Engine::completion_times`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TracedEvent {
+    /// Substrate clock when the event was recorded, in network cycles.
+    pub at: u64,
+    /// The scheduler event itself.
+    pub event: EngineEvent,
 }
 
 /// One step's verdict.
@@ -198,6 +214,11 @@ fn pairwise(node: NodeId, pkt_src: NodeId, a: NodeId, b: NodeId) -> bool {
     (node == a || node == b) && (pkt_src == a || pkt_src == b)
 }
 
+/// The substrate clock, as raw network cycles (cost-free introspection).
+fn clock(m: &Machine) -> u64 {
+    m.network().borrow().now().cycles()
+}
+
 /// The protocol engine: a scheduler interleaving NI polls, timer
 /// expiries, and injections across every submitted operation.
 ///
@@ -210,7 +231,10 @@ pub struct Engine {
     running: Vec<ActiveOp>,
     busy: HashSet<ConflictKey>,
     outcomes: BTreeMap<OpId, Result<OpOutcome, ProtocolError>>,
-    trace: Vec<EngineEvent>,
+    trace: Vec<TracedEvent>,
+    // Consecutive no-progress cycles, persisted across `pump` calls so
+    // the wedge backstop works for paced drivers too.
+    idle_streak: u64,
 }
 
 impl Default for Engine {
@@ -230,13 +254,18 @@ impl Engine {
             busy: HashSet::new(),
             outcomes: BTreeMap::new(),
             trace: Vec::new(),
+            idle_streak: 0,
         }
     }
 
-    fn submit(&mut self, op: OpKind) -> OpId {
+    fn record(&mut self, m: &Machine, event: EngineEvent) {
+        self.trace.push(TracedEvent { at: clock(m), event });
+    }
+
+    fn submit(&mut self, m: &Machine, op: OpKind) -> OpId {
         let id = OpId(self.next_id);
         self.next_id += 1;
-        self.trace.push(EngineEvent::Submitted(id));
+        self.record(m, EngineEvent::Submitted(id));
         self.pending.push_back(ActiveOp { id, op });
         id
     }
@@ -275,7 +304,7 @@ impl Engine {
             return Err(ProtocolError::BadTransfer("empty transfer".into()));
         }
         let n = m.config().packet_words;
-        Ok(self.submit(OpKind::Xfer(XferOp::new(src, dst, data.to_vec(), engine, n))))
+        Ok(self.submit(m, OpKind::Xfer(XferOp::new(src, dst, data.to_vec(), engine, n))))
     }
 
     /// Submit a fault-tolerant finite-sequence transfer (the engine form
@@ -311,7 +340,7 @@ impl Engine {
             )));
         }
         let n = m.config().packet_words;
-        Ok(self.submit(OpKind::Reliable(ReliableOp::new(
+        Ok(self.submit(m, OpKind::Reliable(ReliableOp::new(
             src,
             dst,
             data.to_vec(),
@@ -342,7 +371,7 @@ impl Engine {
         }
         let st = m.stream_state(id);
         let n = m.config().packet_words;
-        Ok(self.submit(OpKind::Stream(StreamOp::new(
+        Ok(self.submit(m, OpKind::Stream(StreamOp::new(
             id,
             st.src,
             st.dst,
@@ -376,7 +405,7 @@ impl Engine {
             assert!(p.max_attempts >= 1, "need at least one attempt");
         }
         let call_id = m.alloc_call_id();
-        self.submit(OpKind::Rpc(RpcOp {
+        self.submit(m, OpKind::Rpc(RpcOp {
             src,
             dst,
             tag,
@@ -397,10 +426,53 @@ impl Engine {
         self.pending.len() + self.running.len()
     }
 
-    /// The scheduler trace so far.
+    /// The scheduler trace so far, every event stamped with the
+    /// substrate clock at the moment it was recorded.
     #[must_use]
-    pub fn trace(&self) -> &[EngineEvent] {
+    pub fn trace(&self) -> &[TracedEvent] {
         &self.trace
+    }
+
+    /// Per-operation completion times derived from the cycle-stamped
+    /// trace: for every operation that has completed (successfully or
+    /// not), the network cycles from its `Submitted` event to its
+    /// `Completed` event.
+    ///
+    /// Submission — not admission — anchors the interval, so for
+    /// operations queued behind a busy conflict key the reported time
+    /// includes the queueing delay. That is deliberate: under an
+    /// open-loop offered load this is the latency an injected operation
+    /// actually experiences.
+    #[must_use]
+    pub fn completion_times(&self) -> Vec<(OpId, u64)> {
+        let mut submitted: BTreeMap<OpId, u64> = BTreeMap::new();
+        let mut out = Vec::new();
+        for e in &self.trace {
+            match e.event {
+                EngineEvent::Submitted(id) => {
+                    submitted.insert(id, e.at);
+                }
+                EngineEvent::Completed(id, _) => {
+                    if let Some(&at) = submitted.get(&id) {
+                        out.push((id, e.at.saturating_sub(at)));
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// The [`completion_times`](Engine::completion_times) distribution
+    /// folded into a [`LatencyStats`] histogram, ready for percentile
+    /// queries (`quantile(0.99)` etc.).
+    #[must_use]
+    pub fn completion_stats(&self) -> LatencyStats {
+        let mut stats = LatencyStats::default();
+        for (_, cycles) in self.completion_times() {
+            stats.record(cycles);
+        }
+        stats
     }
 
     /// Take the outcome of a finished operation (at most once).
@@ -413,12 +485,34 @@ impl Engine {
     /// Outcomes are collected per [`OpId`]; an individual operation's
     /// failure does not abort the others.
     pub fn run(&mut self, m: &mut Machine) {
-        let mut idle_streak: u64 = 0;
+        self.idle_streak = 0;
+        while self.unfinished() > 0 {
+            self.pump(m);
+        }
+    }
+
+    /// One scheduler quantum: admit pending operations, sweep every
+    /// running state machine until none can make further progress
+    /// without time passing, then advance the substrate exactly one
+    /// cycle and deliver timer ticks. Returns the number of operations
+    /// still unfinished.
+    ///
+    /// This is the open-loop building block: a paced driver alternates
+    /// `pump` with `submit_*` calls to inject new operations at a
+    /// controlled offered rate while earlier ones are still in flight
+    /// ([`Engine::run`] is just `pump` until nothing is left). When the
+    /// engine is empty, `pump` advances the clock one cycle so a driver
+    /// waiting for its next injection slot still makes time pass.
+    pub fn pump(&mut self, m: &mut Machine) -> usize {
+        if self.unfinished() == 0 {
+            m.advance(1);
+            return 0;
+        }
         loop {
             self.admit(m);
             if self.running.is_empty() {
                 if self.pending.is_empty() {
-                    return;
+                    return 0;
                 }
                 // Pending ops blocked on keys held by nothing running:
                 // impossible, but don't spin.
@@ -430,23 +524,23 @@ impl Engine {
                 match self.running[i].op.step(m) {
                     Ok(Stepped::Progress) => {
                         let id = self.running[i].id;
-                        self.trace.push(EngineEvent::Progressed(id));
+                        self.record(m, EngineEvent::Progressed(id));
                         progressed = true;
                         i += 1;
                     }
                     Ok(Stepped::Idle) => i += 1,
                     Ok(Stepped::Done(out)) => {
-                        self.finish(i, Ok(out));
+                        self.finish(m, i, Ok(out));
                         progressed = true;
                     }
                     Err(e) => {
-                        self.finish(i, Err(e));
+                        self.finish(m, i, Err(e));
                         progressed = true;
                     }
                 }
             }
             if progressed {
-                idle_streak = 0;
+                self.idle_streak = 0;
                 continue;
             }
             if self.discard_orphan(m) {
@@ -456,22 +550,22 @@ impl Engine {
             for op in &mut self.running {
                 op.op.tick();
             }
-            idle_streak += 1;
-            if idle_streak > m.config().max_wait_cycles {
+            self.idle_streak += 1;
+            if self.idle_streak > m.config().max_wait_cycles {
                 // Backstop: every op's own deadline logic should fire
                 // first; if the world is truly wedged, fail what's left.
+                let streak = self.idle_streak;
                 while !self.running.is_empty() {
-                    self.finish(0, Err(ProtocolError::timeout("engine progress", idle_streak)));
+                    self.finish(m, 0, Err(ProtocolError::timeout("engine progress", streak)));
                 }
                 while let Some(op) = self.pending.pop_front() {
-                    self.outcomes.insert(
-                        op.id,
-                        Err(ProtocolError::timeout("engine progress", idle_streak)),
-                    );
-                    self.trace.push(EngineEvent::Completed(op.id, false));
+                    self.outcomes
+                        .insert(op.id, Err(ProtocolError::timeout("engine progress", streak)));
+                    self.record(m, EngineEvent::Completed(op.id, false));
                 }
-                return;
+                return 0;
             }
+            return self.unfinished();
         }
     }
 
@@ -496,19 +590,19 @@ impl Engine {
             if let Some(k) = key {
                 self.busy.insert(k);
             }
-            self.trace.push(EngineEvent::Started(op.id));
+            self.record(m, EngineEvent::Started(op.id));
             op.op.start(m);
             self.running.push(op);
         }
         self.pending = still_pending;
     }
 
-    fn finish(&mut self, idx: usize, result: Result<OpOutcome, ProtocolError>) {
+    fn finish(&mut self, m: &Machine, idx: usize, result: Result<OpOutcome, ProtocolError>) {
         let op = self.running.remove(idx);
         if let Some(k) = op.op.conflict_key() {
             self.busy.remove(&k);
         }
-        self.trace.push(EngineEvent::Completed(op.id, result.is_ok()));
+        self.record(m, EngineEvent::Completed(op.id, result.is_ok()));
         self.outcomes.insert(op.id, result);
     }
 

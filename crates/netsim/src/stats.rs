@@ -63,14 +63,55 @@ impl LatencyStats {
         let q = q.clamp(0.0, 1.0);
         let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
         let mut seen = 0;
+        let last = self.buckets.len() - 1;
         for (k, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                let upper = if k == 0 { 0 } else { (1u64 << k) - 1 };
+                // The top bucket is a catch-all for [2^31, ∞); its only
+                // honest upper bound is the recorded maximum.
+                let upper = if k == 0 {
+                    0
+                } else if k == last {
+                    self.max
+                } else {
+                    (1u64 << k) - 1
+                };
                 return upper.min(self.max);
             }
         }
         self.max
+    }
+
+    /// The lower and upper bounds of the histogram bucket containing
+    /// quantile `q`: the true quantile of the recorded values is
+    /// guaranteed to lie in `[lo, hi]`. [`quantile`](Self::quantile)
+    /// reports `hi` (capped at the recorded maximum), so its error is
+    /// at most one power-of-two bucket width. Returns `(0, 0)` if
+    /// nothing has been recorded.
+    pub fn quantile_bounds(&self, q: f64) -> (u64, u64) {
+        if self.count == 0 {
+            return (0, 0);
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        let last = self.buckets.len() - 1;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let (lo, hi) = if k == 0 {
+                    (0, 0)
+                } else if k == last {
+                    // Catch-all bucket: open-ended above, so the upper
+                    // bound is the recorded maximum.
+                    (1u64 << (k - 1), self.max)
+                } else {
+                    (1u64 << (k - 1), (1u64 << k) - 1)
+                };
+                return (lo.min(self.max), hi.min(self.max));
+            }
+        }
+        (self.max, self.max)
     }
 
     /// Number of recorded deliveries.
@@ -102,11 +143,14 @@ impl fmt::Display for LatencyStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "n={} mean={:.1} min={} max={}",
+            "n={} mean={:.1} min={} max={} p50={} p95={} p99={}",
             self.count,
             self.mean(),
             self.min,
-            self.max
+            self.max,
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99)
         )
     }
 }
@@ -372,6 +416,88 @@ mod tests {
         l.record(0);
         l.record(0);
         assert_eq!(l.quantile(0.9), 0);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let mut l = LatencyStats::default();
+        let mut rng = crate::rng::SimRng::new(99);
+        for _ in 0..500 {
+            l.record(rng.next_u64() % 100_000);
+        }
+        let qs = [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0];
+        for w in qs.windows(2) {
+            assert!(
+                l.quantile(w[0]) <= l.quantile(w[1]),
+                "quantile must be non-decreasing: q{} -> {}, q{} -> {}",
+                w[0],
+                l.quantile(w[0]),
+                w[1],
+                l.quantile(w[1])
+            );
+        }
+    }
+
+    #[test]
+    fn single_sample_distribution_is_that_sample() {
+        for v in [0u64, 1, 7, 1023, 1024, u64::MAX / 2] {
+            let mut l = LatencyStats::default();
+            l.record(v);
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                assert_eq!(l.quantile(q), v, "one sample of {v} at q={q}");
+            }
+            let (lo, hi) = l.quantile_bounds(0.5);
+            assert!(lo <= v && v <= hi, "{lo} <= {v} <= {hi}");
+        }
+    }
+
+    #[test]
+    fn quantile_bounds_bracket_the_exact_percentile() {
+        // Seeded property test: for many random distributions and many
+        // quantiles, the histogram's bucket bounds must bracket the
+        // exact percentile of the recorded values, and the reported
+        // quantile must equal the (max-capped) upper bound.
+        for seed in 0..20u64 {
+            let mut rng = crate::rng::SimRng::new(seed);
+            let n = 1 + rng.gen_index(400);
+            let mut values = Vec::with_capacity(n);
+            let mut l = LatencyStats::default();
+            for _ in 0..n {
+                // Mix magnitudes so samples span many buckets.
+                let shift = rng.gen_index(40) as u32;
+                let v = rng.next_u64() >> (24 + shift % 40);
+                values.push(v);
+                l.record(v);
+            }
+            values.sort_unstable();
+            for q in [0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+                // Exact percentile with the same ceil(n*q) rank rule.
+                let rank = ((n as f64 * q).ceil().max(1.0) as usize).min(n);
+                let exact = values[rank - 1];
+                let (lo, hi) = l.quantile_bounds(q);
+                assert!(
+                    lo <= exact && exact <= hi,
+                    "seed {seed} q {q}: exact {exact} outside [{lo}, {hi}]"
+                );
+                assert_eq!(
+                    l.quantile(q),
+                    hi.min(l.max()),
+                    "seed {seed} q {q}: quantile() must be the capped upper bound"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_includes_percentiles() {
+        let mut l = LatencyStats::default();
+        for v in [1u64, 2, 3, 100] {
+            l.record(v);
+        }
+        let s = l.to_string();
+        assert!(s.contains("p50="), "{s}");
+        assert!(s.contains("p95="), "{s}");
+        assert!(s.contains("p99="), "{s}");
     }
 
     #[test]

@@ -4,14 +4,16 @@
 //! configurations ([`scenarios`]), communication patterns over many
 //! nodes ([`patterns`]), deterministic payload generators
 //! ([`payloads`]), the parameter sweeps the paper's figures are built
-//! from ([`sweeps`]), and engine-driven concurrent many-to-many
-//! traffic ([`concurrent`]).
+//! from ([`sweeps`]), engine-driven concurrent many-to-many
+//! traffic ([`concurrent`]), and the open-loop offered-load driver
+//! for congestion studies ([`load`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod apps;
 pub mod concurrent;
+pub mod load;
 pub mod patterns;
 pub mod payloads;
 pub mod rpc;

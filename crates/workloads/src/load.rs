@@ -1,0 +1,262 @@
+//! Open-loop offered-load driver: controlled-rate injection of
+//! pattern-derived traffic through the protocol engine.
+//!
+//! Where [`crate::concurrent`] submits everything up front and lets the
+//! engine race, this module paces submissions on the substrate clock:
+//! one finite transfer every `interval` cycles, regardless of whether
+//! earlier transfers have finished. That is the *open-loop* discipline
+//! of the congestion-study literature — the offered rate is a property
+//! of the driver, not of the system under test — and it is what makes
+//! saturation observable: past the knee, delivered throughput flattens
+//! while completion times (which include queueing delay) diverge.
+//!
+//! Terminology, as used by the congestion report and `DESIGN.md §8`:
+//!
+//! * **Offered load** — payload words the driver *asks* the system to
+//!   move per cycle: `words / interval`.
+//! * **Delivered throughput** — payload words actually moved per
+//!   elapsed cycle, measured from completed operations over the whole
+//!   run (injection phase plus drain).
+//! * **Completion time** — cycles from an operation's `Submitted`
+//!   engine event to its `Completed` event, queueing included (see
+//!   [`Engine::completion_times`]).
+
+use timego_am::{CmamConfig, Engine, Machine};
+use timego_netsim::LatencyStats;
+
+use crate::patterns::Pattern;
+use crate::payloads;
+use crate::scenarios;
+
+/// One open-loop load point: what to offer, how fast, for how long.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Who talks to whom; operations cycle through the pattern's pairs
+    /// round-robin, so patterns with few pairs (hotspot) revisit pairs
+    /// sooner than dense ones (all-to-all).
+    pub pattern: Pattern,
+    /// Node count the pattern is materialized over.
+    pub nodes: usize,
+    /// Payload words per operation.
+    pub words: usize,
+    /// Cycles between successive submissions (the open-loop injection
+    /// interval; smaller is a higher offered load). Must be ≥ 1.
+    pub interval: u64,
+    /// Total operations to offer.
+    pub ops: usize,
+    /// Seed for the deterministic per-operation payloads.
+    pub seed: u64,
+}
+
+impl LoadSpec {
+    /// The offered load in payload words per cycle: `words / interval`.
+    #[must_use]
+    pub fn offered_words_per_cycle(&self) -> f64 {
+        self.words as f64 / self.interval as f64
+    }
+}
+
+/// What one open-loop run delivered, and at what latency.
+#[derive(Debug, Clone)]
+pub struct LoadOutcome {
+    /// Operations submitted (the full `spec.ops`).
+    pub offered: usize,
+    /// Operations that completed successfully.
+    pub completed: usize,
+    /// Operations that failed (timeouts under extreme congestion).
+    pub failed: usize,
+    /// Cycles from the first submission to the last completion
+    /// (injection phase plus drain).
+    pub elapsed_cycles: u64,
+    /// Payload words moved by completed operations.
+    pub words_moved: u64,
+    /// Injection attempts the substrate refused with backpressure
+    /// during the run.
+    pub backpressure: u64,
+    /// Highest receive-queue depth any node reached during the run.
+    pub peak_rx_depth: usize,
+    /// Per-packet injection→delivery latency histogram, from the
+    /// substrate's own [`LatencyStats`].
+    pub packet_latency: LatencyStats,
+    /// Per-operation completion-time histogram (submission→completion,
+    /// queueing included), from the cycle-stamped engine trace.
+    pub completion: LatencyStats,
+}
+
+impl LoadOutcome {
+    /// Delivered throughput in payload words per elapsed cycle.
+    #[must_use]
+    pub fn delivered_words_per_cycle(&self) -> f64 {
+        if self.elapsed_cycles == 0 {
+            0.0
+        } else {
+            self.words_moved as f64 / self.elapsed_cycles as f64
+        }
+    }
+}
+
+fn clock(m: &Machine) -> u64 {
+    m.network().borrow().now().cycles()
+}
+
+/// Drive one open-loop load point: submit one finite transfer every
+/// `spec.interval` cycles (pumping the engine in between so earlier
+/// operations keep moving), then drain until everything has completed
+/// or failed.
+///
+/// The machine should be freshly constructed for the load point — the
+/// substrate-side counters (backpressure, latency histogram, occupancy
+/// high-water marks) are read as whole-run totals.
+///
+/// # Panics
+///
+/// Panics if the pattern yields no pairs for `spec.nodes`, if
+/// `spec.interval` is zero, or if `spec.words` is zero.
+pub fn run_offered_load(m: &mut Machine, spec: &LoadSpec) -> LoadOutcome {
+    let pairs = spec.pattern.pairs(spec.nodes);
+    assert!(!pairs.is_empty(), "pattern yields no pairs over {} nodes", spec.nodes);
+    assert!(spec.interval >= 1, "open-loop interval must be at least one cycle");
+    assert!(spec.words >= 1, "operations must carry payload");
+
+    let mut eng = Engine::new();
+    let start = clock(m);
+    let mut ids = Vec::with_capacity(spec.ops);
+    for i in 0..spec.ops {
+        let due = start + i as u64 * spec.interval;
+        while clock(m) < due {
+            eng.pump(m);
+        }
+        let (src, dst) = pairs[i % pairs.len()];
+        let data = payloads::mixed(spec.words, spec.seed.wrapping_add(i as u64));
+        ids.push(eng.submit_xfer(m, src, dst, &data).expect("non-empty payload"));
+    }
+    while eng.unfinished() > 0 {
+        eng.pump(m);
+    }
+    let elapsed_cycles = clock(m) - start;
+
+    let mut completed = 0usize;
+    let mut failed = 0usize;
+    for id in ids {
+        match eng.take_outcome(id).expect("engine drained") {
+            Ok(_) => completed += 1,
+            Err(_) => failed += 1,
+        }
+    }
+
+    let net = m.network().borrow();
+    let stats = net.stats();
+    LoadOutcome {
+        offered: spec.ops,
+        completed,
+        failed,
+        elapsed_cycles,
+        words_moved: completed as u64 * spec.words as u64,
+        backpressure: stats.backpressure,
+        peak_rx_depth: stats
+            .occupancy_table()
+            .iter()
+            .map(|o| o.peak_rx_depth)
+            .max()
+            .unwrap_or(0),
+        packet_latency: stats.latency,
+        completion: eng.completion_stats(),
+    }
+}
+
+/// A ready-made machine for congestion studies on the CR-like
+/// substrate: `nodes` endpoints on the in-order, reliable,
+/// flow-controlled network of §4, default CMAM config — the
+/// high-level-network counterpart of
+/// [`crate::concurrent::switched_machine`].
+#[must_use]
+pub fn cr_machine(nodes: usize, seed: u64) -> Machine {
+    Machine::new(
+        timego_ni::share(scenarios::cr(nodes, seed)),
+        nodes,
+        CmamConfig::default(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concurrent::switched_machine;
+
+    #[test]
+    fn light_load_completes_everything() {
+        let mut m = switched_machine(8, 5);
+        let out = run_offered_load(
+            &mut m,
+            &LoadSpec {
+                pattern: Pattern::Ring,
+                nodes: 8,
+                words: 8,
+                interval: 512,
+                ops: 10,
+                seed: 1,
+            },
+        );
+        assert_eq!(out.completed, 10, "{} failed", out.failed);
+        assert_eq!(out.failed, 0);
+        assert_eq!(out.words_moved, 80);
+        assert!(out.elapsed_cycles >= 9 * 512, "open loop paces submissions");
+        assert_eq!(out.completion.count(), 10);
+        assert!(out.packet_latency.count() > 0, "substrate recorded packet latencies");
+    }
+
+    #[test]
+    fn offered_load_is_words_over_interval() {
+        let spec = LoadSpec {
+            pattern: Pattern::Hotspot,
+            nodes: 4,
+            words: 16,
+            interval: 8,
+            ops: 1,
+            seed: 0,
+        };
+        assert!((spec.offered_words_per_cycle() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavier_load_finishes_sooner_in_wall_cycles() {
+        // Same work at twice the injection rate must take fewer elapsed
+        // cycles (the driver, not the substrate, was the bottleneck).
+        let run = |interval| {
+            let mut m = switched_machine(8, 7);
+            run_offered_load(
+                &mut m,
+                &LoadSpec {
+                    pattern: Pattern::Ring,
+                    nodes: 8,
+                    words: 8,
+                    interval,
+                    ops: 12,
+                    seed: 3,
+                },
+            )
+        };
+        let slow = run(1024);
+        let fast = run(256);
+        assert_eq!(slow.completed, 12);
+        assert_eq!(fast.completed, 12);
+        assert!(fast.elapsed_cycles < slow.elapsed_cycles);
+    }
+
+    #[test]
+    fn cr_machine_carries_offered_load() {
+        let mut m = cr_machine(8, 3);
+        let out = run_offered_load(
+            &mut m,
+            &LoadSpec {
+                pattern: Pattern::Hotspot,
+                nodes: 8,
+                words: 8,
+                interval: 64,
+                ops: 14,
+                seed: 2,
+            },
+        );
+        assert_eq!(out.completed, 14, "{} failed", out.failed);
+    }
+}

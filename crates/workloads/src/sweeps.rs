@@ -18,6 +18,27 @@ pub const GROUP_ACK_PERIODS: [u64; 6] = [1, 2, 4, 8, 16, 64];
 /// transfers interleaved through one engine run.
 pub const CONCURRENCY_KS: [usize; 5] = [1, 2, 4, 8, 16];
 
+/// Injection intervals (cycles between submissions) swept by the
+/// congestion study, highest load last. The grid straddles the
+/// CM-5-like substrate's saturation knee: at 16-word operations the
+/// offered load runs from 1/16 word/cycle (far below saturation) to 16
+/// words/cycle (an order of magnitude past it).
+pub const CONGESTION_INTERVALS: [u64; 7] = [256, 64, 16, 8, 4, 2, 1];
+
+/// The reduced interval grid for CI smoke runs of the congestion
+/// sweep; still straddles the CM-5-like knee (between intervals 8 and
+/// 4) so the saturation signal stays visible.
+pub const CONGESTION_QUICK_INTERVALS: [u64; 3] = [64, 8, 4];
+
+/// Node count the congestion study runs every pattern over.
+pub const CONGESTION_NODES: usize = 16;
+
+/// Payload words per operation in the congestion study.
+pub const CONGESTION_WORDS: usize = 16;
+
+/// Operations offered per load point in the congestion study.
+pub const CONGESTION_OPS: usize = 48;
+
 /// A geometric message-size sweep from `lo` to `hi` (both inclusive if
 /// on the ×2 grid).
 pub fn message_sizes(lo: u64, hi: u64) -> Vec<u64> {
