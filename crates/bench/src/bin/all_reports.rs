@@ -19,6 +19,11 @@ fn main() {
         reports::tension(),
         reports::concurrency(),
         reports::congestion(),
+        // Reduced node grid: this binary also runs under debug builds
+        // in CI, where the 256-node cell is needlessly slow.
+        reports::collectives_report(&reports::collectives_rows(
+            &timego_workloads::sweeps::COLLECTIVE_NODES_QUICK,
+        )),
         reports::substrate_demo(),
     ] {
         println!("{report}");

@@ -1,0 +1,41 @@
+//! Collectives scaling report: engine-native run-after DAGs vs
+//! phase-serial rounds for binomial broadcast and recursive-doubling
+//! all-reduce at 16–256 nodes. Emits the deterministic per-cell results
+//! into `BENCH_results.json` under the `collectives/` prefix.
+//!
+//! Pass `--quick` to run the reduced CI node grid; `--csv` to print the
+//! CSV instead of the table.
+
+use timego_bench::{reports, results::BenchResults};
+use timego_workloads::sweeps;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let node_counts: &[usize] =
+        if quick { &sweeps::COLLECTIVE_NODES_QUICK } else { &sweeps::COLLECTIVE_NODES };
+
+    if csv {
+        print!("{}", reports::collectives_csv());
+        return;
+    }
+
+    let rows = reports::collectives_rows(node_counts);
+    print!("{}", reports::collectives_report(&rows));
+
+    let mut res = BenchResults::new("collectives/");
+    for r in &rows {
+        let key = format!("{}/n{}", r.collective, r.nodes);
+        res.record_cycles(&format!("{key}/phased_cycles"), r.phased_cycles);
+        res.record_cycles(&format!("{key}/engine_cycles"), r.engine_cycles);
+        res.record_cycles(&format!("{key}/instr_engine"), r.instr_engine);
+        res.record_cycles(&format!("{key}/instr_phased"), r.instr_phased);
+        res.record_count(&format!("{key}/speedup_milli"), (r.speedup() * 1000.0) as u64);
+    }
+    let path = BenchResults::default_path();
+    match res.write_merged(&path) {
+        Ok(n) => println!("\nwrote {n} entries to {}", path.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
+}

@@ -1355,6 +1355,157 @@ pub fn concurrency_csv() -> String {
     out
 }
 
+/// One cell of the collectives scaling study: a (collective × node
+/// count) pair run both phase-serially and as an engine dependency DAG.
+#[derive(Debug, Clone)]
+pub struct CollectivesRow {
+    /// Which collective: `"broadcast"` or `"allreduce"`.
+    pub collective: &'static str,
+    /// Participating nodes (power of two).
+    pub nodes: usize,
+    /// Network cycles when rounds are separated by full barriers (one
+    /// engine run per tree round).
+    pub phased_cycles: u64,
+    /// Network cycles for the single engine run over the run-after DAG.
+    pub engine_cycles: u64,
+    /// Instructions charged across all nodes by the engine-native run.
+    pub instr_engine: u64,
+    /// Instructions charged across all nodes by the phase-serial run.
+    pub instr_phased: u64,
+}
+
+impl CollectivesRow {
+    /// Phased cycles over engine cycles: what run-after overlap buys.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.phased_cycles as f64 / self.engine_cycles as f64
+    }
+}
+
+/// Measure the collectives scaling study on a deterministic fat tree:
+/// binomial broadcast and recursive-doubling all-reduce at each node
+/// count, once phase-serial (barrier between tree rounds) and once as
+/// one engine run over the dependency DAG.
+#[must_use]
+pub fn collectives_rows(node_counts: &[usize]) -> Vec<CollectivesRow> {
+    use timego_workloads::apps::collectives as coll;
+    let mut out = Vec::new();
+    for &nodes in node_counts {
+        let machine =
+            || Machine::new(share(scenarios::cm5_deterministic(nodes, 2)), nodes, CmamConfig::default());
+        let inputs: Vec<u32> = (0..nodes as u32).map(|i| i * 3 + 1).collect();
+
+        let mut m = machine();
+        let t0 = m.network().borrow().now();
+        let phased = coll::broadcast_phased(&mut m, NodeId::new(0), [7; 4]).expect("clean substrate");
+        let bcast_phased_cycles = m.network().borrow().now() - t0;
+        let bcast_instr_phased = total_instr(&m, nodes);
+        let mut m = machine();
+        let t0 = m.network().borrow().now();
+        let dag = coll::broadcast(&mut m, NodeId::new(0), [7; 4]).expect("clean substrate");
+        assert_eq!(phased, dag, "broadcast results agree at {nodes} nodes");
+        out.push(CollectivesRow {
+            collective: "broadcast",
+            nodes,
+            phased_cycles: bcast_phased_cycles,
+            engine_cycles: m.network().borrow().now() - t0,
+            instr_engine: total_instr(&m, nodes),
+            instr_phased: bcast_instr_phased,
+        });
+
+        let mut m = machine();
+        let t0 = m.network().borrow().now();
+        let phased = coll::allreduce_phased(&mut m, &inputs).expect("clean substrate");
+        let ar_phased_cycles = m.network().borrow().now() - t0;
+        let ar_instr_phased = total_instr(&m, nodes);
+        let mut m = machine();
+        let t0 = m.network().borrow().now();
+        let dag = coll::allreduce_sum(&mut m, &inputs).expect("clean substrate");
+        assert_eq!(phased, dag, "allreduce results agree at {nodes} nodes");
+        out.push(CollectivesRow {
+            collective: "allreduce",
+            nodes,
+            phased_cycles: ar_phased_cycles,
+            engine_cycles: m.network().borrow().now() - t0,
+            instr_engine: total_instr(&m, nodes),
+            instr_phased: ar_instr_phased,
+        });
+    }
+    out
+}
+
+/// Render the collectives scaling study from measured rows.
+#[must_use]
+pub fn collectives_report(rows: &[CollectivesRow]) -> String {
+    let mut out = String::new();
+    out.push_str("== Collectives: engine-native dependency DAGs vs phase-serial rounds ==\n\n");
+    out.push_str("Deterministic fat tree. 'phased' separates tree rounds with a full\n");
+    out.push_str("barrier (one engine run per round); 'engine' submits the whole\n");
+    out.push_str("collective as one run-after DAG, so independent subtrees overlap.\n");
+    out.push_str("Same edges, same Table 1 shapes: on a contention-free substrate the\n");
+    out.push_str("bills are identical (test-pinned); here the DAG's higher\n");
+    out.push_str("instantaneous load can buy a few extra backpressure retries, shown\n");
+    out.push_str("as 'instr Δ' (engine minus phased, each retry one 20-instr resend).\n\n");
+    writeln!(
+        out,
+        "{:>9} | {:>5} | {:>10} | {:>10} | {:>7} | {:>12} | {:>7}",
+        "collective", "nodes", "phased cyc", "engine cyc", "speedup", "instr engine", "instr Δ"
+    )
+    .unwrap();
+    for r in rows {
+        writeln!(
+            out,
+            "{:>9} | {:>5} | {:>10} | {:>10} | {:>6.2}x | {:>12} | {:>+7}",
+            r.collective,
+            r.nodes,
+            r.phased_cycles,
+            r.engine_cycles,
+            r.speedup(),
+            r.instr_engine,
+            r.instr_engine as i64 - r.instr_phased as i64,
+        )
+        .unwrap();
+    }
+    out.push_str(
+        "\nThe win grows with the tree depth: more rounds means more barrier\n\
+         stalls for the phased form to pay and more independent subtrees for\n\
+         the DAG to overlap. This is the control-network story inverted: the\n\
+         CM-5 bought collective speed with dedicated hardware; run-after\n\
+         dependencies buy it back in software scheduling, essentially free\n\
+         at the instruction level.\n",
+    );
+    out
+}
+
+/// **Collectives scaling report** over the full node grid.
+#[must_use]
+pub fn collectives() -> String {
+    collectives_report(&collectives_rows(&sweeps::COLLECTIVE_NODES))
+}
+
+/// **Collectives sweep as CSV** (for plotting), one row per cell.
+#[must_use]
+pub fn collectives_csv() -> String {
+    let mut out = String::from(
+        "collective,nodes,phased_cycles,engine_cycles,speedup,instr_engine,instr_phased\n",
+    );
+    for r in collectives_rows(&sweeps::COLLECTIVE_NODES) {
+        writeln!(
+            out,
+            "{},{},{},{},{:.4},{},{}",
+            r.collective,
+            r.nodes,
+            r.phased_cycles,
+            r.engine_cycles,
+            r.speedup(),
+            r.instr_engine,
+            r.instr_phased
+        )
+        .unwrap();
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1556,6 +1707,45 @@ mod tests {
             csv.matches('\n').count(),
             1 + 2 * 3 * sweeps::CONGESTION_INTERVALS.len()
         );
+    }
+
+    #[test]
+    fn collectives_dag_beats_phased_at_64_nodes_with_identical_bill() {
+        // The acceptance criterion of the collectives study: at 64
+        // nodes the engine-native all-reduce DAG finishes in fewer
+        // wall-cycles than the phase-serial form, with the instruction
+        // bill unchanged.
+        let rows = collectives_rows(&sweeps::COLLECTIVE_NODES_QUICK);
+        assert_eq!(rows.len(), 2 * sweeps::COLLECTIVE_NODES_QUICK.len());
+        for r in &rows {
+            // Strict per-feature identity with the phased form is pinned
+            // on a contention-free substrate in the collectives tests;
+            // on the fat tree the DAG's burstier injection may pay a few
+            // backpressure retries — bound it to a few percent.
+            let (lo, hi) = (r.instr_engine.min(r.instr_phased), r.instr_engine.max(r.instr_phased));
+            assert!(
+                (hi - lo) * 100 <= lo * 5,
+                "{} at {} nodes: engine bill {} vs phased {} drifts beyond retries",
+                r.collective,
+                r.nodes,
+                r.instr_engine,
+                r.instr_phased
+            );
+        }
+        let ar64 = rows
+            .iter()
+            .find(|r| r.collective == "allreduce" && r.nodes == 64)
+            .expect("64-node all-reduce cell");
+        assert!(
+            ar64.engine_cycles < ar64.phased_cycles,
+            "engine-native all-reduce must beat phase-serial at 64 nodes: \
+             engine {} vs phased {}",
+            ar64.engine_cycles,
+            ar64.phased_cycles
+        );
+        let report = collectives_report(&rows);
+        assert!(report.contains("allreduce"), "{report}");
+        assert!(report.contains("instr Δ"), "{report}");
     }
 
     #[test]

@@ -34,6 +34,22 @@
 //! completed operations) are discarded by the engine with the same
 //! instruction shape the blocking recovery paths charged for stray
 //! discards.
+//!
+//! ## Run-after dependencies
+//!
+//! Every `submit_*` method has a `submit_*_after` twin taking
+//! `after: &[OpId]`. A dependent operation stays **held** — submitted
+//! but not admissible — until every predecessor completes successfully;
+//! the moment the last one does, the scheduler records
+//! [`EngineEvent::Released`] and the operation joins the ordinary
+//! admission queue (conflict-key FIFO applies from that point, not
+//! before: a held operation does not occupy its conflict key). If a
+//! predecessor fails, the dependent fails immediately with
+//! [`ProtocolError::DependencyFailed`] naming that predecessor, and the
+//! failure cascades through every transitive dependent. Dependencies
+//! must name already-submitted operations — `OpId`s are handed out at
+//! submission, so a forward edge (and therefore a cycle) is rejected at
+//! submission time.
 
 use std::collections::{BTreeMap, HashSet, VecDeque};
 
@@ -41,6 +57,7 @@ use timego_cost::{Feature, Fine};
 use timego_netsim::{LatencyStats, NodeId, RxMeta};
 use timego_ni::Addr;
 
+use crate::am::PollOutcome;
 use crate::costs::{recovery, segment, xfer_order, xfer_recv, xfer_send};
 use crate::error::ProtocolError;
 use crate::machine::{Machine, Tags};
@@ -73,6 +90,11 @@ pub enum OpOutcome {
     Stream(StreamOutcome),
     /// An RPC completed with these reply words.
     Rpc([u32; 4]),
+    /// A single four-word active message was delivered. The words are
+    /// what the destination actually read off its NI (zeroed when a
+    /// registered handler consumed the message instead of handing it
+    /// back).
+    Am4([u32; 4]),
 }
 
 /// Scheduler trace events, in order. Tests use the interleaving of
@@ -82,6 +104,11 @@ pub enum OpOutcome {
 pub enum EngineEvent {
     /// The operation was accepted into the engine.
     Submitted(OpId),
+    /// Every run-after predecessor of the operation completed
+    /// successfully: the operation became admissible and joined the
+    /// admission queue. Operations submitted with no outstanding
+    /// dependencies are released immediately after submission.
+    Released(OpId),
     /// The operation was admitted (its conflict key was free) and
     /// started executing.
     Started(OpId),
@@ -125,10 +152,17 @@ type ConflictKey = (u8, NodeId, NodeId);
 
 const CLASS_XFER: u8 = 0;
 const CLASS_STREAM: u8 = 1;
+const CLASS_AM: u8 = 2;
 
 struct ActiveOp {
     id: OpId,
     op: OpKind,
+}
+
+/// A submitted operation still waiting on run-after predecessors.
+struct HeldOp {
+    op: ActiveOp,
+    waiting_on: HashSet<OpId>,
 }
 
 enum OpKind {
@@ -136,6 +170,7 @@ enum OpKind {
     Reliable(ReliableOp),
     Stream(StreamOp),
     Rpc(RpcOp),
+    Am4(Am4Op),
 }
 
 impl OpKind {
@@ -145,6 +180,7 @@ impl OpKind {
             OpKind::Reliable(op) => Some((CLASS_XFER, op.src, op.dst)),
             OpKind::Stream(op) => Some((CLASS_STREAM, op.src, op.dst)),
             OpKind::Rpc(_) => None,
+            OpKind::Am4(op) => Some((CLASS_AM, op.src, op.dst)),
         }
     }
 
@@ -153,7 +189,7 @@ impl OpKind {
             OpKind::Xfer(op) => op.start(m),
             OpKind::Reliable(op) => op.start(m),
             OpKind::Stream(op) => op.start(m),
-            OpKind::Rpc(_) => {}
+            OpKind::Rpc(_) | OpKind::Am4(_) => {}
         }
     }
 
@@ -163,6 +199,7 @@ impl OpKind {
             OpKind::Reliable(op) => op.step(m),
             OpKind::Stream(op) => op.step(m),
             OpKind::Rpc(op) => op.step(m),
+            OpKind::Am4(op) => op.step(m),
         }
     }
 
@@ -172,6 +209,7 @@ impl OpKind {
             OpKind::Reliable(op) => op.tick(),
             OpKind::Stream(op) => op.tick(),
             OpKind::Rpc(op) => op.tick(),
+            OpKind::Am4(op) => op.tick(),
         }
     }
 
@@ -206,6 +244,7 @@ impl OpKind {
                         && meta.tag == Tags::RPC_REPLY
                         && meta.header == op.call_id as u32)
             }
+            OpKind::Am4(op) => node == op.dst && meta.src == op.src && meta.tag == op.tag,
         }
     }
 }
@@ -230,6 +269,16 @@ pub struct Engine {
     pending: VecDeque<ActiveOp>,
     running: Vec<ActiveOp>,
     busy: HashSet<ConflictKey>,
+    // Held operations (run-after dependencies outstanding), keyed by id
+    // so releases happen in submission order when one completion frees
+    // several dependents at once.
+    held: BTreeMap<OpId, HeldOp>,
+    // Predecessor -> held dependents, for O(dependents) release.
+    dependents: BTreeMap<OpId, Vec<OpId>>,
+    // Completion ledger. `outcomes` is drained by `take_outcome`, so
+    // dependency resolution needs its own persistent record.
+    done_ok: HashSet<OpId>,
+    done_err: HashSet<OpId>,
     outcomes: BTreeMap<OpId, Result<OpOutcome, ProtocolError>>,
     trace: Vec<TracedEvent>,
     // Consecutive no-progress cycles, persisted across `pump` calls so
@@ -252,6 +301,10 @@ impl Engine {
             pending: VecDeque::new(),
             running: Vec::new(),
             busy: HashSet::new(),
+            held: BTreeMap::new(),
+            dependents: BTreeMap::new(),
+            done_ok: HashSet::new(),
+            done_err: HashSet::new(),
             outcomes: BTreeMap::new(),
             trace: Vec::new(),
             idle_streak: 0,
@@ -263,11 +316,47 @@ impl Engine {
     }
 
     fn submit(&mut self, m: &Machine, op: OpKind) -> OpId {
+        self.enqueue(m, op, &[]).expect("no dependencies to reject")
+    }
+
+    /// Shared submission path: validate the run-after edges, assign an
+    /// id, then either release the operation into the admission queue or
+    /// hold it until its predecessors complete.
+    fn enqueue(&mut self, m: &Machine, op: OpKind, after: &[OpId]) -> Result<OpId, ProtocolError> {
+        for dep in after {
+            // Ids are handed out densely at submission, so any id at or
+            // past `next_id` is a forward (or self) reference — the only
+            // way a dependency cycle could ever be expressed.
+            if dep.raw() >= self.next_id {
+                return Err(ProtocolError::BadTransfer(format!(
+                    "run-after dependency on op {} which this engine has not submitted; \
+                     edges must point backward, so dependency cycles are rejected at submission",
+                    dep.raw()
+                )));
+            }
+        }
         let id = OpId(self.next_id);
         self.next_id += 1;
         self.record(m, EngineEvent::Submitted(id));
-        self.pending.push_back(ActiveOp { id, op });
-        id
+        // A predecessor that already failed fells the dependent at
+        // submission — same outcome it would get if the failure happened
+        // while it was held.
+        if let Some(&failed) = after.iter().find(|d| self.done_err.contains(d)) {
+            self.settle(m, id, Err(ProtocolError::DependencyFailed { failed }));
+            return Ok(id);
+        }
+        let waiting_on: HashSet<OpId> =
+            after.iter().copied().filter(|d| !self.done_ok.contains(d)).collect();
+        if waiting_on.is_empty() {
+            self.record(m, EngineEvent::Released(id));
+            self.pending.push_back(ActiveOp { id, op });
+        } else {
+            for dep in &waiting_on {
+                self.dependents.entry(*dep).or_default().push(id);
+            }
+            self.held.insert(id, HeldOp { op: ActiveOp { id, op }, waiting_on });
+        }
+        Ok(id)
     }
 
     /// Submit a finite-sequence transfer (the engine form of
@@ -288,6 +377,39 @@ impl Engine {
         data: &[u32],
     ) -> Result<OpId, ProtocolError> {
         self.submit_xfer_with(m, src, dst, data, PayloadEngine::Cpu)
+    }
+
+    /// [`Engine::submit_xfer`] with run-after dependencies: the transfer
+    /// is held until every operation in `after` completes successfully.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadTransfer`] for empty data or a dependency on
+    /// an id this engine has not submitted (forward references — the
+    /// only way to express a cycle — are rejected at submission).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` or either node is out of range.
+    pub fn submit_xfer_after(
+        &mut self,
+        m: &Machine,
+        src: NodeId,
+        dst: NodeId,
+        data: &[u32],
+        after: &[OpId],
+    ) -> Result<OpId, ProtocolError> {
+        assert_ne!(src, dst, "transfer endpoints must differ");
+        assert!(src.index() < m.num_nodes() && dst.index() < m.num_nodes());
+        if data.is_empty() {
+            return Err(ProtocolError::BadTransfer("empty transfer".into()));
+        }
+        let n = m.config().packet_words;
+        self.enqueue(
+            m,
+            OpKind::Xfer(XferOp::new(src, dst, data.to_vec(), PayloadEngine::Cpu, n)),
+            after,
+        )
     }
 
     pub(crate) fn submit_xfer_with(
@@ -326,6 +448,29 @@ impl Engine {
         data: &[u32],
         policy: &RetryPolicy,
     ) -> Result<OpId, ProtocolError> {
+        self.submit_xfer_reliable_after(m, src, dst, data, policy, &[])
+    }
+
+    /// [`Engine::submit_xfer_reliable`] with run-after dependencies.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadTransfer`] for empty or oversized data, or a
+    /// dependency on an id this engine has not submitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`, either node is out of range, or the
+    /// policy allows zero attempts.
+    pub fn submit_xfer_reliable_after(
+        &mut self,
+        m: &Machine,
+        src: NodeId,
+        dst: NodeId,
+        data: &[u32],
+        policy: &RetryPolicy,
+        after: &[OpId],
+    ) -> Result<OpId, ProtocolError> {
         assert_ne!(src, dst, "transfer endpoints must differ");
         assert!(src.index() < m.num_nodes() && dst.index() < m.num_nodes());
         assert!(policy.max_attempts >= 1, "need at least one attempt");
@@ -340,13 +485,11 @@ impl Engine {
             )));
         }
         let n = m.config().packet_words;
-        Ok(self.submit(m, OpKind::Reliable(ReliableOp::new(
-            src,
-            dst,
-            data.to_vec(),
-            n,
-            policy.clone(),
-        ))))
+        self.enqueue(
+            m,
+            OpKind::Reliable(ReliableOp::new(src, dst, data.to_vec(), n, policy.clone())),
+            after,
+        )
     }
 
     /// Submit a stream send (the engine form of
@@ -366,19 +509,36 @@ impl Engine {
         id: StreamId,
         data: &[u32],
     ) -> Result<OpId, ProtocolError> {
+        self.submit_stream_send_after(m, id, data, &[])
+    }
+
+    /// [`Engine::submit_stream_send`] with run-after dependencies.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadTransfer`] for empty data or a dependency on
+    /// an id this engine has not submitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale.
+    pub fn submit_stream_send_after(
+        &mut self,
+        m: &Machine,
+        id: StreamId,
+        data: &[u32],
+        after: &[OpId],
+    ) -> Result<OpId, ProtocolError> {
         if data.is_empty() {
             return Err(ProtocolError::BadTransfer("empty stream send".into()));
         }
         let st = m.stream_state(id);
         let n = m.config().packet_words;
-        Ok(self.submit(m, OpKind::Stream(StreamOp::new(
-            id,
-            st.src,
-            st.dst,
-            data.to_vec(),
-            n,
-            st.rto_iterations(),
-        ))))
+        self.enqueue(
+            m,
+            OpKind::Stream(StreamOp::new(id, st.src, st.dst, data.to_vec(), n, st.rto_iterations())),
+            after,
+        )
     }
 
     /// Submit an RPC (the engine form of [`Machine::rpc_call`] without a
@@ -420,10 +580,132 @@ impl Engine {
         }))
     }
 
-    /// Number of operations not yet finished.
+    /// [`Engine::submit_rpc`] with run-after dependencies.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadTransfer`] for a dependency on an id this
+    /// engine has not submitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`, either node is out of range, or a policy
+    /// allows zero attempts.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_rpc_after(
+        &mut self,
+        m: &mut Machine,
+        src: NodeId,
+        dst: NodeId,
+        tag: u8,
+        args: [u32; 4],
+        policy: Option<&RetryPolicy>,
+        after: &[OpId],
+    ) -> Result<OpId, ProtocolError> {
+        assert_ne!(src, dst, "rpc endpoints must differ");
+        assert!(src.index() < m.num_nodes() && dst.index() < m.num_nodes());
+        if let Some(p) = policy {
+            assert!(p.max_attempts >= 1, "need at least one attempt");
+        }
+        let call_id = m.alloc_call_id();
+        self.enqueue(
+            m,
+            OpKind::Rpc(RpcOp {
+                src,
+                dst,
+                tag,
+                args,
+                call_id,
+                policy: policy.cloned(),
+                sent: false,
+                stalled: false,
+                attempt: 0,
+                waited: 0,
+                total_waited: 0,
+            }),
+            after,
+        )
+    }
+
+    /// Submit a single four-word active message (the engine form of
+    /// [`Machine::am4_send`] plus the destination's gated poll). The
+    /// source pays Table 1's 20-instruction injection path (again on
+    /// every backpressure retry, exactly like the blocking call); the
+    /// destination pays the 27-instruction poll-with-message path when
+    /// the packet is latched — never an idle poll, because consumption
+    /// is peek-gated. The outcome carries the words the destination
+    /// read ([`OpOutcome::Am4`]).
+    ///
+    /// Messages between the same ordered pair are serialized in
+    /// submission order (conflict key), so two concurrent sends with the
+    /// same tag cannot swap deliveries.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadTransfer`] for a reserved (protocol-range)
+    /// tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` or either node is out of range.
+    pub fn submit_am4(
+        &mut self,
+        m: &Machine,
+        src: NodeId,
+        dst: NodeId,
+        tag: u8,
+        words: [u32; 4],
+    ) -> Result<OpId, ProtocolError> {
+        self.submit_am4_after(m, src, dst, tag, words, &[])
+    }
+
+    /// [`Engine::submit_am4`] with run-after dependencies — the building
+    /// block of engine-native collectives, where every tree edge is one
+    /// active message released by the delivery that fed its sender.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadTransfer`] for a reserved tag or a dependency
+    /// on an id this engine has not submitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` or either node is out of range.
+    pub fn submit_am4_after(
+        &mut self,
+        m: &Machine,
+        src: NodeId,
+        dst: NodeId,
+        tag: u8,
+        words: [u32; 4],
+        after: &[OpId],
+    ) -> Result<OpId, ProtocolError> {
+        assert_ne!(src, dst, "am4 endpoints must differ");
+        assert!(src.index() < m.num_nodes() && dst.index() < m.num_nodes());
+        if tag < Tags::USER_BASE {
+            return Err(ProtocolError::BadTransfer(format!(
+                "am4 tag {tag} is in the reserved protocol range (< {})",
+                Tags::USER_BASE
+            )));
+        }
+        self.enqueue(
+            m,
+            OpKind::Am4(Am4Op { src, dst, tag, words, sent: false, stalled: false, waited: 0 }),
+            after,
+        )
+    }
+
+    /// Number of operations not yet finished (held operations included).
     #[must_use]
     pub fn unfinished(&self) -> usize {
-        self.pending.len() + self.running.len()
+        self.pending.len() + self.running.len() + self.held.len()
+    }
+
+    /// Number of operations currently held behind unfinished run-after
+    /// predecessors.
+    #[must_use]
+    pub fn held_count(&self) -> usize {
+        self.held.len()
     }
 
     /// The scheduler trace so far, every event stamped with the
@@ -442,7 +724,11 @@ impl Engine {
     /// operations queued behind a busy conflict key the reported time
     /// includes the queueing delay. That is deliberate: under an
     /// open-loop offered load this is the latency an injected operation
-    /// actually experiences.
+    /// actually experiences. The same holds for run-after dependencies:
+    /// cycles an operation spends **held** behind unfinished
+    /// predecessors are *included* in its completion time — the trace's
+    /// `Released` stamps (see [`Engine::hold_times`]) let a caller
+    /// subtract the held span when it wants pure execution latency.
     #[must_use]
     pub fn completion_times(&self) -> Vec<(OpId, u64)> {
         let mut submitted: BTreeMap<OpId, u64> = BTreeMap::new();
@@ -453,6 +739,32 @@ impl Engine {
                     submitted.insert(id, e.at);
                 }
                 EngineEvent::Completed(id, _) => {
+                    if let Some(&at) = submitted.get(&id) {
+                        out.push((id, e.at.saturating_sub(at)));
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Per-operation hold times derived from the cycle-stamped trace:
+    /// for every operation that was released, the network cycles from
+    /// its `Submitted` event to its `Released` event. Operations
+    /// submitted with no outstanding dependencies report `0` (they are
+    /// released immediately); operations failed before release (a
+    /// predecessor failed, or the wedge backstop fired) do not appear.
+    #[must_use]
+    pub fn hold_times(&self) -> Vec<(OpId, u64)> {
+        let mut submitted: BTreeMap<OpId, u64> = BTreeMap::new();
+        let mut out = Vec::new();
+        for e in &self.trace {
+            match e.event {
+                EngineEvent::Submitted(id) => {
+                    submitted.insert(id, e.at);
+                }
+                EngineEvent::Released(id) => {
                     if let Some(&at) = submitted.get(&id) {
                         out.push((id, e.at.saturating_sub(at)));
                     }
@@ -512,6 +824,20 @@ impl Engine {
             self.admit(m);
             if self.running.is_empty() {
                 if self.pending.is_empty() {
+                    // A held op always has a live predecessor somewhere
+                    // in running/pending (release and failure both move
+                    // it out of `held` when the last one settles), so
+                    // nothing can be held here; sweep defensively
+                    // rather than spin if that invariant ever breaks.
+                    while let Some(&id) = self.held.keys().next() {
+                        self.held.remove(&id);
+                        let streak = self.idle_streak;
+                        self.settle(
+                            m,
+                            id,
+                            Err(ProtocolError::timeout("engine progress", streak)),
+                        );
+                    }
                     return 0;
                 }
                 // Pending ops blocked on keys held by nothing running:
@@ -554,14 +880,19 @@ impl Engine {
             if self.idle_streak > m.config().max_wait_cycles {
                 // Backstop: every op's own deadline logic should fire
                 // first; if the world is truly wedged, fail what's left.
+                // Settling running/pending ops cascades DependencyFailed
+                // into their held dependents; the final loop is a
+                // defensive sweep in case a held op somehow survived.
                 let streak = self.idle_streak;
                 while !self.running.is_empty() {
                     self.finish(m, 0, Err(ProtocolError::timeout("engine progress", streak)));
                 }
                 while let Some(op) = self.pending.pop_front() {
-                    self.outcomes
-                        .insert(op.id, Err(ProtocolError::timeout("engine progress", streak)));
-                    self.record(m, EngineEvent::Completed(op.id, false));
+                    self.settle(m, op.id, Err(ProtocolError::timeout("engine progress", streak)));
+                }
+                while let Some(&id) = self.held.keys().next() {
+                    self.held.remove(&id);
+                    self.settle(m, id, Err(ProtocolError::timeout("engine progress", streak)));
                 }
                 return 0;
             }
@@ -602,8 +933,46 @@ impl Engine {
         if let Some(k) = op.op.conflict_key() {
             self.busy.remove(&k);
         }
-        self.record(m, EngineEvent::Completed(op.id, result.is_ok()));
-        self.outcomes.insert(op.id, result);
+        self.settle(m, op.id, result);
+    }
+
+    /// Record an operation's final outcome and propagate it along
+    /// run-after edges. Success releases each dependent whose *last*
+    /// outstanding predecessor this was (held → pending, with a
+    /// `Released` trace event); failure fails every direct dependent
+    /// with [`ProtocolError::DependencyFailed`] naming this operation,
+    /// which recurses through *their* dependents so the whole downstream
+    /// cone settles in one pass.
+    fn settle(&mut self, m: &Machine, id: OpId, result: Result<OpOutcome, ProtocolError>) {
+        let ok = result.is_ok();
+        self.record(m, EngineEvent::Completed(id, ok));
+        self.outcomes.insert(id, result);
+        if ok {
+            self.done_ok.insert(id);
+        } else {
+            self.done_err.insert(id);
+        }
+        let Some(deps) = self.dependents.remove(&id) else {
+            return;
+        };
+        for dep in deps {
+            if ok {
+                let release = match self.held.get_mut(&dep) {
+                    Some(h) => {
+                        h.waiting_on.remove(&id);
+                        h.waiting_on.is_empty()
+                    }
+                    None => false,
+                };
+                if release {
+                    let h = self.held.remove(&dep).expect("held entry just seen");
+                    self.record(m, EngineEvent::Released(dep));
+                    self.pending.push_back(h.op);
+                }
+            } else if self.held.remove(&dep).is_some() {
+                self.settle(m, dep, Err(ProtocolError::DependencyFailed { failed: id }));
+            }
+        }
     }
 
     /// Discard one reserved-tag packet claimed by no active operation
@@ -977,6 +1346,65 @@ impl RpcOp {
                 }
                 other => unreachable!("gated reply peek yielded {other:?}"),
             }
+        }
+        Ok(if progress { Stepped::Progress } else { Stepped::Idle })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Four-word active message (the paper's CMAM_4).
+// ---------------------------------------------------------------------
+
+/// One user-tag four-word active message as an engine operation: the
+/// Table 1 20-instruction send on `src`, then a destination poll once
+/// the packet is at `dst`'s queue head. The building block the
+/// engine-native collectives compose into dependency DAGs.
+struct Am4Op {
+    src: NodeId,
+    dst: NodeId,
+    tag: u8,
+    words: [u32; 4],
+    sent: bool,
+    stalled: bool,
+    waited: u64,
+}
+
+impl Am4Op {
+    fn tick(&mut self) {
+        self.stalled = false;
+        self.waited += 1;
+    }
+
+    fn step(&mut self, m: &mut Machine) -> Result<Stepped, ProtocolError> {
+        if self.waited > m.config().max_wait_cycles {
+            let what = if self.sent { "am4 delivery" } else { "am4 injection" };
+            return Err(ProtocolError::timeout(what, self.waited));
+        }
+        let mut progress = false;
+        if !self.sent && !self.stalled {
+            // One attempt of the Table 1 single-packet send; identical
+            // instruction shape to `Machine::am4_send`'s loop body
+            // (header word 0), paid again on every backpressure retry.
+            if m.rpc_send_once(self.src, self.dst, self.tag, 0, self.words) {
+                self.sent = true;
+                self.waited = 0;
+                progress = true;
+            } else {
+                self.stalled = true;
+            }
+        }
+        // Consume the message once it surfaces at the destination's
+        // queue head (a cost-free harness peek; the poll itself pays
+        // Table 1's 27-instruction message path, plus handler dispatch
+        // when a handler is registered for the tag).
+        if peek_is(m, self.dst, self.src, self.tag) {
+            return match m.poll(self.dst) {
+                PollOutcome::Unclaimed(msg) => Ok(Stepped::Done(OpOutcome::Am4(msg.words))),
+                // A registered handler consumed the payload; the
+                // outcome reports zeros (the handler owns the words).
+                PollOutcome::Handled(_) => Ok(Stepped::Done(OpOutcome::Am4([0; 4]))),
+                PollOutcome::Idle => unreachable!("gated poll found an empty queue"),
+            };
         }
         Ok(if progress { Stepped::Progress } else { Stepped::Idle })
     }

@@ -5,6 +5,8 @@ use std::fmt;
 
 use timego_netsim::{Guarantees, NodeId};
 
+use crate::engine::OpId;
+
 /// Errors raised by protocol executions.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ProtocolError {
@@ -36,6 +38,16 @@ pub enum ProtocolError {
         /// The hardware tag of the offending packet.
         tag: u8,
     },
+    /// A run-after predecessor of this operation failed, so the
+    /// operation was never released for admission. The failure
+    /// propagates transitively: each dependent carries the [`OpId`] of
+    /// its *direct* failed predecessor, so a chain of these errors spells
+    /// out the propagation path (the root cause is the predecessor's own
+    /// outcome, still retrievable from the engine).
+    DependencyFailed {
+        /// The direct predecessor whose failure felled this operation.
+        failed: OpId,
+    },
 }
 
 impl fmt::Display for ProtocolError {
@@ -60,6 +72,9 @@ impl fmt::Display for ProtocolError {
             ProtocolError::UnexpectedPacket { tag } => {
                 write!(f, "unexpected packet with tag {tag} during protocol phase")
             }
+            ProtocolError::DependencyFailed { failed } => {
+                write!(f, "run-after predecessor op {} failed", failed.raw())
+            }
         }
     }
 }
@@ -73,7 +88,9 @@ impl ProtocolError {
 
     /// Would retrying the operation plausibly succeed? Timeouts are
     /// transient (a packet was lost or delayed); everything else is a
-    /// configuration or usage error that retrying cannot fix.
+    /// configuration or usage error that retrying cannot fix. A
+    /// dependency failure is not retryable either: resubmitting the
+    /// dependent alone cannot resurrect its failed predecessor.
     #[must_use]
     pub fn is_retryable(&self) -> bool {
         matches!(self, ProtocolError::Timeout { .. })
@@ -119,5 +136,24 @@ mod tests {
         assert!(!ProtocolError::MissingGuarantees { have: Guarantees::RAW }.is_retryable());
         assert!(!ProtocolError::BadTransfer("x".into()).is_retryable());
         assert!(!ProtocolError::UnexpectedPacket { tag: 1 }.is_retryable());
+    }
+
+    #[test]
+    fn dependency_failure_names_the_predecessor_and_never_retries() {
+        let mut eng = crate::engine::Engine::new();
+        let m = crate::machine::Machine::new(
+            timego_ni::share(timego_netsim::ScriptedNetwork::new(
+                2,
+                timego_netsim::DeliveryScript::InOrder,
+            )),
+            2,
+            crate::machine::CmamConfig::default(),
+        );
+        let id = eng.submit_xfer(&m, NodeId::new(0), NodeId::new(1), &[1]).unwrap();
+        let e = ProtocolError::DependencyFailed { failed: id };
+        let s = e.to_string();
+        assert!(s.contains("predecessor"), "{s}");
+        assert!(s.contains(&id.raw().to_string()), "{s}");
+        assert!(!e.is_retryable());
     }
 }

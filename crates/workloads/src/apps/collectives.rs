@@ -3,36 +3,154 @@
 //!
 //! The CM-5 had a dedicated control network for these; on the data
 //! network they are what applications build from `CMAM_4`, and each
-//! step costs exactly one Table 1 round (20 + 27 instructions).
+//! tree edge costs exactly one Table 1 round (20 + 27 instructions).
+//!
+//! Since the engine gained run-after dependencies, the collectives are
+//! *dependency DAGs*: every tree edge is one [`Engine::submit_am4_after`]
+//! operation, released by the delivery that fed its sender. Independent
+//! subtrees overlap freely instead of marching in lockstep rounds — the
+//! per-feature instruction bill is unchanged (same edges, same Table 1
+//! shapes), only wall-cycles compress. Three entry points per
+//! collective:
+//!
+//! * `submit_*` — build the DAG on a caller-owned [`Engine`] (compose
+//!   with other traffic), then harvest with the matching `*_results`.
+//! * the blocking names ([`broadcast`], [`allreduce_sum`], [`barrier`])
+//!   — thin run-to-completion wrappers: fresh engine, submit, run,
+//!   harvest. Drop-in replacements for the old blocking loops, pinned
+//!   cost-identical by the Table 1 edge-count tests below.
+//! * `*_phased` — the pre-dependency baseline: one engine run per tree
+//!   round with a full barrier between rounds. The bench report
+//!   compares these against the DAGs to measure what run-after overlap
+//!   buys.
 
-use timego_am::{Machine, PollOutcome, ProtocolError, Tags};
+use timego_am::{Engine, Machine, OpId, OpOutcome, ProtocolError, Tags};
 use timego_netsim::NodeId;
 
 /// Tag used by collective packets (user range).
 pub const COLLECTIVE_TAG: u8 = Tags::USER_BASE + 7;
 
-fn deliver_all(m: &mut Machine, node: NodeId, expect: usize) -> Result<Vec<[u32; 4]>, ProtocolError> {
-    let mut got = Vec::with_capacity(expect);
-    let mut spins = 0u64;
-    while got.len() < expect {
-        match m.poll(node) {
-            PollOutcome::Unclaimed(msg) if msg.tag == COLLECTIVE_TAG => got.push(msg.words),
-            PollOutcome::Idle => {
-                m.advance(1);
-                spins += 1;
-                if spins > m.config().max_wait_cycles {
-                    return Err(ProtocolError::timeout("collective packet", spins));
-                }
+/// Harvest one am4 outcome, surfacing the operation's failure.
+fn take_am4(eng: &mut Engine, id: OpId) -> Result<[u32; 4], ProtocolError> {
+    match eng.take_outcome(id).expect("collective op ran to completion") {
+        Ok(OpOutcome::Am4(words)) => Ok(words),
+        Ok(other) => unreachable!("am4 submission yielded {other:?}"),
+        Err(e) => Err(e),
+    }
+}
+
+/// Keep the most informative failure: a root-cause error (timeout,
+/// refused injection) beats the `DependencyFailed` echoes downstream
+/// of it.
+fn keep_root_cause(slot: &mut Option<ProtocolError>, e: ProtocolError) {
+    let echo = matches!(e, ProtocolError::DependencyFailed { .. });
+    match slot {
+        None => *slot = Some(e),
+        Some(ProtocolError::DependencyFailed { .. }) if !echo => *slot = Some(e),
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------
+// Broadcast.
+// ---------------------------------------------------------------------
+
+/// A submitted broadcast DAG: the handle for harvesting per-node
+/// results after the engine run.
+pub struct BroadcastDag {
+    value: [u32; 4],
+    root: usize,
+    /// `(receiver node, op that delivers to it)` — one entry per tree
+    /// edge; every non-root node appears exactly once.
+    edges: Vec<(usize, OpId)>,
+}
+
+/// Submit a binomial-tree broadcast of `value` from `root` as a
+/// dependency DAG on `eng`: each relay edge runs after the edge that
+/// delivered the value to its sender, so independent subtrees overlap.
+/// Nothing moves until the caller pumps the engine.
+///
+/// # Errors
+///
+/// [`ProtocolError::BadTransfer`] if a dependency id is rejected
+/// (cannot happen for ids minted by `eng` itself).
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+pub fn submit_broadcast(
+    eng: &mut Engine,
+    m: &Machine,
+    root: NodeId,
+    value: [u32; 4],
+) -> Result<BroadcastDag, ProtocolError> {
+    let n = m.num_nodes();
+    assert!(root.index() < n);
+    // Rank space rotated so the root is rank 0.
+    let node_of = |rank: usize| (rank + root.index()) % n;
+
+    // deliverer[rank]: the op that delivers the value to that rank.
+    let mut deliverer: Vec<Option<OpId>> = vec![None; n];
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    let mut stride = 1;
+    while stride < n {
+        for rank in 0..stride.min(n) {
+            let peer = rank + stride;
+            if peer < n {
+                let after: Vec<OpId> = deliverer[rank].into_iter().collect();
+                let id = eng.submit_am4_after(
+                    m,
+                    NodeId::new(node_of(rank)),
+                    NodeId::new(node_of(peer)),
+                    COLLECTIVE_TAG,
+                    value,
+                    &after,
+                )?;
+                deliverer[peer] = Some(id);
+                edges.push((node_of(peer), id));
             }
-            _ => {}
+        }
+        stride *= 2;
+    }
+    Ok(BroadcastDag { value, root: root.index(), edges })
+}
+
+/// Harvest a finished broadcast: the value as seen at every node (the
+/// root sees what it sent; every other node sees the words its edge op
+/// actually delivered).
+///
+/// # Errors
+///
+/// The root cause when any edge failed ([`ProtocolError::Timeout`] from
+/// the edge itself, in preference to downstream
+/// [`ProtocolError::DependencyFailed`] echoes).
+pub fn broadcast_results(
+    eng: &mut Engine,
+    dag: &BroadcastDag,
+    num_nodes: usize,
+) -> Result<Vec<[u32; 4]>, ProtocolError> {
+    let mut seen = vec![[0u32; 4]; num_nodes];
+    seen[dag.root] = dag.value;
+    let mut failure = None;
+    for &(node, id) in &dag.edges {
+        match take_am4(eng, id) {
+            Ok(words) => seen[node] = words,
+            Err(e) => keep_root_cause(&mut failure, e),
         }
     }
-    Ok(got)
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(seen),
+    }
 }
 
 /// Broadcast four words from `root` to every node with a binomial tree:
 /// `⌈log₂ N⌉` rounds, each node relays once. Returns the value as seen
 /// at every node (for verification).
+///
+/// A thin run-to-completion wrapper over [`submit_broadcast`] on a
+/// fresh engine — cost-identical to the old blocking loop (one Table 1
+/// round per tree edge, pinned by test).
 ///
 /// # Errors
 ///
@@ -41,10 +159,35 @@ fn deliver_all(m: &mut Machine, node: NodeId, expect: usize) -> Result<Vec<[u32;
 /// # Panics
 ///
 /// Panics if `root` is out of range.
-pub fn broadcast(m: &mut Machine, root: NodeId, value: [u32; 4]) -> Result<Vec<[u32; 4]>, ProtocolError> {
+pub fn broadcast(
+    m: &mut Machine,
+    root: NodeId,
+    value: [u32; 4],
+) -> Result<Vec<[u32; 4]>, ProtocolError> {
+    let mut eng = Engine::new();
+    let dag = submit_broadcast(&mut eng, m, root, value)?;
+    eng.run(m);
+    broadcast_results(&mut eng, &dag, m.num_nodes())
+}
+
+/// The pre-dependency baseline: the same binomial tree, but one engine
+/// run per round with a full barrier between rounds (no cross-round
+/// overlap). Relays forward the words actually delivered to them.
+///
+/// # Errors
+///
+/// [`ProtocolError::Timeout`] if a relay starves.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+pub fn broadcast_phased(
+    m: &mut Machine,
+    root: NodeId,
+    value: [u32; 4],
+) -> Result<Vec<[u32; 4]>, ProtocolError> {
     let n = m.num_nodes();
     assert!(root.index() < n);
-    // Rank space rotated so the root is rank 0.
     let rank_of = |node: usize| (node + n - root.index()) % n;
     let node_of = |rank: usize| (rank + root.index()) % n;
 
@@ -52,23 +195,135 @@ pub fn broadcast(m: &mut Machine, root: NodeId, value: [u32; 4]) -> Result<Vec<[
     have[0] = Some(value);
     let mut stride = 1;
     while stride < n {
-        for rank in 0..stride.min(n) {
+        let mut eng = Engine::new();
+        let mut round = Vec::new();
+        for (rank, held) in have.iter().enumerate().take(stride.min(n)) {
             let peer = rank + stride;
             if peer < n {
-                let v = have[rank].expect("sender holds the value by round r");
-                m.am4_send(NodeId::new(node_of(rank)), NodeId::new(node_of(peer)), COLLECTIVE_TAG, v)?;
-                let got = deliver_all(m, NodeId::new(node_of(peer)), 1)?;
-                have[peer] = Some(got[0]);
+                let v = held.expect("sender holds the value by round r");
+                let id = eng.submit_am4(
+                    m,
+                    NodeId::new(node_of(rank)),
+                    NodeId::new(node_of(peer)),
+                    COLLECTIVE_TAG,
+                    v,
+                )?;
+                round.push((peer, id));
             }
+        }
+        eng.run(m);
+        for (peer, id) in round {
+            have[peer] = Some(take_am4(&mut eng, id)?);
         }
         stride *= 2;
     }
     Ok((0..n).map(|node| have[rank_of(node)].expect("all ranks covered")).collect())
 }
 
+// ---------------------------------------------------------------------
+// All-reduce.
+// ---------------------------------------------------------------------
+
+/// A submitted all-reduce DAG: the handle for harvesting per-node sums
+/// after the engine run.
+pub struct AllreduceDag {
+    inputs: Vec<u32>,
+    /// `recv[round][node]`: the op that delivers `node`'s partial for
+    /// that exchange round.
+    recv: Vec<Vec<OpId>>,
+}
+
+/// Submit a recursive-doubling all-reduce (sum of one word per node) as
+/// a dependency DAG on `eng`: in each round every node exchanges
+/// partials with `node ^ stride`, and a node's round-`r` send runs
+/// after the delivery that completed its round-`r-1` partial. Payloads
+/// carry the deterministically predicted partials; harvesting sums the
+/// *actually delivered* words, so the result is honest about what moved
+/// on the wire. Nothing moves until the caller pumps the engine.
+///
+/// # Errors
+///
+/// [`ProtocolError::BadTransfer`] if a dependency id is rejected
+/// (cannot happen for ids minted by `eng` itself).
+///
+/// # Panics
+///
+/// Panics if the node count is not a power of two or inputs are fewer
+/// than the node count.
+pub fn submit_allreduce(
+    eng: &mut Engine,
+    m: &Machine,
+    inputs: &[u32],
+) -> Result<AllreduceDag, ProtocolError> {
+    let n = m.num_nodes();
+    assert!(n.is_power_of_two(), "recursive doubling needs a power-of-two node count");
+    assert!(inputs.len() >= n, "one input per node");
+    let mut acc: Vec<u32> = inputs[..n].to_vec();
+    let mut recv: Vec<Vec<OpId>> = Vec::new();
+    // prev[node]: the op whose delivery completed node's previous round.
+    let mut prev: Vec<Option<OpId>> = vec![None; n];
+    let mut stride = 1;
+    while stride < n {
+        let mut this: Vec<Option<OpId>> = vec![None; n];
+        for node in 0..n {
+            let peer = node ^ stride;
+            let after: Vec<OpId> = prev[node].into_iter().collect();
+            let id = eng.submit_am4_after(
+                m,
+                NodeId::new(node),
+                NodeId::new(peer),
+                COLLECTIVE_TAG,
+                [acc[node], 0, 0, 0],
+                &after,
+            )?;
+            this[peer] = Some(id);
+        }
+        // Predicted partials for the next round's payloads.
+        let snapshot = acc.clone();
+        for node in 0..n {
+            acc[node] = acc[node].wrapping_add(snapshot[node ^ stride]);
+        }
+        recv.push(this.into_iter().map(|id| id.expect("every node is someone's peer")).collect());
+        prev = recv.last().expect("just pushed").iter().copied().map(Some).collect();
+        stride *= 2;
+    }
+    Ok(AllreduceDag { inputs: inputs[..n].to_vec(), recv })
+}
+
+/// Harvest a finished all-reduce: every node's sum, accumulated from
+/// the words its exchange ops actually delivered.
+///
+/// # Errors
+///
+/// The root cause when any exchange failed (in preference to downstream
+/// [`ProtocolError::DependencyFailed`] echoes).
+pub fn allreduce_results(
+    eng: &mut Engine,
+    dag: &AllreduceDag,
+) -> Result<Vec<u32>, ProtocolError> {
+    let mut acc = dag.inputs.clone();
+    let mut failure = None;
+    for round in &dag.recv {
+        for (node, &id) in round.iter().enumerate() {
+            match take_am4(eng, id) {
+                Ok(words) => acc[node] = acc[node].wrapping_add(words[0]),
+                Err(e) => keep_root_cause(&mut failure, e),
+            }
+        }
+    }
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(acc),
+    }
+}
+
 /// All-reduce (sum) of one word per node via recursive doubling:
 /// `log₂ N` exchange rounds (N must be a power of two). Returns every
 /// node's result — all equal to the global sum.
+///
+/// A thin run-to-completion wrapper over [`submit_allreduce`] on a
+/// fresh engine — cost-identical to the old blocking loop (exactly N
+/// Table 1 rounds per exchange round).
 ///
 /// # Errors
 ///
@@ -79,32 +334,58 @@ pub fn broadcast(m: &mut Machine, root: NodeId, value: [u32; 4]) -> Result<Vec<[
 /// Panics if the node count is not a power of two or inputs are fewer
 /// than the node count.
 pub fn allreduce_sum(m: &mut Machine, inputs: &[u32]) -> Result<Vec<u32>, ProtocolError> {
+    let mut eng = Engine::new();
+    let dag = submit_allreduce(&mut eng, m, inputs)?;
+    eng.run(m);
+    allreduce_results(&mut eng, &dag)
+}
+
+/// The pre-dependency baseline: the same recursive doubling, but one
+/// engine run per exchange round with a full barrier between rounds.
+/// Partials are accumulated from the words actually delivered.
+///
+/// # Errors
+///
+/// [`ProtocolError::Timeout`] if an exchange starves.
+///
+/// # Panics
+///
+/// Panics if the node count is not a power of two or inputs are fewer
+/// than the node count.
+pub fn allreduce_phased(m: &mut Machine, inputs: &[u32]) -> Result<Vec<u32>, ProtocolError> {
     let n = m.num_nodes();
     assert!(n.is_power_of_two(), "recursive doubling needs a power-of-two node count");
     assert!(inputs.len() >= n, "one input per node");
     let mut acc: Vec<u32> = inputs[..n].to_vec();
     let mut stride = 1;
     while stride < n {
-        // Each pair exchanges partial sums.
-        for node in 0..n {
+        let mut eng = Engine::new();
+        let mut recv: Vec<Option<OpId>> = vec![None; n];
+        for (node, &a) in acc.iter().enumerate() {
             let peer = node ^ stride;
-            if node < peer {
-                m.am4_send(NodeId::new(node), NodeId::new(peer), COLLECTIVE_TAG, [acc[node], 0, 0, 0])?;
-                m.am4_send(NodeId::new(peer), NodeId::new(node), COLLECTIVE_TAG, [acc[peer], 0, 0, 0])?;
-            }
+            let id = eng.submit_am4(
+                m,
+                NodeId::new(node),
+                NodeId::new(peer),
+                COLLECTIVE_TAG,
+                [a, 0, 0, 0],
+            )?;
+            recv[peer] = Some(id);
         }
-        let mut incoming = vec![0u32; n];
-        for (node, slot) in incoming.iter_mut().enumerate() {
-            let got = deliver_all(m, NodeId::new(node), 1)?;
-            *slot = got[0][0];
-        }
+        eng.run(m);
         for node in 0..n {
-            acc[node] = acc[node].wrapping_add(incoming[node]);
+            let id = recv[node].expect("every node is someone's peer");
+            let words = take_am4(&mut eng, id)?;
+            acc[node] = acc[node].wrapping_add(words[0]);
         }
         stride *= 2;
     }
     Ok(acc)
 }
+
+// ---------------------------------------------------------------------
+// Barrier.
+// ---------------------------------------------------------------------
 
 /// Barrier: an all-reduce of nothing. Completes only when every node
 /// has participated.
@@ -121,11 +402,27 @@ pub fn barrier(m: &mut Machine) -> Result<(), ProtocolError> {
     allreduce_sum(m, &zeros).map(|_| ())
 }
 
+/// The pre-dependency barrier baseline (round-serial all-reduce of
+/// zeros), for the bench comparison.
+///
+/// # Errors
+///
+/// [`ProtocolError::Timeout`] if an exchange starves.
+///
+/// # Panics
+///
+/// Panics if the node count is not a power of two.
+pub fn barrier_phased(m: &mut Machine) -> Result<(), ProtocolError> {
+    let zeros = vec![0u32; m.num_nodes()];
+    allreduce_phased(m, &zeros).map(|_| ())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::scenarios;
     use timego_am::CmamConfig;
+    use timego_cost::Feature;
     use timego_ni::share;
 
     fn machine(nodes: usize) -> Machine {
@@ -156,7 +453,9 @@ mod tests {
         broadcast(&mut m, NodeId::new(0), [0; 4]).unwrap();
         let total: u64 = (0..8).map(|i| m.cpu(NodeId::new(i)).snapshot().total()).sum();
         // A binomial tree over 8 nodes has 7 edges; each edge is one
-        // Table 1 send (20) + receive (27).
+        // Table 1 send (20) + receive (27). The engine-native DAG pays
+        // exactly the blocking loop's bill: no idle polls (receives are
+        // peek-gated), no extra instructions from scheduling.
         assert_eq!(total, 7 * 47);
     }
 
@@ -170,7 +469,8 @@ mod tests {
 
     #[test]
     fn allreduce_over_real_network() {
-        let mut m = Machine::new(share(scenarios::cm5_deterministic(4, 2)), 4, CmamConfig::default());
+        let mut m =
+            Machine::new(share(scenarios::cm5_deterministic(4, 2)), 4, CmamConfig::default());
         let out = allreduce_sum(&mut m, &[10, 20, 30, 40]).unwrap();
         assert_eq!(out, vec![100; 4]);
     }
@@ -186,5 +486,119 @@ mod tests {
     fn allreduce_rejects_non_power_of_two() {
         let mut m = machine(3);
         let _ = allreduce_sum(&mut m, &[1, 2, 3]);
+    }
+
+    /// The DAG form and the round-serial phased form agree on results —
+    /// including over a real (latency-bearing, adaptive) network.
+    #[test]
+    fn dag_matches_phased_results() {
+        for nodes in [4usize, 8, 16] {
+            let inputs: Vec<u32> = (0..nodes as u32).map(|i| i * 3 + 1).collect();
+            let mut a = machine(nodes);
+            let mut b = machine(nodes);
+            assert_eq!(
+                allreduce_sum(&mut a, &inputs).unwrap(),
+                allreduce_phased(&mut b, &inputs).unwrap(),
+                "allreduce, {nodes} nodes"
+            );
+            let mut a = machine(nodes);
+            let mut b = machine(nodes);
+            assert_eq!(
+                broadcast(&mut a, NodeId::new(1), [9, 9, 9, 9]).unwrap(),
+                broadcast_phased(&mut b, NodeId::new(1), [9, 9, 9, 9]).unwrap(),
+                "broadcast, {nodes} nodes"
+            );
+        }
+        let mut a = Machine::new(share(scenarios::cm5_deterministic(8, 2)), 8, CmamConfig::default());
+        let mut b = Machine::new(share(scenarios::cm5_deterministic(8, 2)), 8, CmamConfig::default());
+        let inputs: Vec<u32> = (1..=8).collect();
+        assert_eq!(
+            allreduce_sum(&mut a, &inputs).unwrap(),
+            allreduce_phased(&mut b, &inputs).unwrap()
+        );
+    }
+
+    /// Run-after overlap changes wall-cycles, never the per-feature
+    /// instruction bill: every node's per-feature totals are identical
+    /// between the DAG and the phased baseline.
+    #[test]
+    fn dag_and_phased_bills_are_per_feature_identical() {
+        let nodes = 16;
+        let inputs: Vec<u32> = (0..nodes as u32).collect();
+
+        let mut dag = machine(nodes);
+        dag.reset_costs();
+        allreduce_sum(&mut dag, &inputs).unwrap();
+        let mut phased = machine(nodes);
+        phased.reset_costs();
+        allreduce_phased(&mut phased, &inputs).unwrap();
+        for i in 0..nodes {
+            for f in Feature::ALL {
+                assert_eq!(
+                    dag.cpu(NodeId::new(i)).snapshot().feature_total(f),
+                    phased.cpu(NodeId::new(i)).snapshot().feature_total(f),
+                    "allreduce node {i}, {f:?}"
+                );
+            }
+        }
+
+        let mut dag = machine(nodes);
+        dag.reset_costs();
+        broadcast(&mut dag, NodeId::new(0), [5; 4]).unwrap();
+        let mut phased = machine(nodes);
+        phased.reset_costs();
+        broadcast_phased(&mut phased, NodeId::new(0), [5; 4]).unwrap();
+        for i in 0..nodes {
+            for f in Feature::ALL {
+                assert_eq!(
+                    dag.cpu(NodeId::new(i)).snapshot().feature_total(f),
+                    phased.cpu(NodeId::new(i)).snapshot().feature_total(f),
+                    "broadcast node {i}, {f:?}"
+                );
+            }
+        }
+    }
+
+    /// On a latency-bearing network the DAG's cross-round overlap
+    /// finishes in fewer wall-cycles than the phased baseline.
+    #[test]
+    fn dag_overlap_compresses_wall_cycles() {
+        let nodes = 16;
+        let inputs: Vec<u32> = (0..nodes as u32).collect();
+        let mut a = Machine::new(
+            share(scenarios::cm5_deterministic(nodes, 2)),
+            nodes,
+            CmamConfig::default(),
+        );
+        let t0 = a.network().borrow().now();
+        allreduce_sum(&mut a, &inputs).unwrap();
+        let dag_cycles = a.network().borrow().now() - t0;
+        let mut b = Machine::new(
+            share(scenarios::cm5_deterministic(nodes, 2)),
+            nodes,
+            CmamConfig::default(),
+        );
+        let t0 = b.network().borrow().now();
+        allreduce_phased(&mut b, &inputs).unwrap();
+        let phased_cycles = b.network().borrow().now() - t0;
+        assert!(
+            dag_cycles <= phased_cycles,
+            "DAG {dag_cycles} should not exceed phased {phased_cycles}"
+        );
+    }
+
+    /// The submit/harvest split composes: two broadcasts from different
+    /// roots share one engine run.
+    #[test]
+    fn two_collectives_share_one_engine() {
+        let mut m = machine(8);
+        let mut eng = Engine::new();
+        let d1 = submit_broadcast(&mut eng, &m, NodeId::new(0), [1; 4]).unwrap();
+        let d2 = submit_broadcast(&mut eng, &m, NodeId::new(3), [2; 4]).unwrap();
+        eng.run(&mut m);
+        let s1 = broadcast_results(&mut eng, &d1, 8).unwrap();
+        let s2 = broadcast_results(&mut eng, &d2, 8).unwrap();
+        assert!(s1.iter().all(|v| *v == [1; 4]));
+        assert!(s2.iter().all(|v| *v == [2; 4]));
     }
 }

@@ -39,6 +39,14 @@ pub const CONGESTION_WORDS: usize = 16;
 /// Operations offered per load point in the congestion study.
 pub const CONGESTION_OPS: usize = 48;
 
+/// Node counts for the collectives scaling study (engine-native
+/// dependency DAGs vs phase-serial rounds). Power-of-two so recursive
+/// doubling applies at every point.
+pub const COLLECTIVE_NODES: [usize; 3] = [16, 64, 256];
+
+/// Reduced collectives grid for CI and debug builds.
+pub const COLLECTIVE_NODES_QUICK: [usize; 2] = [16, 64];
+
 /// A geometric message-size sweep from `lo` to `hi` (both inclusive if
 /// on the ×2 grid).
 pub fn message_sizes(lo: u64, hi: u64) -> Vec<u64> {

@@ -16,6 +16,12 @@
 //! A final case re-runs the sweep with every fault probability at zero
 //! and checks the recovery-capable protocols cost exactly the same
 //! per-feature instruction counts as their paper-faithful originals.
+//!
+//! The concurrency × fault-plane matrix extends the soak across
+//! substrates: operation count {4, 12, 24} × fault mix {clean,
+//! drop-heavy, dup+jitter, outage} × substrate {switched, wormhole,
+//! dual}, with serial-blocking cost identity asserted at the clean
+//! packet-switched points.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -45,11 +51,11 @@ fn chaos_machine(fault: &FaultConfig, seed: u64) -> Machine {
 /// return the count. Late duplicates and crossed retransmissions may
 /// linger, but their number must be bounded by what the fault plane
 /// actually injected — not grow with payload size.
-fn residual_packets(m: &Machine) -> u64 {
+fn residual_packets(m: &Machine, nodes: usize) -> u64 {
     m.advance(4_096); // flush jitter/reorder holds
     let net = m.network();
     let mut strays = 0;
-    for i in 0..NODES {
+    for i in 0..nodes {
         while net.borrow_mut().try_receive(n(i)).is_some() {
             strays += 1;
         }
@@ -57,15 +63,15 @@ fn residual_packets(m: &Machine) -> u64 {
     strays
 }
 
-fn assert_occupancy_bounded(m: &Machine, mix: &str, seed: u64) {
-    let strays = residual_packets(m);
+fn assert_occupancy_bounded(m: &Machine, nodes: usize, label: &str, seed: u64) {
+    let strays = residual_packets(m, nodes);
     let stats = m.network().borrow().stats().clone();
     // Every stray is either a fault-plane duplicate or a software
     // retransmission that crossed its own recovery; both are counted.
     let bound = stats.duplicated + stats.reordered + 16;
     assert!(
         strays <= bound,
-        "{mix}/seed {seed}: {strays} stray packets exceed bound {bound}"
+        "{label}/seed {seed}: {strays} stray packets exceed bound {bound}"
     );
 }
 
@@ -98,7 +104,7 @@ fn retried_rpc_soaks_clean_across_fault_mixes() {
                 calls,
                 "{mix}/seed {seed}: handler must run exactly once per call"
             );
-            assert_occupancy_bounded(&m, mix, seed);
+            assert_occupancy_bounded(&m, NODES, mix, seed);
             let s = m.network().borrow().stats().clone();
             mix_faults +=
                 s.dropped_fault + s.duplicated + s.reordered + s.outage_drops + s.dropped_corrupt;
@@ -128,7 +134,7 @@ fn xfer_reliable_soaks_byte_exact_across_fault_mixes() {
                 || out.data_retransmits > 0
                 || out.nack_rounds > 0
                 || out.ack_probes > 0;
-            assert_occupancy_bounded(&m, mix, seed);
+            assert_occupancy_bounded(&m, NODES, mix, seed);
             let s = m.network().borrow().stats().clone();
             mix_faults +=
                 s.dropped_fault + s.duplicated + s.reordered + s.outage_drops + s.dropped_corrupt;
@@ -168,7 +174,7 @@ fn stream_soaks_in_order_exactly_once_across_fault_mixes() {
                 out.duplicates <= m.network().borrow().stats().duplicated + out.retransmits,
                 "{mix}/seed {seed}: receiver saw more duplicates than were created"
             );
-            assert_occupancy_bounded(&m, mix, seed);
+            assert_occupancy_bounded(&m, NODES, mix, seed);
         }
     }
 }
@@ -275,6 +281,198 @@ fn engine_concurrent_ops_soak_exactly_once_across_fault_mixes() {
                 strays <= bound,
                 "{mix}/seed {seed}: {strays} stray packets exceed bound {bound}"
             );
+        }
+    }
+}
+
+/// ISSUE satellite: the concurrency × fault-plane matrix. A seeded
+/// sweep over operation count {4, 12, 24} × fault mix {clean,
+/// drop-heavy, dup+jitter, outage} × substrate {switched fat tree,
+/// dateline wormhole torus, dual request/reply} — every point must
+/// deliver exactly-once, byte-exact, with bounded residual occupancy,
+/// and on the clean points the concurrent engine run must charge
+/// exactly the per-node, per-feature instruction bill of the same
+/// operations run serially through the blocking layer.
+#[test]
+fn engine_matrix_soaks_concurrency_by_fault_plane_by_substrate() {
+    use timego_am::{Engine, Machine, OpOutcome, Tags};
+    use timego_netsim::{
+        DualNetwork, Torus2D, VcDiscipline, WormholeConfig, WormholeNetwork,
+    };
+
+    const M_NODES: usize = 16;
+    const M_SEEDS: u64 = 2; // reduced grid: this sweep rides the tier-1 path
+    let policy = RetryPolicy::default();
+
+    let mixes: Vec<(&str, FaultConfig)> = vec![
+        ("clean", FaultConfig::default()),
+        ("drop-heavy", scenarios::fault_mix("drop")),
+        (
+            "dup+jitter",
+            FaultConfig { duplicate_prob: 0.10, delay_jitter: 8, ..FaultConfig::default() },
+        ),
+        ("outage", scenarios::fault_mix("outage")),
+    ];
+    let machine = |sub: &str, fault: &FaultConfig, seed: u64| -> Machine {
+        match sub {
+            "switched" => Machine::new(
+                share(scenarios::cm5_chaos(M_NODES, fault.clone(), seed)),
+                M_NODES,
+                CmamConfig::default(),
+            ),
+            "wormhole" => Machine::new(
+                share(WormholeNetwork::new(
+                    Torus2D::new(4, 4),
+                    WormholeConfig {
+                        virtual_channels: 2,
+                        discipline: VcDiscipline::Dateline,
+                        fault: fault.clone(),
+                        seed,
+                        ..WormholeConfig::default()
+                    },
+                )),
+                M_NODES,
+                CmamConfig::default(),
+            ),
+            "dual" => Machine::new(
+                share(DualNetwork::new(
+                    scenarios::cm5_chaos(M_NODES, fault.clone(), seed),
+                    scenarios::cm5_chaos(M_NODES, fault.clone(), seed ^ 0x9e37),
+                    Tags::RPC_REPLY,
+                )),
+                M_NODES,
+                CmamConfig::default(),
+            ),
+            other => panic!("unknown substrate {other}"),
+        }
+    };
+    // The op list for a matrix point: mostly reliable transfers, with
+    // every fourth op a retried RPC to the server on node 1. Transfers
+    // walk distinct ordered pairs (low half → high half, shifting the
+    // dst per block of eight) — repeating an ordered pair under a
+    // duplicating fault plane is outside the reliable handshake's
+    // envelope, blocking or concurrent alike: a jitter-delayed
+    // duplicate of an earlier handshake can poison the next one.
+    // Conflict-key serialization is exercised by the RPC lanes instead,
+    // whose repeated (caller, server) pairs the retry protocol does
+    // dedup.
+    let pair = |j: usize| (NodeId::new(j % 8), NodeId::new(8 + (j % 8 + j / 8) % 8));
+    let payload = |i: usize, seed: u64| payloads::mixed(16 + (i % 8), seed.wrapping_add(i as u64));
+
+    for sub in ["switched", "wormhole", "dual"] {
+        for (mix, fault) in &mixes {
+            for ops in [4usize, 12, 24] {
+                for seed in 0..M_SEEDS {
+                    let label = format!("{sub}/{mix}/{ops} ops");
+                    let mut m = machine(sub, fault, seed);
+                    let runs = Rc::new(RefCell::new(0u32));
+                    let counter = runs.clone();
+                    m.register_rpc_handler(n(1), 40, move |_, msg| {
+                        *counter.borrow_mut() += 1;
+                        [msg.words[0].wrapping_mul(5), msg.words[1], 0, 0]
+                    });
+
+                    let mut eng = Engine::new();
+                    let mut xfers = Vec::new();
+                    let mut rpcs = Vec::new();
+                    let mut xj = 0usize;
+                    for i in 0..ops {
+                        if i % 4 == 3 {
+                            let caller = n((2 * i + 4) % M_NODES);
+                            let v = i as u32;
+                            let id = eng.submit_rpc(
+                                &mut m,
+                                caller,
+                                n(1),
+                                40,
+                                [v, seed as u32, 0, 0],
+                                Some(&policy),
+                            );
+                            rpcs.push((id, v));
+                        } else {
+                            let (src, dst) = pair(xj);
+                            xj += 1;
+                            let data = payload(i, seed);
+                            let id = eng
+                                .submit_xfer_reliable(&m, src, dst, &data, &policy)
+                                .expect("valid");
+                            xfers.push((id, dst, data));
+                        }
+                    }
+                    eng.run(&mut m);
+                    assert_eq!(eng.unfinished(), 0, "{label}/seed {seed}");
+
+                    for (id, dst, data) in &xfers {
+                        match eng.take_outcome(*id).expect("finished") {
+                            Ok(OpOutcome::Reliable(out)) => assert_eq!(
+                                &m.read_buffer(*dst, out.xfer.dst_buffer, data.len()),
+                                data,
+                                "{label}/seed {seed}: payload must be byte-exact"
+                            ),
+                            other => panic!("{label}/seed {seed}: {other:?}"),
+                        }
+                    }
+                    for (id, v) in &rpcs {
+                        match eng.take_outcome(*id).expect("finished") {
+                            Ok(OpOutcome::Rpc(reply)) => assert_eq!(
+                                reply,
+                                [v.wrapping_mul(5), seed as u32, 0, 0],
+                                "{label}/seed {seed}: reply must be byte-exact"
+                            ),
+                            other => panic!("{label}/seed {seed}: {other:?}"),
+                        }
+                    }
+                    assert_eq!(
+                        *runs.borrow() as usize,
+                        rpcs.len(),
+                        "{label}/seed {seed}: handlers must run exactly once per call"
+                    );
+                    assert_occupancy_bounded(&m, M_NODES, &label, seed);
+
+                    // Clean points: interleaving K operations must
+                    // charge exactly the serial blocking bill, per node
+                    // and per feature. Scoped to the packet-switched
+                    // substrates: on the wormhole fabric concurrent
+                    // worms contend for flit channels, so the number of
+                    // (paid) injection attempts genuinely differs from
+                    // a serial run over an empty fabric — equal results,
+                    // different bills, by design.
+                    if *mix == "clean" && sub != "wormhole" {
+                        let mut serial = machine(sub, fault, seed);
+                        let runs = Rc::new(RefCell::new(0u32));
+                        let counter = runs.clone();
+                        serial.register_rpc_handler(n(1), 40, move |_, msg| {
+                            *counter.borrow_mut() += 1;
+                            [msg.words[0].wrapping_mul(5), msg.words[1], 0, 0]
+                        });
+                        let mut xj = 0usize;
+                        for i in 0..ops {
+                            if i % 4 == 3 {
+                                let caller = n((2 * i + 4) % M_NODES);
+                                serial
+                                    .rpc_call_retrying(caller, n(1), 40, [i as u32, seed as u32, 0, 0], &policy)
+                                    .expect("clean substrate");
+                            } else {
+                                let (src, dst) = pair(xj);
+                                xj += 1;
+                                serial
+                                    .xfer_reliable(src, dst, &payload(i, seed), &policy)
+                                    .expect("clean substrate");
+                            }
+                        }
+                        for node in 0..M_NODES {
+                            for f in Feature::ALL {
+                                assert_eq!(
+                                    m.cpu(n(node)).snapshot().feature_total(f),
+                                    serial.cpu(n(node)).snapshot().feature_total(f),
+                                    "{label}/seed {seed}: node {node} feature {f:?} bill must \
+                                     match the serial blocking run"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
         }
     }
 }

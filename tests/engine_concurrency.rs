@@ -335,3 +335,106 @@ fn concurrent_rpcs_to_one_server_correlate_by_call_id() {
     }
     assert_eq!(*calls.borrow(), (NODES - 1) as u32, "handlers ran exactly once per call");
 }
+
+/// ROADMAP satellite: shrink the receive queue until the network
+/// actually refuses injections, and prove the engine's idle-cycle
+/// advancement still drains everything — no livelock, no timeout —
+/// with the queue's high-water mark pinned at its capacity.
+///
+/// An engine consumer alone can never make the receive queue the brake:
+/// its peek-gated receives drain every delivery within the same sweep,
+/// so depth never exceeds one and `rx_queue_capacity` stays
+/// epiphenomenal. The honest construction is two-phase: first fill the
+/// hot node's queue with raw injections while *no* consumer runs, until
+/// the full queue blocks last-hop delivery, backs the link queues up to
+/// the source, and the fabric refuses the injection — then hand the
+/// saturated machine to the engine and let it drain.
+#[test]
+fn small_rx_queues_refuse_injections_but_never_livelock() {
+    use timego_netsim::{FatTree, InjectError, Packet, SwitchedConfig, SwitchedNetwork};
+
+    let tag = timego_am::Tags::USER_BASE + 5;
+    let words = [9u32, 9, 9, 9];
+    let mut admitted: Vec<(usize, usize)> = Vec::new();
+    for cap in [16usize, 4, 2, 1] {
+        let net = SwitchedNetwork::new(
+            FatTree::new(4, 2, 2),
+            SwitchedConfig { rx_queue_capacity: cap, seed: 9, ..SwitchedConfig::default() },
+        );
+        let mut m = Machine::new(share(net), 8, CmamConfig::default());
+
+        // Fill: keep injecting 6 → 7 with no consumer. Early refusals
+        // are transient (the first-hop queue drains forward at link
+        // rate); once the receive queue is full, deliveries block in
+        // place, the backup reaches the source, and injection stays
+        // refused no matter how long the fabric settles — that wedge
+        // is the stop condition.
+        let mut injected = 0usize;
+        'fill: loop {
+            assert!(injected < 10_000, "cap {cap}: the fabric never pushed back");
+            for _ in 0..400 {
+                let accepted = {
+                    let mut net = m.network().borrow_mut();
+                    match net.try_inject(Packet::new(n(6), n(7), tag, 0, words.to_vec())) {
+                        Ok(()) => true,
+                        Err(InjectError::Backpressure) => false,
+                        Err(e) => panic!("cap {cap}: unexpected inject error {e}"),
+                    }
+                };
+                m.network().borrow_mut().advance(1);
+                if accepted {
+                    injected += 1;
+                    continue 'fill;
+                }
+            }
+            break; // refused for 400 straight cycles: saturated
+        }
+        // Let every in-flight packet land or park behind the full queue.
+        m.network().borrow_mut().advance(200);
+
+        let (peak, backpressure, pending) = {
+            let net = m.network().borrow();
+            let stats = net.stats();
+            (
+                stats.occupancy_table()[7].peak_rx_depth,
+                stats.backpressure,
+                net.rx_pending(n(7)),
+            )
+        };
+        assert!(backpressure > 0, "cap {cap}: refusal was not counted");
+        assert_eq!(peak, cap, "cap {cap}: high-water mark must pin at capacity");
+        assert_eq!(pending, cap, "cap {cap}: queue must sit full with no consumer");
+        admitted.push((cap, injected));
+
+        // Drain: one engine op per admitted packet, all on the same
+        // (src, dst) pair so the conflict key serializes them FIFO.
+        // Each op's own send may itself be refused by the still-full
+        // fabric — idle-cycle advancement must retry and drain the
+        // whole backlog without livelock or timeout.
+        let mut eng = Engine::new();
+        let ids: Vec<OpId> =
+            (0..injected).map(|_| eng.submit_am4(&m, n(6), n(7), tag, words).unwrap()).collect();
+        eng.run(&mut m);
+        assert_eq!(eng.unfinished(), 0);
+        for id in ids {
+            match eng.take_outcome(id).expect("finished") {
+                Ok(OpOutcome::Am4(w)) => assert_eq!(w, words, "cap {cap}: bytes survived"),
+                other => panic!("cap {cap}: a refused injection must retry, not wedge: {other:?}"),
+            }
+        }
+    }
+    // Shrinking the queue tightens the brake: with the link path fixed,
+    // every slot removed from the receive queue is one fewer injection
+    // the fabric admits before refusing.
+    let count = |cap: usize| admitted.iter().find(|(c, _)| *c == cap).unwrap().1;
+    for pair in [16usize, 4, 2, 1].windows(2) {
+        assert!(
+            count(pair[0]) > count(pair[1]),
+            "admitted injections must shrink with the queue: cap {} admitted {}, cap {} admitted {}",
+            pair[0],
+            count(pair[0]),
+            pair[1],
+            count(pair[1])
+        );
+    }
+}
