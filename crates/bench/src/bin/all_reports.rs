@@ -24,6 +24,10 @@ fn main() {
         reports::collectives_report(&reports::collectives_rows(
             &timego_workloads::sweeps::COLLECTIVE_NODES_QUICK,
         )),
+        reports::recovery_report(&reports::recovery_rows(
+            &timego_workloads::sweeps::RECOVERY_CRASH_WINDOWS_QUICK,
+            timego_workloads::sweeps::RECOVERY_SEEDS_QUICK,
+        )),
         reports::substrate_demo(),
     ] {
         println!("{report}");

@@ -1,0 +1,38 @@
+//! Crash-recovery report: exactly-once reliable delivery across node
+//! crash-restart windows of increasing length, with the whole recovery
+//! price billed to the fault-tolerance feature. Emits the
+//! deterministic per-cell results into `BENCH_results.json` under the
+//! `recovery/` prefix.
+//!
+//! Pass `--quick` to run the reduced CI grid.
+
+use timego_bench::{reports, results::BenchResults};
+use timego_workloads::sweeps;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let (windows, seeds): (&[u64], u64) = if quick {
+        (&sweeps::RECOVERY_CRASH_WINDOWS_QUICK, sweeps::RECOVERY_SEEDS_QUICK)
+    } else {
+        (&sweeps::RECOVERY_CRASH_WINDOWS, sweeps::RECOVERY_SEEDS)
+    };
+
+    let rows = reports::recovery_rows(windows, seeds);
+    print!("{}", reports::recovery_report(&rows));
+
+    let mut res = BenchResults::new("recovery/");
+    for r in &rows {
+        let key = format!("window{}", r.window);
+        res.record_count(&format!("{key}/delivered"), r.completed);
+        res.record_count(&format!("{key}/re_executions"), r.re_executions);
+        res.record_cycles(&format!("{key}/avg_cycles"), r.avg_cycles);
+        res.record_cycles(&format!("{key}/fault_tol_instr"), r.fault_tol_instr);
+        res.record_cycles(&format!("{key}/other_instr"), r.other_instr);
+    }
+    let path = BenchResults::default_path();
+    match res.write_merged(&path) {
+        Ok(n) => println!("\nwrote {n} entries to {}", path.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
+}

@@ -9,7 +9,7 @@ use timego_am::{
 use timego_cost::analytic::{self, IndefiniteOpts, MsgShape, ProtocolCost};
 use timego_cost::cycles::CycleModel;
 use timego_cost::{table, Endpoint, Feature};
-use timego_netsim::{Network, NodeId, Packet};
+use timego_netsim::{CrashWindow, FaultConfig, Network, NodeId, Packet};
 use timego_ni::share;
 use timego_am::RetryPolicy;
 use timego_workloads::{concurrent, patterns::Pattern, payloads, scenarios, sweeps};
@@ -1506,9 +1506,158 @@ pub fn collectives_csv() -> String {
     out
 }
 
+/// One crash-window point of the crash-recovery study.
+#[derive(Debug, Clone)]
+pub struct RecoveryRow {
+    /// Crash window length in cycles (`0` = no crash, the baseline).
+    pub window: u64,
+    /// Seeds run at this point.
+    pub seeds: u64,
+    /// Transfers that converged to byte-exact delivery (must be all).
+    pub completed: u64,
+    /// Whole-session re-executions summed over all seeds.
+    pub re_executions: u64,
+    /// Mean network cycles to converged delivery, across seeds.
+    pub avg_cycles: u64,
+    /// Fault-tolerance instructions at both endpoints, summed over
+    /// seeds — the full price of recovery.
+    pub fault_tol_instr: u64,
+    /// All other feature instructions (base + buffer management +
+    /// in-order) at both endpoints, summed over seeds. Each
+    /// re-execution is a fresh session paying the ordinary protocol
+    /// bill, so this scales with `1 + re_executions` per seed — never
+    /// with the fault itself.
+    pub other_instr: u64,
+}
+
+/// Measure the crash-recovery study: one 256-word reliable transfer
+/// per seed on a 16-node adaptive fat tree, with the receiver crashed
+/// from cycle 50 for `window` cycles (erasing its protocol state) and
+/// restarted. [`Machine::xfer_reliable_recovering`] detects the
+/// restart, re-executes under a fresh session epoch, and must converge
+/// to byte-exact delivery at every point.
+#[must_use]
+pub fn recovery_rows(windows: &[u64], seeds: u64) -> Vec<RecoveryRow> {
+    let nodes = sweeps::RECOVERY_NODES;
+    let policy = RetryPolicy::default();
+    let (src, dst) = (NodeId::new(2), NodeId::new(9));
+    windows
+        .iter()
+        .map(|&window| {
+            let mut row = RecoveryRow {
+                window,
+                seeds,
+                completed: 0,
+                re_executions: 0,
+                avg_cycles: 0,
+                fault_tol_instr: 0,
+                other_instr: 0,
+            };
+            let mut cycles_total = 0u64;
+            for seed in 0..seeds {
+                let fault = if window == 0 {
+                    FaultConfig::default()
+                } else {
+                    FaultConfig {
+                        crashes: vec![CrashWindow { node: dst, start: 50, end: 50 + window }],
+                        ..FaultConfig::default()
+                    }
+                };
+                let mut m = Machine::new(
+                    share(scenarios::cm5_chaos(nodes, fault, seed)),
+                    nodes,
+                    CmamConfig::default(),
+                );
+                m.reset_costs();
+                let data = payloads::mixed(sweeps::RECOVERY_WORDS, seed);
+                let t0 = m.network().borrow().now();
+                let (out, re_execs) = m
+                    .xfer_reliable_recovering(src, dst, &data, &policy)
+                    .expect("crash recovery must converge");
+                cycles_total += m.network().borrow().now() - t0;
+                if m.read_buffer(dst, out.xfer.dst_buffer, data.len()) == data {
+                    row.completed += 1;
+                }
+                row.re_executions += u64::from(re_execs);
+                for node in [src, dst] {
+                    let snap = m.cpu(node).snapshot();
+                    for f in Feature::ALL {
+                        if f == Feature::FaultTol {
+                            row.fault_tol_instr += snap.feature_total(f);
+                        } else {
+                            row.other_instr += snap.feature_total(f);
+                        }
+                    }
+                }
+            }
+            row.avg_cycles = cycles_total / seeds.max(1);
+            row
+        })
+        .collect()
+}
+
+/// **Crash-recovery report** — exactly-once convergence cost versus
+/// crash-window length. The non-fault-tolerance bill is flat across
+/// the sweep (recovery never leaks into the paper-protocol features);
+/// what grows with the outage is fault-tolerance work and wall-clock
+/// cycles spent re-executing and backing off.
+#[must_use]
+pub fn recovery_report(rows: &[RecoveryRow]) -> String {
+    let mut out = String::new();
+    out.push_str("== Crash recovery: exactly-once delivery vs crash-window length ==\n\n");
+    out.push_str("16 nodes, adaptive fat tree, one 256-word reliable transfer per seed;\n");
+    out.push_str("the receiver crashes at cycle 50 (protocol state erased) and restarts\n");
+    out.push_str("after the window. Sessions die via restart detection or timeout; the\n");
+    out.push_str("recovering wrapper re-executes under a fresh epoch until delivery.\n\n");
+    writeln!(
+        out,
+        "{:>7} | {:>5} | {:>9} | {:>8} | {:>9} | {:>12} | {:>11}",
+        "window", "seeds", "delivered", "re-execs", "avg cyc", "faulttol instr", "other instr"
+    )
+    .unwrap();
+    for r in rows {
+        writeln!(
+            out,
+            "{:>7} | {:>5} | {:>9} | {:>8} | {:>9} | {:>14} | {:>11}",
+            r.window, r.seeds, r.completed, r.re_executions, r.avg_cycles, r.fault_tol_instr, r.other_instr
+        )
+        .unwrap();
+    }
+    out.push_str(
+        "\nEvery point delivers exactly once, byte-exact. The crash-specific\n\
+         software price — restart detection, session re-establishment,\n\
+         stale-epoch discards, retried handshakes — lands in the fault-\n\
+         tolerance feature. The other feature bills scale only with the\n\
+         number of whole-session executions (each re-execution is a fresh\n\
+         session paying the ordinary paper-protocol bill), never with the\n\
+         fault: the paper's separability of feature costs, extended to\n\
+         node failure.\n",
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn recovery_rows_converge_and_bill_fault_tolerance() {
+        let rows =
+            recovery_rows(&sweeps::RECOVERY_CRASH_WINDOWS_QUICK, sweeps::RECOVERY_SEEDS_QUICK);
+        let baseline = &rows[0];
+        assert_eq!(baseline.window, 0);
+        assert_eq!(baseline.completed, baseline.seeds, "clean baseline must deliver");
+        assert_eq!(baseline.re_executions, 0, "no crash, no re-execution");
+        let crashed = rows.iter().find(|r| r.window > 0).expect("a crash point");
+        assert_eq!(crashed.completed, crashed.seeds, "recovery must converge everywhere");
+        assert!(crashed.re_executions > 0, "the crash must force re-execution");
+        assert!(
+            crashed.fault_tol_instr > baseline.fault_tol_instr,
+            "recovery work must bill fault tolerance"
+        );
+        let report = recovery_report(&rows);
+        assert!(report.contains("re-execs"), "{report}");
+    }
 
     #[test]
     fn table1_report_is_all_ok() {

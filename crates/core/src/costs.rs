@@ -156,6 +156,14 @@ pub(crate) mod recovery {
     /// Duplicate-request lookup at the RPC callee: hash the
     /// (caller, call-id) key and probe the reply cache.
     pub const RPC_DEDUP_REG: u64 = 6;
+    /// Session re-establishment after a peer crash-restart: tear down
+    /// the dead session's bookkeeping and re-arm the retry state
+    /// (register work: compare restart counters, bump the epoch,
+    /// reset cursors).
+    pub const SESSION_RESTART_REG: u64 = 8;
+    /// Session re-establishment memory traffic: drop the stale segment
+    /// table entry and store the fresh epoch.
+    pub const SESSION_RESTART_MEM: u64 = 2;
 }
 
 /// High-level (CR substrate) finite-sequence receive: the specialized

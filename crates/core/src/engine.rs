@@ -50,6 +50,40 @@
 //! must name already-submitted operations — `OpId`s are handed out at
 //! submission, so a forward edge (and therefore a cycle) is rejected at
 //! submission time.
+//!
+//! ## Supervision: deadlines, watchdog, cancellation
+//!
+//! Liveness is enforced per operation, not globally. Every operation
+//! can carry a *deadline* ([`Engine::set_deadline`],
+//! [`Engine::submit_xfer_reliable_with_deadline`]): when the substrate
+//! clock passes it, the operation — running, pending, or held — is
+//! settled with the retryable [`ProtocolError::DeadlineExceeded`],
+//! freeing its conflict key so queued work proceeds. Independently, a
+//! *watchdog* (default bound 4 × `max_wait_cycles`, override with
+//! [`Engine::set_watchdog`]) settles any individual running operation
+//! that has gone that many cycles without making progress — the
+//! protocol state machines' own retry timeouts fire first in any sane
+//! configuration, so the watchdog only catches operations wedged
+//! outside their own envelope. [`Engine::cancel`] settles one
+//! operation with [`ProtocolError::Cancelled`] (cascading
+//! `DependencyFailed` to its dependents), and [`Engine::quiesce`]
+//! drains the whole engine gracefully: not-yet-started work is
+//! cancelled, admitted work runs to completion, and residual fabric
+//! state is swept.
+//!
+//! ## Session epochs
+//!
+//! Reliable transfers stamp every handshake and control packet with a
+//! per-ordered-pair monotonic *session epoch* (allocated at admission
+//! from [`Machine::next_session_epoch`]). The data-packet nonce is
+//! derived from the epoch, and both endpoints discard — under
+//! `Feature::FaultTol`, with the stray-discard instruction shape — any
+//! packet carrying a stale epoch. This closes the duplicate-poisoning
+//! hole: a jitter-delayed duplicate of an *earlier* same-pair
+//! handshake can no longer be mistaken for the current session's
+//! traffic. Epoch stamps ride in header words the protocol already
+//! paid to send, so a clean run bills exactly what the unstamped
+//! protocol billed.
 
 use std::collections::{BTreeMap, HashSet, VecDeque};
 
@@ -64,8 +98,9 @@ use crate::machine::{Machine, Tags};
 use crate::retry::RetryPolicy;
 use crate::rpc::RpcEvent;
 use crate::stream::{StreamId, StreamOutcome};
+use crate::machine::SessionEntry;
 use crate::xfer::{PayloadEngine, XferOutcome, XferRx};
-use crate::xfer_reliable::{ReliableOutcome, OFFSET_BITS};
+use crate::xfer_reliable::{ReliableOutcome, OFFSET_BITS, OFFSET_MASK};
 
 /// Identifies one submitted operation within an [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -157,6 +192,9 @@ const CLASS_AM: u8 = 2;
 struct ActiveOp {
     id: OpId,
     op: OpKind,
+    /// Substrate clock at admission / last step that made progress —
+    /// what the no-progress watchdog measures against.
+    last_progress_at: u64,
 }
 
 /// A submitted operation still waiting on run-after predecessors.
@@ -280,9 +318,19 @@ pub struct Engine {
     done_ok: HashSet<OpId>,
     done_err: HashSet<OpId>,
     outcomes: BTreeMap<OpId, Result<OpOutcome, ProtocolError>>,
+    // Flattened root-cause error per failed op, kept (unlike `outcomes`,
+    // which `take_outcome` drains) so late-submitted dependents can
+    // carry the root in their `DependencyFailed`.
+    root_errors: BTreeMap<OpId, ProtocolError>,
+    // Per-op deadline: (absolute expiry on the substrate clock, the
+    // budget it was set with — reported in the error).
+    deadlines: BTreeMap<OpId, (u64, u64)>,
+    // No-progress watchdog bound in cycles; `None` derives
+    // 4 × max_wait_cycles from the machine config at enforcement time.
+    watchdog: Option<u64>,
     trace: Vec<TracedEvent>,
-    // Consecutive no-progress cycles, persisted across `pump` calls so
-    // the wedge backstop works for paced drivers too.
+    // Consecutive no-progress cycles, persisted across `pump` calls
+    // (diagnostic context for the defensive held-op sweep).
     idle_streak: u64,
 }
 
@@ -306,6 +354,9 @@ impl Engine {
             done_ok: HashSet::new(),
             done_err: HashSet::new(),
             outcomes: BTreeMap::new(),
+            root_errors: BTreeMap::new(),
+            deadlines: BTreeMap::new(),
+            watchdog: None,
             trace: Vec::new(),
             idle_streak: 0,
         }
@@ -342,19 +393,27 @@ impl Engine {
         // submission — same outcome it would get if the failure happened
         // while it was held.
         if let Some(&failed) = after.iter().find(|d| self.done_err.contains(d)) {
-            self.settle(m, id, Err(ProtocolError::DependencyFailed { failed }));
+            let root = self
+                .root_errors
+                .get(&failed)
+                .cloned()
+                .unwrap_or_else(|| ProtocolError::timeout("predecessor outcome", 0));
+            self.settle(m, id, Err(ProtocolError::dependency_failed(failed, &root)));
             return Ok(id);
         }
         let waiting_on: HashSet<OpId> =
             after.iter().copied().filter(|d| !self.done_ok.contains(d)).collect();
         if waiting_on.is_empty() {
             self.record(m, EngineEvent::Released(id));
-            self.pending.push_back(ActiveOp { id, op });
+            self.pending.push_back(ActiveOp { id, op, last_progress_at: 0 });
         } else {
             for dep in &waiting_on {
                 self.dependents.entry(*dep).or_default().push(id);
             }
-            self.held.insert(id, HeldOp { op: ActiveOp { id, op }, waiting_on });
+            self.held.insert(
+                id,
+                HeldOp { op: ActiveOp { id, op, last_progress_at: 0 }, waiting_on },
+            );
         }
         Ok(id)
     }
@@ -820,7 +879,14 @@ impl Engine {
             m.advance(1);
             return 0;
         }
+        // Fold any node crash-restarts into protocol state before
+        // stepping: erase the crashed endpoint's sessions and caches so
+        // the ops observe the restart, not ghosts of the old incarnation.
+        m.observe_restarts();
         loop {
+            if self.supervise(m) {
+                continue;
+            }
             self.admit(m);
             if self.running.is_empty() {
                 if self.pending.is_empty() {
@@ -846,10 +912,12 @@ impl Engine {
             }
             let mut progressed = false;
             let mut i = 0;
+            let now = clock(m);
             while i < self.running.len() {
                 match self.running[i].op.step(m) {
                     Ok(Stepped::Progress) => {
                         let id = self.running[i].id;
+                        self.running[i].last_progress_at = now;
                         self.record(m, EngineEvent::Progressed(id));
                         progressed = true;
                         i += 1;
@@ -877,25 +945,10 @@ impl Engine {
                 op.op.tick();
             }
             self.idle_streak += 1;
-            if self.idle_streak > m.config().max_wait_cycles {
-                // Backstop: every op's own deadline logic should fire
-                // first; if the world is truly wedged, fail what's left.
-                // Settling running/pending ops cascades DependencyFailed
-                // into their held dependents; the final loop is a
-                // defensive sweep in case a held op somehow survived.
-                let streak = self.idle_streak;
-                while !self.running.is_empty() {
-                    self.finish(m, 0, Err(ProtocolError::timeout("engine progress", streak)));
-                }
-                while let Some(op) = self.pending.pop_front() {
-                    self.settle(m, op.id, Err(ProtocolError::timeout("engine progress", streak)));
-                }
-                while let Some(&id) = self.held.keys().next() {
-                    self.held.remove(&id);
-                    self.settle(m, id, Err(ProtocolError::timeout("engine progress", streak)));
-                }
-                return 0;
-            }
+            // No global wedge backstop here: the per-op watchdog in
+            // `supervise` settles individual no-progress operations with
+            // a retryable `DeadlineExceeded` instead of failing the
+            // whole engine at once.
             return self.unfinished();
         }
     }
@@ -923,6 +976,7 @@ impl Engine {
             }
             self.record(m, EngineEvent::Started(op.id));
             op.op.start(m);
+            op.last_progress_at = clock(m);
             self.running.push(op);
         }
         self.pending = still_pending;
@@ -945,12 +999,23 @@ impl Engine {
     /// cone settles in one pass.
     fn settle(&mut self, m: &Machine, id: OpId, result: Result<OpOutcome, ProtocolError>) {
         let ok = result.is_ok();
+        let err = result.as_ref().err().cloned();
         self.record(m, EngineEvent::Completed(id, ok));
         self.outcomes.insert(id, result);
+        self.deadlines.remove(&id);
         if ok {
             self.done_ok.insert(id);
         } else {
             self.done_err.insert(id);
+        }
+        if let Some(e) = &err {
+            // Keep the flattened root cause so dependents — including
+            // ones submitted after this settles — can carry it.
+            let root = match e {
+                ProtocolError::DependencyFailed { root, .. } => (**root).clone(),
+                other => other.clone(),
+            };
+            self.root_errors.insert(id, root);
         }
         let Some(deps) = self.dependents.remove(&id) else {
             return;
@@ -970,7 +1035,8 @@ impl Engine {
                     self.pending.push_back(h.op);
                 }
             } else if self.held.remove(&dep).is_some() {
-                self.settle(m, dep, Err(ProtocolError::DependencyFailed { failed: id }));
+                let root = err.clone().expect("failure settles with an error");
+                self.settle(m, dep, Err(ProtocolError::dependency_failed(id, &root)));
             }
         }
     }
@@ -995,6 +1061,153 @@ impl Engine {
             return true;
         }
         false
+    }
+
+    // -----------------------------------------------------------------
+    // Supervision: deadlines, watchdog, cancellation, quiesce.
+    // -----------------------------------------------------------------
+
+    /// Arm (or re-arm) a deadline for an unfinished operation: if it has
+    /// not completed within `cycles_from_now` substrate cycles, the
+    /// engine settles it with the retryable
+    /// [`ProtocolError::DeadlineExceeded`] and cascades
+    /// [`ProtocolError::DependencyFailed`] into its dependents, exactly
+    /// like any other failure. Deadlines on already-finished ids are
+    /// ignored. Supervision is host-side scheduling: it charges no
+    /// simulated instructions.
+    pub fn set_deadline(&mut self, m: &Machine, id: OpId, cycles_from_now: u64) {
+        if self.outcomes.contains_key(&id) || self.done_ok.contains(&id) || self.done_err.contains(&id) {
+            return;
+        }
+        self.deadlines.insert(id, (clock(m).saturating_add(cycles_from_now), cycles_from_now));
+    }
+
+    /// Override the per-operation no-progress watchdog bound (cycles an
+    /// admitted operation may go without a `Progressed` event before the
+    /// engine settles it with [`ProtocolError::DeadlineExceeded`]). The
+    /// default, `4 × max_wait_cycles`, is deliberately looser than every
+    /// protocol's own internal timeout so op-level errors fire first.
+    pub fn set_watchdog(&mut self, cycles: u64) {
+        self.watchdog = Some(cycles);
+    }
+
+    /// [`Engine::submit_xfer_reliable`] with a completion deadline in
+    /// substrate cycles (see [`Engine::set_deadline`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadTransfer`] for empty or oversized data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`, either node is out of range, or the
+    /// policy allows zero attempts.
+    pub fn submit_xfer_reliable_with_deadline(
+        &mut self,
+        m: &Machine,
+        src: NodeId,
+        dst: NodeId,
+        data: &[u32],
+        policy: &RetryPolicy,
+        deadline: u64,
+    ) -> Result<OpId, ProtocolError> {
+        let id = self.submit_xfer_reliable(m, src, dst, data, policy)?;
+        self.set_deadline(m, id, deadline);
+        Ok(id)
+    }
+
+    /// Cancel an unfinished operation wherever it is (running, pending,
+    /// or held): it settles with [`ProtocolError::Cancelled`], its
+    /// conflict key is released, and dependents fail with
+    /// [`ProtocolError::DependencyFailed`] whose root is the
+    /// cancellation. Returns `false` if the id was already finished (or
+    /// never submitted). In-flight packets of a cancelled operation are
+    /// left to the orphan-discard sweep.
+    pub fn cancel(&mut self, m: &Machine, id: OpId) -> bool {
+        self.expire(m, id, ProtocolError::Cancelled)
+    }
+
+    /// Settle one unfinished op with `err`, wherever it currently is.
+    fn expire(&mut self, m: &Machine, id: OpId, err: ProtocolError) -> bool {
+        self.deadlines.remove(&id);
+        if let Some(idx) = self.running.iter().position(|op| op.id == id) {
+            self.finish(m, idx, Err(err));
+            return true;
+        }
+        if let Some(pos) = self.pending.iter().position(|op| op.id == id) {
+            self.pending.remove(pos);
+            self.settle(m, id, Err(err));
+            return true;
+        }
+        if self.held.remove(&id).is_some() {
+            self.settle(m, id, Err(err));
+            return true;
+        }
+        false
+    }
+
+    /// Enforce deadlines and the no-progress watchdog. Returns `true`
+    /// if any operation was settled (the pump loop restarts its sweep so
+    /// released conflict keys are re-admitted in the same quantum).
+    fn supervise(&mut self, m: &Machine) -> bool {
+        let now = clock(m);
+        let mut acted = false;
+        let due: Vec<(OpId, u64)> = self
+            .deadlines
+            .iter()
+            .filter(|&(_, &(at, _))| now >= at)
+            .map(|(&id, &(_, budget))| (id, budget))
+            .collect();
+        for (id, budget) in due {
+            acted |= self.expire(
+                m,
+                id,
+                ProtocolError::DeadlineExceeded { what: "deadline", cycles: budget },
+            );
+        }
+        let bound = self.watchdog.unwrap_or(4 * m.config().max_wait_cycles);
+        let starved: Vec<(OpId, u64)> = self
+            .running
+            .iter()
+            .filter(|op| now.saturating_sub(op.last_progress_at) > bound)
+            .map(|op| (op.id, now - op.last_progress_at))
+            .collect();
+        for (id, cycles) in starved {
+            acted |= self.expire(
+                m,
+                id,
+                ProtocolError::DeadlineExceeded { what: "watchdog", cycles },
+            );
+        }
+        acted
+    }
+
+    /// Graceful shutdown: cancel everything still waiting (pending and
+    /// held), drive the already-running operations to completion, then
+    /// drain orphaned in-flight packets until the network is empty.
+    /// Returns the number of stray packets discarded during the drain.
+    pub fn quiesce(&mut self, m: &mut Machine) -> usize {
+        let waiting: Vec<OpId> =
+            self.pending.iter().map(|op| op.id).chain(self.held.keys().copied()).collect();
+        for id in waiting {
+            self.cancel(m, id);
+        }
+        while self.unfinished() > 0 {
+            self.pump(m);
+        }
+        let mut drained = 0;
+        let mut guard = 0;
+        loop {
+            while self.discard_orphan(m) {
+                drained += 1;
+            }
+            if m.network().borrow().in_flight() == 0 || guard > m.config().max_wait_cycles {
+                break;
+            }
+            m.advance(1);
+            guard += 1;
+        }
+        drained
     }
 }
 
@@ -1026,6 +1239,8 @@ struct XferOp {
     send_retries: u64,
     waited: u64,
     stalled: bool,
+    // Endpoint restart counters at start; see `check_restart`.
+    peer_restarts: (u32, u32),
 }
 
 impl XferOp {
@@ -1052,12 +1267,14 @@ impl XferOp {
             send_retries: 0,
             waited: 0,
             stalled: false,
+            peer_restarts: (0, 0),
         }
     }
 
     fn start(&mut self, m: &mut Machine) {
         // Harness setup: stage the data in source memory (cost-free).
         self.src_buf = m.write_buffer(self.src, &self.data);
+        self.peer_restarts = (m.restarts_of(self.src), m.restarts_of(self.dst));
     }
 
     fn tick(&mut self) {
@@ -1066,6 +1283,9 @@ impl XferOp {
     }
 
     fn step(&mut self, m: &mut Machine) -> Result<Stepped, ProtocolError> {
+        if let Some(e) = check_restart(m, self.src, self.dst, self.peer_restarts) {
+            return Err(e);
+        }
         let max_wait = m.config().max_wait_cycles;
         let (src, dst, n) = (self.src, self.dst, self.n);
         match self.phase {
@@ -1434,6 +1654,8 @@ struct StreamOp {
     rto_due: bool,
     idle_iterations: u64,
     total_iterations: u64,
+    // Endpoint restart counters at start; see `check_restart`.
+    peer_restarts: (u32, u32),
 }
 
 impl StreamOp {
@@ -1470,6 +1692,7 @@ impl StreamOp {
             rto_due: false,
             idle_iterations: 0,
             total_iterations: 0,
+            peer_restarts: (0, 0),
         }
     }
 
@@ -1478,6 +1701,7 @@ impl StreamOp {
         self.first_seq = st.next_seq;
         self.target_contig = self.first_seq + self.packets;
         self.expected_acks = self.packets.div_ceil(st.ack_period().max(1));
+        self.peer_restarts = (m.restarts_of(self.src), m.restarts_of(self.dst));
         m.stream_entry_charge(self.id);
     }
 
@@ -1507,6 +1731,9 @@ impl StreamOp {
     }
 
     fn step(&mut self, m: &mut Machine) -> Result<Stepped, ProtocolError> {
+        if let Some(e) = check_restart(m, self.src, self.dst, self.peer_restarts) {
+            return Err(e);
+        }
         let n = self.n;
         let mut progress = false;
 
@@ -1609,7 +1836,15 @@ struct ReliableOp {
     policy: RetryPolicy,
     phase: ReliablePhase,
     src_buf: Addr,
+    // Session epoch for this (src, dst) handshake, allocated at start;
+    // the data nonce is derived from it, so packets of a prior epoch
+    // between the same pair are recognizably stale.
+    epoch: u32,
     nonce: u32,
+    // Restart counters of both endpoints observed at start; a mismatch
+    // mid-flight means a peer crashed and restarted — fail fast with a
+    // retryable `SessionReset`.
+    peer_restarts: (u32, u32),
     // Handshake state.
     req_sent: bool,
     resend_due: bool,
@@ -1650,7 +1885,9 @@ impl ReliableOp {
             policy,
             phase: ReliablePhase::Handshake,
             src_buf: Addr(0),
+            epoch: 0,
             nonce: 0,
+            peer_restarts: (0, 0),
             req_sent: false,
             resend_due: false,
             segment: None,
@@ -1683,6 +1920,12 @@ impl ReliableOp {
 
     fn start(&mut self, m: &mut Machine) {
         self.src_buf = m.write_buffer(self.src, &self.data);
+        // Epoch allocation is host-side session bookkeeping (the epoch
+        // rides in header fields the wire format already carries), so a
+        // clean run stays instruction-identical to the plain protocol.
+        self.epoch = m.next_session_epoch(self.src, self.dst);
+        self.nonce = (self.epoch & 0xfff) << OFFSET_BITS;
+        self.peer_restarts = (m.restarts_of(self.src), m.restarts_of(self.dst));
     }
 
     fn tick(&mut self) {
@@ -1695,12 +1938,59 @@ impl ReliableOp {
     }
 
     fn step(&mut self, m: &mut Machine) -> Result<Stepped, ProtocolError> {
+        if let Some(e) = check_restart(m, self.src, self.dst, self.peer_restarts) {
+            return Err(e);
+        }
+        if self.sweep_stale(m) {
+            return Ok(Stepped::Progress);
+        }
         match self.phase {
             ReliablePhase::Handshake => self.step_handshake(m),
             ReliablePhase::Transfer => self.step_transfer(m),
             ReliablePhase::SendAck => self.step_send_ack(m),
             ReliablePhase::AwaitAck => self.step_await_ack(m),
         }
+    }
+
+    /// Discard stale packets of *prior* epochs between this pair at
+    /// either endpoint's queue head: duplicated handshakes or data of an
+    /// earlier same-pair transfer must not be mistaken for this
+    /// session's traffic. Every discard is recovery work
+    /// ([`Feature::FaultTol`]); a clean run peeks (cost-free) and finds
+    /// nothing stale. Returns `true` if anything was discarded.
+    fn sweep_stale(&mut self, m: &mut Machine) -> bool {
+        let mut any = false;
+        while let Some(meta) = m.rx_peek_at(self.src) {
+            if meta.src != self.dst {
+                break;
+            }
+            let stale = match meta.tag {
+                Tags::XFER_REPLY | Tags::XFER_ACK => meta.header != self.epoch,
+                Tags::XFER_NACK => (meta.header & !OFFSET_MASK) != self.nonce,
+                _ => false,
+            };
+            if !stale {
+                break;
+            }
+            m.discard_stray(self.src);
+            any = true;
+        }
+        while let Some(meta) = m.rx_peek_at(self.dst) {
+            if meta.src != self.src {
+                break;
+            }
+            let stale = match meta.tag {
+                Tags::XFER_REQ | Tags::XFER_PROBE => meta.header != self.epoch,
+                Tags::XFER_DATA => (meta.header & !OFFSET_MASK) != self.nonce,
+                _ => false,
+            };
+            if !stale {
+                break;
+            }
+            m.discard_stray(self.dst);
+            any = true;
+        }
+        any
     }
 
     fn step_handshake(&mut self, m: &mut Machine) -> Result<Stepped, ProtocolError> {
@@ -1728,11 +2018,17 @@ impl ReliableOp {
             } else {
                 Feature::BufferMgmt
             };
+            // The request is epoch-stamped: the header carries the
+            // session epoch, the length rides in the (always-sent)
+            // payload words — same packet shape, same cost.
             let len = self.data.len() as u32;
+            let epoch = self.epoch;
             let node = m.node_mut(src);
             let sent = {
                 let cpu = node.cpu.clone();
-                cpu.with_feature(feature, |_| node.send_ctl(dst, Tags::XFER_REQ, len, [0; 4]))
+                cpu.with_feature(feature, |_| {
+                    node.send_ctl(dst, Tags::XFER_REQ, epoch, [len, 0, 0, 0])
+                })
             };
             if sent {
                 self.req_sent = true;
@@ -1744,9 +2040,12 @@ impl ReliableOp {
         }
         // The destination answers a request — the first from the
         // allocation body (buffer management), a duplicate from its
-        // segment table (fault tolerance).
+        // epoch-keyed session table (fault tolerance). The table lookup
+        // is what a crash-restart observably erases.
         if self.reply_pending.is_none() && peek_is(m, dst, src, Tags::XFER_REQ) {
-            if self.segment.is_some() {
+            let open = m.sessions.get(&(dst, src)).copied().filter(|s| s.epoch == self.epoch);
+            if let Some(entry) = open {
+                debug_assert_eq!(Some((entry.seg, entry.buffer)), self.segment);
                 let node = m.node_mut(dst);
                 let cpu = node.cpu.clone();
                 cpu.with_feature(Feature::FaultTol, |_| {
@@ -1755,18 +2054,27 @@ impl ReliableOp {
                 });
                 self.reply_pending = Some(Feature::FaultTol);
             } else {
+                let epoch = self.epoch;
                 let node = m.node_mut(dst);
                 let cpu = node.cpu.clone();
                 let seg = cpu.with_feature(Feature::BufferMgmt, |_| {
-                    let (_, tag, header, _) = node.recv_ctl_now();
+                    let (_, tag, header, words) = node.recv_ctl_now();
                     debug_assert_eq!(tag, Tags::XFER_REQ);
-                    let words = header as usize;
+                    debug_assert_eq!(header, epoch);
+                    let words = words[0] as usize;
                     let buffer = node.mem.alloc(words.div_ceil(n) * n);
                     node.cpu.reg(Fine::RegOp, segment::ASSOCIATE_REG);
                     node.cpu.mem_store(segment::ASSOCIATE_MEM);
                     ((buffer.0 & 0xffff) as u32 ^ 0x5e60_0000, buffer)
                 });
                 self.segment = Some(seg);
+                // Record the open session so a crash-restart of the
+                // receiver observably erases it (host-side bookkeeping,
+                // no simulated instructions).
+                m.sessions.insert(
+                    (dst, src),
+                    SessionEntry { epoch: self.epoch, seg: seg.0, buffer: seg.1 },
+                );
                 self.reply_pending = Some(Feature::BufferMgmt);
             }
             progress = true;
@@ -1775,11 +2083,12 @@ impl ReliableOp {
         if let Some(feature) = self.reply_pending {
             if !self.stalled {
                 let seg = self.segment.expect("reply implies allocation").0;
+                let epoch = self.epoch;
                 let node = m.node_mut(dst);
                 let sent = {
                     let cpu = node.cpu.clone();
                     cpu.with_feature(feature, |_| {
-                        node.send_ctl(src, Tags::XFER_REPLY, seg, [0; 4])
+                        node.send_ctl(src, Tags::XFER_REPLY, epoch, [seg, 0, 0, 0])
                     })
                 };
                 if sent {
@@ -1799,15 +2108,16 @@ impl ReliableOp {
             } else {
                 Feature::FaultTol
             };
+            let epoch = self.epoch;
             let node = m.node_mut(src);
             let cpu = node.cpu.clone();
             cpu.with_feature(feature, |_| {
-                let (_, tag, header, _) = node.recv_ctl_now();
+                let (_, tag, header, words) = node.recv_ctl_now();
                 debug_assert_eq!(tag, Tags::XFER_REPLY);
-                debug_assert_eq!(header, seg);
+                debug_assert_eq!(header, epoch);
+                debug_assert_eq!(words[0], seg);
             });
             self.rx.buffer = buffer;
-            self.nonce = (seg & 0xfff) << OFFSET_BITS;
             transfer_prologue(m, src, dst);
             self.phase = ReliablePhase::Transfer;
             self.drain_waited = 0;
@@ -1919,11 +2229,14 @@ impl ReliableOp {
                 None => self.nack_pending = false, // gap closed meanwhile
                 Some(first) => {
                     let bits = missing_bitmap(&self.seen, first);
+                    // Epoch-stamp the NACK: nonce in the high bits, the
+                    // first missing offset (< 2^20) below it.
+                    let hdr = self.nonce | first as u32;
                     let node = m.node_mut(dst);
                     let sent = {
                         let cpu = node.cpu.clone();
                         cpu.with_feature(Feature::FaultTol, |_| {
-                            node.send_ctl(src, Tags::XFER_NACK, first as u32, bits)
+                            node.send_ctl(src, Tags::XFER_NACK, hdr, bits)
                         })
                     };
                     if sent {
@@ -1943,7 +2256,7 @@ impl ReliableOp {
                 let (_, tag, header, words) = node.recv_ctl_now();
                 debug_assert_eq!(tag, Tags::XFER_NACK);
                 c.reg(Fine::RegOp, recovery::RETRANSMIT_SETUP_REG);
-                (header, words)
+                (header & OFFSET_MASK, words)
             });
             for rel in 0..128u32 {
                 if bits[rel as usize / 32] >> (rel % 32) & 1 == 0 {
@@ -1975,6 +2288,7 @@ impl ReliableOp {
                 cpu.reg(Fine::RegOp, segment::DISASSOCIATE_REG);
                 cpu.mem_store(segment::DISASSOCIATE_MEM);
             });
+            m.sessions.remove(&(dst, src));
             self.phase = ReliablePhase::SendAck;
             self.ack_waited = 0;
             return Ok(Stepped::Progress);
@@ -1993,12 +2307,13 @@ impl ReliableOp {
             return Ok(Stepped::Idle);
         }
         let seg = self.segment.expect("segment allocated").0;
+        let epoch = self.epoch;
         let src = self.src;
         let node = m.node_mut(self.dst);
         let sent = {
             let cpu = node.cpu.clone();
             cpu.with_feature(Feature::FaultTol, |_| {
-                node.send_ctl(src, Tags::XFER_ACK, seg, [0; 4])
+                node.send_ctl(src, Tags::XFER_ACK, epoch, [seg, 0, 0, 0])
             })
         };
         if sent {
@@ -2014,6 +2329,7 @@ impl ReliableOp {
     fn step_await_ack(&mut self, m: &mut Machine) -> Result<Stepped, ProtocolError> {
         let (src, dst) = (self.src, self.dst);
         let seg = self.segment.expect("segment allocated").0;
+        let epoch = self.epoch;
         // Window expiry: the acknowledgement is overdue — probe.
         if self.ack_waited > self.policy.backoff(self.ack_attempt) {
             self.ack_attempt += 1;
@@ -2035,7 +2351,7 @@ impl ReliableOp {
             let sent = {
                 let cpu = node.cpu.clone();
                 cpu.with_feature(Feature::FaultTol, |_| {
-                    node.send_ctl(dst, Tags::XFER_PROBE, seg, [0; 4])
+                    node.send_ctl(dst, Tags::XFER_PROBE, epoch, [seg, 0, 0, 0])
                 })
             };
             if sent {
@@ -2061,7 +2377,7 @@ impl ReliableOp {
             let sent = {
                 let cpu = node.cpu.clone();
                 cpu.with_feature(Feature::FaultTol, |_| {
-                    node.send_ctl(src, Tags::XFER_ACK, seg, [0; 4])
+                    node.send_ctl(src, Tags::XFER_ACK, epoch, [seg, 0, 0, 0])
                 })
             };
             if sent {
@@ -2079,13 +2395,22 @@ impl ReliableOp {
             m.discard_stray(dst);
             progress = true;
         }
+        // A duplicated reply of this same epoch arriving after the
+        // transfer completed (handshake retransmission crossing the
+        // data phase) would otherwise sit at the head of the source's
+        // queue and block the final acknowledgement.
+        if peek_is(m, src, dst, Tags::XFER_REPLY) {
+            m.discard_stray(src);
+            progress = true;
+        }
         if peek_is(m, src, dst, Tags::XFER_ACK) {
             let node = m.node_mut(src);
             let cpu = node.cpu.clone();
             cpu.with_feature(Feature::FaultTol, |_| {
-                let (_, tag, header, _) = node.recv_ctl_now();
+                let (_, tag, header, words) = node.recv_ctl_now();
                 debug_assert_eq!(tag, Tags::XFER_ACK);
-                debug_assert_eq!(header, seg);
+                debug_assert_eq!(header, epoch);
+                debug_assert_eq!(words[0], seg);
             });
             return Ok(Stepped::Done(OpOutcome::Reliable(ReliableOutcome {
                 xfer: XferOutcome {
@@ -2107,6 +2432,27 @@ impl ReliableOp {
         }
         Ok(if progress { Stepped::Progress } else { Stepped::Idle })
     }
+}
+
+/// Compare both endpoints' crash-restart counters against the values
+/// `seen` at the operation's start. A mismatch means that peer crashed
+/// and lost its protocol state mid-flight: fail fast with the retryable
+/// [`ProtocolError::SessionReset`] instead of timing out against a node
+/// that no longer remembers the session. Pure host-side comparison —
+/// no simulated instructions.
+fn check_restart(
+    m: &Machine,
+    src: NodeId,
+    dst: NodeId,
+    seen: (u32, u32),
+) -> Option<ProtocolError> {
+    if m.restarts_of(src) != seen.0 {
+        return Some(ProtocolError::SessionReset { node: src });
+    }
+    if m.restarts_of(dst) != seen.1 {
+        return Some(ProtocolError::SessionReset { node: dst });
+    }
+    None
 }
 
 fn first_missing(seen: &[bool]) -> Option<u64> {

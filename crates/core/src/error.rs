@@ -41,12 +41,39 @@ pub enum ProtocolError {
     /// A run-after predecessor of this operation failed, so the
     /// operation was never released for admission. The failure
     /// propagates transitively: each dependent carries the [`OpId`] of
-    /// its *direct* failed predecessor, so a chain of these errors spells
-    /// out the propagation path (the root cause is the predecessor's own
-    /// outcome, still retrievable from the engine).
+    /// its *direct* failed predecessor plus the *root* error the chain
+    /// started from, so retryability can follow the root cause without
+    /// walking the engine's outcome table.
     DependencyFailed {
         /// The direct predecessor whose failure felled this operation.
         failed: OpId,
+        /// The root-cause error the failure chain started from (chains
+        /// of `DependencyFailed` are flattened to the original error).
+        root: Box<ProtocolError>,
+    },
+    /// An operation overran its per-op deadline or was starved of
+    /// progress long enough for the engine watchdog to fire. Retryable:
+    /// the usual cause is lost traffic or a crashed-and-restarting
+    /// peer, and a fresh submission starts a fresh session.
+    DeadlineExceeded {
+        /// What kind of supervision bound fired ("deadline" for an
+        /// explicit per-op deadline, "watchdog" for the no-progress
+        /// detector).
+        what: &'static str,
+        /// Cycles elapsed when the bound fired (since submission for
+        /// deadlines, since last progress for the watchdog).
+        cycles: u64,
+    },
+    /// The operation was cancelled via [`crate::engine::Engine::cancel`]
+    /// or drained by `quiesce`. Deliberate, so never retryable.
+    Cancelled,
+    /// A peer node crashed and restarted mid-session, erasing its
+    /// endpoint protocol state; the surviving side detected the restart
+    /// (epoch mismatch or restart-counter advance) and failed fast.
+    /// Retryable: re-executing opens a fresh epoch-stamped session.
+    SessionReset {
+        /// The node that restarted.
+        node: NodeId,
     },
 }
 
@@ -72,8 +99,15 @@ impl fmt::Display for ProtocolError {
             ProtocolError::UnexpectedPacket { tag } => {
                 write!(f, "unexpected packet with tag {tag} during protocol phase")
             }
-            ProtocolError::DependencyFailed { failed } => {
-                write!(f, "run-after predecessor op {} failed", failed.raw())
+            ProtocolError::DependencyFailed { failed, root } => {
+                write!(f, "run-after predecessor op {} failed: {root}", failed.raw())
+            }
+            ProtocolError::DeadlineExceeded { what, cycles } => {
+                write!(f, "operation {what} exceeded after {cycles} cycles")
+            }
+            ProtocolError::Cancelled => write!(f, "operation cancelled"),
+            ProtocolError::SessionReset { node } => {
+                write!(f, "peer node {} crashed and restarted mid-session", node.index())
             }
         }
     }
@@ -86,14 +120,35 @@ impl ProtocolError {
         ProtocolError::Timeout { waiting_for, cycles, node: None, attempts: 0 }
     }
 
-    /// Would retrying the operation plausibly succeed? Timeouts are
-    /// transient (a packet was lost or delayed); everything else is a
-    /// configuration or usage error that retrying cannot fix. A
-    /// dependency failure is not retryable either: resubmitting the
-    /// dependent alone cannot resurrect its failed predecessor.
+    /// Build a [`ProtocolError::DependencyFailed`] naming the direct
+    /// predecessor `failed`, flattening chained dependency failures so
+    /// `root` is always the original non-dependency error.
+    #[must_use]
+    pub fn dependency_failed(failed: OpId, predecessor_err: &ProtocolError) -> Self {
+        let root = match predecessor_err {
+            ProtocolError::DependencyFailed { root, .. } => root.clone(),
+            other => Box::new(other.clone()),
+        };
+        ProtocolError::DependencyFailed { failed, root }
+    }
+
+    /// Would retrying the operation plausibly succeed? Timeouts,
+    /// deadline/watchdog expiries and session resets are transient (a
+    /// packet was lost or delayed, or a peer restarted and a fresh
+    /// session will succeed). A dependency failure follows its root
+    /// cause: resubmitting the whole chain is sensible exactly when the
+    /// root failure was itself transient. Cancellation is deliberate
+    /// and everything else is a configuration or usage error that
+    /// retrying cannot fix.
     #[must_use]
     pub fn is_retryable(&self) -> bool {
-        matches!(self, ProtocolError::Timeout { .. })
+        match self {
+            ProtocolError::Timeout { .. }
+            | ProtocolError::DeadlineExceeded { .. }
+            | ProtocolError::SessionReset { .. } => true,
+            ProtocolError::DependencyFailed { root, .. } => root.is_retryable(),
+            _ => false,
+        }
     }
 }
 
@@ -131,15 +186,30 @@ mod tests {
     }
 
     #[test]
-    fn only_timeouts_are_retryable() {
+    fn transient_errors_are_retryable_and_usage_errors_are_not() {
         assert!(ProtocolError::timeout("x", 1).is_retryable());
+        assert!(ProtocolError::DeadlineExceeded { what: "deadline", cycles: 7 }.is_retryable());
+        assert!(ProtocolError::SessionReset { node: NodeId::new(2) }.is_retryable());
+        assert!(!ProtocolError::Cancelled.is_retryable());
         assert!(!ProtocolError::MissingGuarantees { have: Guarantees::RAW }.is_retryable());
         assert!(!ProtocolError::BadTransfer("x".into()).is_retryable());
         assert!(!ProtocolError::UnexpectedPacket { tag: 1 }.is_retryable());
     }
 
     #[test]
-    fn dependency_failure_names_the_predecessor_and_never_retries() {
+    fn supervision_errors_display_their_details() {
+        let e = ProtocolError::DeadlineExceeded { what: "watchdog", cycles: 321 };
+        let s = e.to_string();
+        assert!(s.contains("watchdog"), "{s}");
+        assert!(s.contains("321"), "{s}");
+        assert!(ProtocolError::Cancelled.to_string().contains("cancelled"));
+        let s = ProtocolError::SessionReset { node: NodeId::new(5) }.to_string();
+        assert!(s.contains("node 5"), "{s}");
+        assert!(s.contains("restarted"), "{s}");
+    }
+
+    #[test]
+    fn dependency_failure_names_the_predecessor_and_follows_its_root() {
         let mut eng = crate::engine::Engine::new();
         let m = crate::machine::Machine::new(
             timego_ni::share(timego_netsim::ScriptedNetwork::new(
@@ -150,10 +220,25 @@ mod tests {
             crate::machine::CmamConfig::default(),
         );
         let id = eng.submit_xfer(&m, NodeId::new(0), NodeId::new(1), &[1]).unwrap();
-        let e = ProtocolError::DependencyFailed { failed: id };
+        let root = ProtocolError::timeout("ack", 9);
+        let e = ProtocolError::dependency_failed(id, &root);
         let s = e.to_string();
         assert!(s.contains("predecessor"), "{s}");
         assert!(s.contains(&id.raw().to_string()), "{s}");
-        assert!(!e.is_retryable());
+        assert!(s.contains("ack"), "root cause spelled out: {s}");
+        assert!(e.is_retryable(), "retryability follows the retryable root");
+
+        let e2 = ProtocolError::dependency_failed(id, &ProtocolError::BadTransfer("x".into()));
+        assert!(!e2.is_retryable(), "non-retryable root stays non-retryable");
+
+        // Chains flatten: a dependency failure built atop another keeps
+        // the original root, not the intermediate wrapper.
+        let chained = ProtocolError::dependency_failed(id, &e);
+        match chained {
+            ProtocolError::DependencyFailed { root, .. } => {
+                assert_eq!(*root, ProtocolError::timeout("ack", 9));
+            }
+            other => panic!("expected DependencyFailed, got {other:?}"),
+        }
     }
 }

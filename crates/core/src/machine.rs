@@ -160,6 +160,21 @@ impl Node {
     }
 }
 
+/// Receiver-side bookkeeping for one reliable-transfer session: which
+/// epoch the open segment belongs to, plus the segment id and buffer it
+/// allocated. This is *shadow state* mirroring what the
+/// instruction-charged segment registers hold, so a crash-restart can
+/// erase it (modeling the state loss) without touching the cost model.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SessionEntry {
+    /// The session epoch the segment was allocated under.
+    pub(crate) epoch: u32,
+    /// The allocated segment id (what `XFER_REPLY` carries back).
+    pub(crate) seg: u32,
+    /// The destination buffer backing the segment.
+    pub(crate) buffer: Addr,
+}
+
 /// The simulated machine: `n` nodes over one shared network substrate.
 ///
 /// All protocol entry points live here because the drivers orchestrate
@@ -171,10 +186,24 @@ pub struct Machine {
     pub(crate) cfg: CmamConfig,
     pub(crate) streams: Vec<StreamState>,
     pub(crate) next_call_id: u64,
-    /// Replies already computed per (caller, call id), kept by the
-    /// callee so a retransmitted request is answered from cache instead
-    /// of re-running the handler (exactly-once execution under retry).
-    pub(crate) rpc_replies: HashMap<(NodeId, u32), [u32; 4]>,
+    /// Replies already computed per (callee, caller, call id), kept by
+    /// the callee so a retransmitted request is answered from cache
+    /// instead of re-running the handler (exactly-once execution under
+    /// retry). Keyed by callee so a crash-restart can erase exactly the
+    /// restarted node's cache.
+    pub(crate) rpc_replies: HashMap<(NodeId, NodeId, u32), [u32; 4]>,
+    /// Monotonic per-ordered-pair session epoch counters for reliable
+    /// transfers. Epochs survive restarts (model them as
+    /// incarnation-qualified counters) so a post-restart session can
+    /// never collide with a pre-restart one.
+    pub(crate) session_epochs: HashMap<(NodeId, NodeId), u32>,
+    /// Open reliable-transfer sessions at each receiver, keyed by
+    /// (receiver, sender). Erased wholesale for a node when it
+    /// crash-restarts.
+    pub(crate) sessions: HashMap<(NodeId, NodeId), SessionEntry>,
+    /// Per-node restart counts already absorbed by
+    /// [`Machine::observe_restarts`] (indexed by node).
+    pub(crate) restart_seen: Vec<u32>,
 }
 
 impl Machine {
@@ -213,6 +242,9 @@ impl Machine {
             streams: Vec::new(),
             next_call_id: 0,
             rpc_replies: HashMap::new(),
+            session_epochs: HashMap::new(),
+            sessions: HashMap::new(),
+            restart_seen: vec![0; nodes],
         }
     }
 
@@ -269,6 +301,57 @@ impl Machine {
         let id = self.next_call_id;
         self.next_call_id += 1;
         id
+    }
+
+    /// Open a fresh session epoch for reliable transfers `src → dst`.
+    /// Monotonic per ordered pair, starting at 1 (epoch 0 never names a
+    /// live session). Cost-free: the stamp rides in header words the
+    /// handshake already pays to send.
+    pub(crate) fn next_session_epoch(&mut self, src: NodeId, dst: NodeId) -> u32 {
+        let e = self.session_epochs.entry((src, dst)).or_insert(0);
+        *e += 1;
+        *e
+    }
+
+    /// How many times the fault plane has crash-restarted `node` so far
+    /// (cost-free substrate query).
+    pub(crate) fn restarts_of(&self, node: NodeId) -> u32 {
+        self.net.borrow().restarts(node)
+    }
+
+    /// Absorb any node crash-restarts the fault plane performed since
+    /// the last call: a restarted node comes back with amnesia, so its
+    /// reliable-transfer session table, its RPC reply cache, its stream
+    /// cursors and whatever sat in its receive queue are erased.
+    ///
+    /// Cost-free by design — this models the *state loss itself*. The
+    /// instruction bill of recovering from it is charged where peers
+    /// detect the restart (stale-epoch discards, `SessionReset`
+    /// fail-fast) and re-establish sessions, all under
+    /// `Feature::FaultTol`. On a crash-free run the per-node counters
+    /// never move and this is a pure compare loop. Returns `true` if
+    /// any restart was absorbed.
+    pub(crate) fn observe_restarts(&mut self) -> bool {
+        let mut any = false;
+        for i in 0..self.nodes.len() {
+            let node = NodeId::new(i);
+            let count = self.net.borrow().restarts(node);
+            if count == self.restart_seen[i] {
+                continue;
+            }
+            self.restart_seen[i] = count;
+            any = true;
+            // The restarted node's own endpoint protocol state is gone.
+            self.sessions.retain(|&(receiver, _), _| receiver != node);
+            self.rpc_replies.retain(|&(callee, _, _), _| callee != node);
+            for st in &mut self.streams {
+                st.crash_reset(node);
+            }
+            // Anything queued for it at the NI was lost with the node.
+            let mut net = self.net.borrow_mut();
+            while net.try_receive(node).is_some() {}
+        }
+        any
     }
 
     /// Consume and discard the (peeked) packet at `node`'s queue head as

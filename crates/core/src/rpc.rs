@@ -166,7 +166,7 @@ impl Machine {
         // charged on a hit — on the fault-free path the lookup folds
         // into the existing dispatch and the service costs exactly what
         // it did without retry support.
-        if let Some(cached) = self.rpc_replies.get(&(msg_src, header)).copied() {
+        if let Some(cached) = self.rpc_replies.get(&(node, msg_src, header)).copied() {
             self.nodes[node.index()].rpc_handlers.insert(tag, h);
             let cpu = self.nodes[node.index()].cpu.clone();
             cpu.with_feature(Feature::FaultTol, |c| {
@@ -184,7 +184,7 @@ impl Machine {
         self.nodes[node.index()].rpc_handlers.insert(tag, h);
         // Remember the reply for duplicate suppression (harness state,
         // cost-free; the probe above is what a hit costs).
-        self.rpc_replies.insert((msg_src, header), reply);
+        self.rpc_replies.insert((node, msg_src, header), reply);
         // Inject the reply (a Table 1 single-packet send, carrying
         // the correlation id in the header word).
         self.rpc_send(node, msg_src, Tags::RPC_REPLY, u64::from(header), reply)

@@ -100,6 +100,20 @@ impl StreamState {
         self.cfg.ack_period.max(1)
     }
 
+    /// Erase the in-flight cursors a crash-restart of `node` loses: the
+    /// source side forgets what it had in flight, the destination side
+    /// forgets what arrived out of order. Delivered words and sequence
+    /// counters survive on the *other* endpoint, so only state held at
+    /// the crashed node is dropped. Cost-free shadow-state erasure.
+    pub(crate) fn crash_reset(&mut self, node: NodeId) {
+        if self.src == node {
+            self.unacked.clear();
+        }
+        if self.dst == node {
+            self.ooo.clear();
+        }
+    }
+
     /// Idle iterations before the retransmission timer fires.
     pub(crate) fn rto_iterations(&self) -> u64 {
         self.cfg.rto_iterations

@@ -25,10 +25,19 @@
 //! by `clean_run_costs_exactly_match_xfer` below): reliability costs
 //! nothing until a fault actually happens.
 //!
-//! Data-packet headers carry a 12-bit per-transfer nonce (derived from
-//! the segment id) above the 20-bit buffer offset, so a delayed
-//! duplicate from an *earlier* transfer is recognized as stray rather
-//! than corrupting the current segment.
+//! Data-packet headers carry a 12-bit per-transfer nonce above the
+//! 20-bit buffer offset, derived from the per-ordered-pair **session
+//! epoch** ([`Machine::next_session_epoch`]) the handshake packets also
+//! carry: a delayed duplicate from an *earlier* same-pair transfer is
+//! recognized as stale at either endpoint and discarded as fault-
+//! tolerance work rather than corrupting (or wedging) the current
+//! session.
+//!
+//! Above single-session recovery sits [`Machine::xfer_reliable_recovering`]:
+//! when a peer crash-restart kills a session mid-flight (retryable
+//! [`ProtocolError::SessionReset`] / deadline errors), it re-executes
+//! the whole transfer under a fresh epoch until the policy's attempt
+//! budget runs out, converging to exactly-once byte-exact delivery.
 
 use timego_cost::{Feature, Fine};
 use timego_netsim::NodeId;
@@ -96,6 +105,63 @@ impl Machine {
             Ok(OpOutcome::Reliable(out)) => Ok(out),
             Err(e) => Err(e),
             Ok(_) => unreachable!("reliable op yields a reliable outcome"),
+        }
+    }
+
+    /// [`Machine::xfer_reliable`] hardened against node crash-restarts:
+    /// when an attempt dies with a *retryable* error (a peer crashed
+    /// mid-session, a deadline or watchdog fired, a phase timed out),
+    /// the transfer is re-executed from scratch under a fresh session
+    /// epoch after the policy's backoff window, up to
+    /// `policy.max_attempts` total executions. Packets of the dead
+    /// session are recognizably stale under the new epoch and get
+    /// discarded, so convergence is exactly-once and byte-exact.
+    ///
+    /// Each re-execution charges the session re-establishment costs
+    /// (`SESSION_RESTART_REG`/`SESSION_RESTART_MEM`) to
+    /// [`Feature::FaultTol`] at the source; a clean first attempt
+    /// charges nothing beyond [`Machine::xfer_reliable`] itself.
+    ///
+    /// Returns the outcome plus the number of re-executions (zero when
+    /// the first attempt succeeded).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadTransfer`] as [`Machine::xfer_reliable`];
+    /// otherwise the last attempt's error once the retry budget is
+    /// exhausted (non-retryable errors propagate immediately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range, `src == dst`, or the
+    /// policy allows zero attempts.
+    pub fn xfer_reliable_recovering(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        data: &[u32],
+        policy: &RetryPolicy,
+    ) -> Result<(ReliableOutcome, u32), ProtocolError> {
+        let mut attempt: u32 = 0;
+        loop {
+            match self.xfer_reliable(src, dst, data, policy) {
+                Ok(out) => return Ok((out, attempt)),
+                Err(e) if e.is_retryable() && attempt + 1 < policy.max_attempts => {
+                    attempt += 1;
+                    // Session re-establishment: drop the dead session's
+                    // bookkeeping and re-arm — recovery work, so it
+                    // bills to fault tolerance.
+                    let cpu = self.cpu(src);
+                    cpu.with_feature(Feature::FaultTol, |c| {
+                        c.reg(Fine::RegOp, recovery::SESSION_RESTART_REG);
+                        c.mem_store(recovery::SESSION_RESTART_MEM);
+                    });
+                    // Ride out whatever felled the session (e.g. the
+                    // remainder of a crash window) before re-executing.
+                    self.advance(policy.backoff(attempt - 1));
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 

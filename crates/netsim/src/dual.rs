@@ -83,6 +83,7 @@ impl<A: Network, B: Network> DualNetwork<A, B> {
         self.merged.reordered = a.reordered + b.reordered;
         self.merged.jitter_delayed = a.jitter_delayed + b.jitter_delayed;
         self.merged.outage_drops = a.outage_drops + b.outage_drops;
+        self.merged.crash_drops = a.crash_drops + b.crash_drops;
         self.merged.merge_per_node(a, b);
     }
 }
@@ -153,6 +154,13 @@ impl<A: Network, B: Network> Network for DualNetwork<A, B> {
             reliable: a.reliable && b.reliable,
             flow_controlled: a.flow_controlled && b.flow_controlled,
         }
+    }
+
+    fn restarts(&self, node: NodeId) -> u32 {
+        // A crash window scripted on either side means the node was
+        // down; both sides normally script the same windows, so take
+        // the larger count rather than double-counting.
+        self.request.restarts(node).max(self.reply.restarts(node))
     }
 }
 

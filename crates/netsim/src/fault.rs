@@ -42,6 +42,41 @@ impl OutageWindow {
     }
 }
 
+/// A scripted node crash with restart: the node is dead during
+/// `[start, end)` — every packet it sends or should receive is silently
+/// discarded, exactly like an [`OutageWindow`] — and at `end` it comes
+/// back *with amnesia*. Unlike an outage (where the node resumes with
+/// its protocol state intact), a restart means every piece of endpoint
+/// protocol state held for the node (segment tables, RPC reply caches,
+/// stream cursors) must be erased by the protocol layer. Peers observe
+/// that a restart happened via [`FaultSchedule::restarts`] and fail
+/// their in-flight sessions fast with a retryable error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// The node that crashes.
+    pub node: NodeId,
+    /// First cycle of the crash (inclusive) — the node goes dark here.
+    pub start: u64,
+    /// First cycle after the crash (exclusive) — the node restarts
+    /// here, with all its endpoint protocol state erased.
+    pub end: u64,
+}
+
+impl CrashWindow {
+    /// Does this window silence `src → dst` traffic at `now`?
+    #[must_use]
+    pub fn silences(&self, src: NodeId, dst: NodeId, now: Time) -> bool {
+        let t = now.cycles();
+        t >= self.start && t < self.end && (self.node == src || self.node == dst)
+    }
+
+    /// Has the node already crashed *and restarted* by `now`?
+    #[must_use]
+    pub fn restarted_by(&self, now: Time) -> bool {
+        now.cycles() >= self.end
+    }
+}
+
 /// A fault mix: per-packet probabilities plus scripted outages.
 ///
 /// The default is fault-free. All probabilities are evaluated
@@ -70,6 +105,10 @@ pub struct FaultConfig {
     pub reorder_depth: u64,
     /// Scripted node outage windows.
     pub outages: Vec<OutageWindow>,
+    /// Scripted node crash-restart windows. A crash silences traffic
+    /// like an outage *and* counts as a restart once the window closes,
+    /// signalling the protocol layer to erase the node's endpoint state.
+    pub crashes: Vec<CrashWindow>,
 }
 
 impl Default for FaultConfig {
@@ -82,6 +121,7 @@ impl Default for FaultConfig {
             reorder_prob: 0.0,
             reorder_depth: 4,
             outages: Vec::new(),
+            crashes: Vec::new(),
         }
     }
 }
@@ -102,6 +142,7 @@ impl FaultConfig {
             || self.delay_jitter > 0
             || self.reorder_prob > 0.0
             || !self.outages.is_empty()
+            || !self.crashes.is_empty()
     }
 }
 
@@ -178,6 +219,21 @@ impl FaultSchedule {
         self.held.len()
     }
 
+    /// How many times `node` has crashed *and restarted* by `now`.
+    ///
+    /// The protocol layer compares this monotonic counter against its
+    /// own remembered value to detect a restart it has not yet absorbed
+    /// (and then erases the node's endpoint protocol state). On a
+    /// crash-free schedule this is always zero and costs nothing.
+    #[must_use]
+    pub fn restarts(&self, node: NodeId, now: Time) -> u32 {
+        self.cfg
+            .crashes
+            .iter()
+            .filter(|w| w.node == node && w.restarted_by(now))
+            .count() as u32
+    }
+
     /// Decide the faults for one packet being injected now, updating
     /// the per-fault counters. Corruption is decided here but counted
     /// at delivery (where detection happens), matching the existing
@@ -194,6 +250,10 @@ impl FaultSchedule {
         }
         if self.cfg.outages.iter().any(|w| w.silences(src, dst, now)) {
             stats.outage_drops += 1;
+            return InjectFaults { vanish: true, ..InjectFaults::NONE };
+        }
+        if self.cfg.crashes.iter().any(|w| w.silences(src, dst, now)) {
+            stats.crash_drops += 1;
             return InjectFaults { vanish: true, ..InjectFaults::NONE };
         }
         if self.cfg.drop_prob > 0.0 && self.rng.gen_bool(self.cfg.drop_prob) {
@@ -342,6 +402,30 @@ mod tests {
         assert!(!s.on_inject(n(0), n(2), inside, &mut stats).vanish, "bystanders fine");
         assert!(!s.on_inject(n(0), n(1), outside, &mut stats).vanish, "window over");
         assert_eq!(stats.outage_drops, 2);
+    }
+
+    #[test]
+    fn crash_silences_its_window_and_counts_a_restart_after() {
+        let cfg = FaultConfig {
+            crashes: vec![CrashWindow { node: n(1), start: 10, end: 20 }],
+            ..FaultConfig::default()
+        };
+        let mut s = FaultSchedule::new(cfg, 0);
+        let mut stats = NetStats::new();
+        let inside = Time::from_cycles(15);
+        let after = Time::from_cycles(20);
+        assert!(s.on_inject(n(0), n(1), inside, &mut stats).vanish, "dst crashed");
+        assert!(s.on_inject(n(1), n(2), inside, &mut stats).vanish, "src crashed");
+        assert!(!s.on_inject(n(0), n(2), inside, &mut stats).vanish, "bystanders fine");
+        assert!(!s.on_inject(n(0), n(1), after, &mut stats).vanish, "restarted");
+        assert_eq!(stats.crash_drops, 2);
+        assert_eq!(stats.outage_drops, 0, "crash drops are their own counter");
+
+        // The restart becomes visible exactly when the window closes,
+        // and only for the crashed node.
+        assert_eq!(s.restarts(n(1), Time::from_cycles(19)), 0);
+        assert_eq!(s.restarts(n(1), after), 1);
+        assert_eq!(s.restarts(n(0), after), 0);
     }
 
     #[test]

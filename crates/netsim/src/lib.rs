@@ -65,7 +65,7 @@ mod wormhole;
 
 pub use cr::{CrConfig, CrNetwork};
 pub use dual::DualNetwork;
-pub use fault::{FaultConfig, FaultSchedule, OutageWindow};
+pub use fault::{CrashWindow, FaultConfig, FaultSchedule, OutageWindow};
 pub use id::{NodeId, PacketId};
 pub use network::{Guarantees, InjectError, Network, RxMeta};
 pub use packet::Packet;

@@ -143,6 +143,15 @@ pub trait Network {
     /// The delivery guarantees this substrate provides.
     fn guarantees(&self) -> Guarantees;
 
+    /// How many times `node` has crashed and restarted so far (scripted
+    /// crash-restart faults). Substrates without a crash plane never
+    /// restart anything; the protocol layer polls this to detect peer
+    /// restarts and erase stale endpoint state.
+    fn restarts(&self, node: NodeId) -> u32 {
+        let _ = node;
+        0
+    }
+
     /// Advance until the network is drained (nothing in flight) or
     /// `max_cycles` have elapsed; returns `true` if drained. Default
     /// implementation steps one cycle at a time.

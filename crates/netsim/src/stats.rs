@@ -272,6 +272,10 @@ pub struct NetStats {
     /// Packets discarded because an endpoint was inside a scripted
     /// outage window.
     pub outage_drops: u64,
+    /// Packets discarded because an endpoint was inside a scripted
+    /// crash-restart window (the node was down and will come back with
+    /// its endpoint protocol state erased).
+    pub crash_drops: u64,
     /// Delivery-order accounting.
     pub order: OrderTracker,
     /// Injection→delivery latency.
@@ -351,7 +355,7 @@ impl fmt::Display for NetStats {
         write!(
             f,
             "injected {} delivered {} (ooo {:.1}%) backpressure {} corrupt-drops {} hw-retx {} rejects {} \
-             fault-drops {} dup {} reorder {} jitter {} outage-drops {} latency[{}]",
+             fault-drops {} dup {} reorder {} jitter {} outage-drops {} crash-drops {} latency[{}]",
             self.injected,
             self.delivered,
             self.order.ooo_fraction() * 100.0,
@@ -364,6 +368,7 @@ impl fmt::Display for NetStats {
             self.reordered,
             self.jitter_delayed,
             self.outage_drops,
+            self.crash_drops,
             self.latency
         )
     }

@@ -603,6 +603,10 @@ impl<T: Topology> Network for SwitchedNetwork<T> {
         // nothing to software.
         Guarantees::RAW
     }
+
+    fn restarts(&self, node: NodeId) -> u32 {
+        self.faults.restarts(node, self.now)
+    }
 }
 
 #[cfg(test)]
@@ -1083,6 +1087,7 @@ mod tests {
                     reorder_prob: 0.1,
                     reorder_depth: 4,
                     outages: vec![OutageWindow { node: n(3), start: 5, end: 25 }],
+                    crashes: Vec::new(),
                 },
                 77,
             );

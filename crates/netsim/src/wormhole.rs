@@ -635,6 +635,10 @@ impl<T: Topology> Network for WormholeNetwork<T> {
             Guarantees::RAW
         }
     }
+
+    fn restarts(&self, node: NodeId) -> u32 {
+        self.faults.restarts(node, self.now)
+    }
 }
 
 #[cfg(test)]

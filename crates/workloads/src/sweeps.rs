@@ -47,6 +47,28 @@ pub const COLLECTIVE_NODES: [usize; 3] = [16, 64, 256];
 /// Reduced collectives grid for CI and debug builds.
 pub const COLLECTIVE_NODES_QUICK: [usize; 2] = [16, 64];
 
+/// Crash-window lengths (cycles) swept by the crash-recovery study;
+/// `0` is the no-crash baseline. The window opens at cycle 50, well
+/// inside a 256-word transfer, so every non-zero point kills at least
+/// the first session outright.
+pub const RECOVERY_CRASH_WINDOWS: [u64; 4] = [0, 1500, 3000, 6000];
+
+/// Reduced crash-window grid for CI smoke runs; keeps the baseline and
+/// one mid-transfer crash point.
+pub const RECOVERY_CRASH_WINDOWS_QUICK: [u64; 2] = [0, 3000];
+
+/// Seeds per crash-recovery cell on the full grid.
+pub const RECOVERY_SEEDS: u64 = 6;
+
+/// Seeds per crash-recovery cell on the CI-quick grid.
+pub const RECOVERY_SEEDS_QUICK: u64 = 2;
+
+/// Node count of the crash-recovery study's fat tree.
+pub const RECOVERY_NODES: usize = 16;
+
+/// Payload words per transfer in the crash-recovery study.
+pub const RECOVERY_WORDS: usize = 256;
+
 /// A geometric message-size sweep from `lo` to `hi` (both inclusive if
 /// on the ×2 grid).
 pub fn message_sizes(lo: u64, hi: u64) -> Vec<u64> {
