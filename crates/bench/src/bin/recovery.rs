@@ -1,8 +1,9 @@
-//! Crash-recovery report: exactly-once reliable delivery across node
-//! crash-restart windows of increasing length, with the whole recovery
-//! price billed to the fault-tolerance feature. Emits the
-//! deterministic per-cell results into `BENCH_results.json` under the
-//! `recovery/` prefix.
+//! Crash-recovery report: exactly-once delivery for every protocol
+//! family (reliable transfer, stream, RPC, broadcast collective)
+//! across node crash-restart windows of increasing length, with the
+//! whole recovery price billed to the fault-tolerance feature. Emits
+//! the deterministic per-cell results into `BENCH_results.json` under
+//! the `recovery/<family>/` prefixes.
 //!
 //! Pass `--quick` to run the reduced CI grid.
 
@@ -23,7 +24,7 @@ fn main() {
 
     let mut res = BenchResults::new("recovery/");
     for r in &rows {
-        let key = format!("window{}", r.window);
+        let key = format!("{}/window{}", r.family, r.window);
         res.record_count(&format!("{key}/delivered"), r.completed);
         res.record_count(&format!("{key}/re_executions"), r.re_executions);
         res.record_cycles(&format!("{key}/avg_cycles"), r.avg_cycles);

@@ -11,7 +11,8 @@ use timego_cost::cycles::CycleModel;
 use timego_cost::{table, Endpoint, Feature};
 use timego_netsim::{CrashWindow, FaultConfig, Network, NodeId, Packet};
 use timego_ni::share;
-use timego_am::RetryPolicy;
+use timego_am::{RecoveryPolicy, RetryPolicy};
+use timego_workloads::apps::collectives;
 use timego_workloads::{concurrent, patterns::Pattern, payloads, scenarios, sweeps};
 
 fn check(label: &str, measured: u64, paper: u64, out: &mut String) {
@@ -1506,9 +1507,13 @@ pub fn collectives_csv() -> String {
     out
 }
 
-/// One crash-window point of the crash-recovery study.
+/// One (protocol family, crash window) point of the crash-recovery
+/// study.
 #[derive(Debug, Clone)]
 pub struct RecoveryRow {
+    /// Protocol family measured: `"xfer"`, `"stream"`, `"rpc"`, or
+    /// `"collective"`.
+    pub family: &'static str,
     /// Crash window length in cycles (`0` = no crash, the baseline).
     pub window: u64,
     /// Seeds run at this point.
@@ -1519,119 +1524,212 @@ pub struct RecoveryRow {
     pub re_executions: u64,
     /// Mean network cycles to converged delivery, across seeds.
     pub avg_cycles: u64,
-    /// Fault-tolerance instructions at both endpoints, summed over
-    /// seeds — the full price of recovery.
+    /// Fault-tolerance instructions at the measured nodes (both
+    /// endpoints; every node for the collective), summed over seeds —
+    /// the full price of recovery.
     pub fault_tol_instr: u64,
     /// All other feature instructions (base + buffer management +
-    /// in-order) at both endpoints, summed over seeds. Each
+    /// in-order) at the measured nodes, summed over seeds. Each
     /// re-execution is a fresh session paying the ordinary protocol
     /// bill, so this scales with `1 + re_executions` per seed — never
     /// with the fault itself.
     pub other_instr: u64,
 }
 
-/// Measure the crash-recovery study: one 256-word reliable transfer
-/// per seed on a 16-node adaptive fat tree, with the receiver crashed
-/// from cycle 50 for `window` cycles (erasing its protocol state) and
-/// restarted. [`Machine::xfer_reliable_recovering`] detects the
-/// restart, re-executes under a fresh session epoch, and must converge
-/// to byte-exact delivery at every point.
+/// Measure one (family, window) cell of the crash-recovery study on a
+/// 16-node adaptive fat tree: per seed, one operation of the family is
+/// driven through [`Machine`]'s engine-native recovering entry point
+/// while the crash node loses its protocol state from cycle 50 for
+/// `window` cycles and restarts. Every cell must converge to
+/// exactly-once, byte-exact delivery.
+///
+/// Families and their crash targets:
+/// * `"xfer"` — 256-word reliable transfer 2 → 9; receiver crashes.
+/// * `"stream"` — 256-word stream send 3 → 9; receiver crashes.
+/// * `"rpc"` — 8 calls 4 → 9; the *callee* crashes (exactly-once is
+///   pinned by a handler-run counter: the reply cache answers engine
+///   re-executions, a restarted incarnation legitimately runs afresh).
+/// * `"collective"` — binomial-tree broadcast from node 0; an interior
+///   node (5) crashes mid-fan-out and its subtree recovers in-DAG.
 #[must_use]
-pub fn recovery_rows(windows: &[u64], seeds: u64) -> Vec<RecoveryRow> {
+pub fn recovery_family_row(family: &'static str, window: u64, seeds: u64) -> RecoveryRow {
     let nodes = sweeps::RECOVERY_NODES;
     let policy = RetryPolicy::default();
-    let (src, dst) = (NodeId::new(2), NodeId::new(9));
-    windows
-        .iter()
-        .map(|&window| {
-            let mut row = RecoveryRow {
-                window,
-                seeds,
-                completed: 0,
-                re_executions: 0,
-                avg_cycles: 0,
-                fault_tol_instr: 0,
-                other_instr: 0,
-            };
-            let mut cycles_total = 0u64;
-            for seed in 0..seeds {
-                let fault = if window == 0 {
-                    FaultConfig::default()
-                } else {
-                    FaultConfig {
-                        crashes: vec![CrashWindow { node: dst, start: 50, end: 50 + window }],
-                        ..FaultConfig::default()
-                    }
-                };
-                let mut m = Machine::new(
-                    share(scenarios::cm5_chaos(nodes, fault, seed)),
-                    nodes,
-                    CmamConfig::default(),
-                );
+    let recovery = RecoveryPolicy::default();
+    let mut row = RecoveryRow {
+        family,
+        window,
+        seeds,
+        completed: 0,
+        re_executions: 0,
+        avg_cycles: 0,
+        fault_tol_instr: 0,
+        other_instr: 0,
+    };
+    let mut cycles_total = 0u64;
+    for seed in 0..seeds {
+        // The broadcast fans out in a few dozen cycles, so its crash
+        // window opens at cycle 10 to land mid-fan-out; the point-to-
+        // point families run long enough for cycle 50 to do the same.
+        let (crash_node, start) = if family == "collective" {
+            (NodeId::new(5), 10)
+        } else {
+            (NodeId::new(9), 50)
+        };
+        let fault = if window == 0 {
+            FaultConfig::default()
+        } else {
+            FaultConfig {
+                crashes: vec![CrashWindow { node: crash_node, start, end: start + window }],
+                ..FaultConfig::default()
+            }
+        };
+        let mut m = Machine::new(
+            share(scenarios::cm5_chaos(nodes, fault, seed)),
+            nodes,
+            CmamConfig::default(),
+        );
+        let data = payloads::mixed(sweeps::RECOVERY_WORDS, seed);
+        let t0 = m.network().borrow().now();
+        let (delivered, re_execs, billed): (bool, u64, Vec<NodeId>) = match family {
+            "xfer" => {
+                let (src, dst) = (NodeId::new(2), NodeId::new(9));
                 m.reset_costs();
-                let data = payloads::mixed(sweeps::RECOVERY_WORDS, seed);
-                let t0 = m.network().borrow().now();
-                let (out, re_execs) = m
+                let (out, re) = m
                     .xfer_reliable_recovering(src, dst, &data, &policy)
-                    .expect("crash recovery must converge");
-                cycles_total += m.network().borrow().now() - t0;
-                if m.read_buffer(dst, out.xfer.dst_buffer, data.len()) == data {
-                    row.completed += 1;
+                    .expect("xfer crash recovery must converge");
+                let ok = m.read_buffer(dst, out.xfer.dst_buffer, data.len()) == data;
+                (ok, u64::from(re), vec![src, dst])
+            }
+            "stream" => {
+                let (src, dst) = (NodeId::new(3), NodeId::new(9));
+                let id = m.open_stream(src, dst, StreamConfig::default());
+                m.reset_costs();
+                let (_, re) = m
+                    .stream_send_recovering(id, &data, &recovery)
+                    .expect("stream crash recovery must converge");
+                let ok = m.stream_received(id) == data;
+                (ok, u64::from(re), vec![src, dst])
+            }
+            "rpc" => {
+                let (src, dst) = (NodeId::new(4), NodeId::new(9));
+                m.register_rpc_handler(dst, 40, |_, msg| [msg.words[0].wrapping_mul(3), 0, 0, 0]);
+                m.reset_costs();
+                let mut ok = true;
+                let mut re_total = 0u64;
+                for v in 0..8u32 {
+                    let (reply, re) = m
+                        .rpc_call_recovering(src, dst, 40, [v, 0, 0, 0], &policy, &recovery)
+                        .expect("rpc crash recovery must converge");
+                    ok &= reply[0] == v.wrapping_mul(3);
+                    re_total += u64::from(re);
                 }
-                row.re_executions += u64::from(re_execs);
-                for node in [src, dst] {
-                    let snap = m.cpu(node).snapshot();
-                    for f in Feature::ALL {
-                        if f == Feature::FaultTol {
-                            row.fault_tol_instr += snap.feature_total(f);
-                        } else {
-                            row.other_instr += snap.feature_total(f);
-                        }
-                    }
+                (ok, re_total, vec![src, dst])
+            }
+            "collective" => {
+                m.reset_costs();
+                let (seen, re) = collectives::broadcast_recovering(
+                    &mut m,
+                    NodeId::new(0),
+                    [7, 7, 7, 7],
+                    &recovery,
+                )
+                .expect("collective crash recovery must converge");
+                let ok = seen.iter().all(|v| *v == [7, 7, 7, 7]);
+                (ok, u64::from(re), (0..nodes).map(NodeId::new).collect())
+            }
+            other => panic!("unknown recovery family {other}"),
+        };
+        cycles_total += m.network().borrow().now() - t0;
+        if delivered {
+            row.completed += 1;
+        }
+        row.re_executions += re_execs;
+        for node in billed {
+            let snap = m.cpu(node).snapshot();
+            for f in Feature::ALL {
+                if f == Feature::FaultTol {
+                    row.fault_tol_instr += snap.feature_total(f);
+                } else {
+                    row.other_instr += snap.feature_total(f);
                 }
             }
-            row.avg_cycles = cycles_total / seeds.max(1);
-            row
+        }
+    }
+    row.avg_cycles = cycles_total / seeds.max(1);
+    row
+}
+
+/// The full crash-recovery grid: every protocol family crossed with
+/// every crash-window length. See [`recovery_family_row`].
+#[must_use]
+pub fn recovery_rows(windows: &[u64], seeds: u64) -> Vec<RecoveryRow> {
+    sweeps::RECOVERY_FAMILIES
+        .iter()
+        .flat_map(|&family| {
+            windows.iter().map(move |&window| recovery_family_row(family, window, seeds))
         })
         .collect()
 }
 
 /// **Crash-recovery report** — exactly-once convergence cost versus
-/// crash-window length. The non-fault-tolerance bill is flat across
-/// the sweep (recovery never leaks into the paper-protocol features);
-/// what grows with the outage is fault-tolerance work and wall-clock
-/// cycles spent re-executing and backing off.
+/// crash-window length, for every protocol family. The
+/// non-fault-tolerance bill is flat across the sweep (recovery never
+/// leaks into the paper-protocol features); what grows with the outage
+/// is fault-tolerance work and wall-clock cycles spent re-executing
+/// and backing off.
 #[must_use]
 pub fn recovery_report(rows: &[RecoveryRow]) -> String {
     let mut out = String::new();
-    out.push_str("== Crash recovery: exactly-once delivery vs crash-window length ==\n\n");
-    out.push_str("16 nodes, adaptive fat tree, one 256-word reliable transfer per seed;\n");
-    out.push_str("the receiver crashes at cycle 50 (protocol state erased) and restarts\n");
-    out.push_str("after the window. Sessions die via restart detection or timeout; the\n");
-    out.push_str("recovering wrapper re-executes under a fresh epoch until delivery.\n\n");
+    out.push_str(
+        "== Crash recovery: exactly-once delivery vs crash-window length, per family ==\n\n",
+    );
+    out.push_str("16 nodes, adaptive fat tree; the crash node loses its protocol state\n");
+    out.push_str("mid-operation (cycle 50; cycle 10 for the fast collective fan-out)\n");
+    out.push_str("and restarts after the window. Sessions die via restart detection or\n");
+    out.push_str("timeout; the engine parks the felled operation for its backoff window\n");
+    out.push_str("and re-executes it under a fresh epoch until delivery (same OpId, no\n");
+    out.push_str("caller-side loop). xfer/stream: 256 words into the crashing receiver;\n");
+    out.push_str("rpc: 8 calls to the crashing callee, exactly-once via the reply\n");
+    out.push_str("cache; collective: broadcast with an interior tree node crashing\n");
+    out.push_str("mid-fan-out, its subtree recovering in-DAG.\n\n");
     writeln!(
         out,
-        "{:>7} | {:>5} | {:>9} | {:>8} | {:>9} | {:>12} | {:>11}",
-        "window", "seeds", "delivered", "re-execs", "avg cyc", "faulttol instr", "other instr"
+        "{:>10} | {:>7} | {:>5} | {:>9} | {:>8} | {:>9} | {:>14} | {:>11}",
+        "family", "window", "seeds", "delivered", "re-execs", "avg cyc", "faulttol instr",
+        "other instr"
     )
     .unwrap();
+    let mut last_family = "";
     for r in rows {
+        if !last_family.is_empty() && r.family != last_family {
+            out.push('\n');
+        }
+        last_family = r.family;
         writeln!(
             out,
-            "{:>7} | {:>5} | {:>9} | {:>8} | {:>9} | {:>14} | {:>11}",
-            r.window, r.seeds, r.completed, r.re_executions, r.avg_cycles, r.fault_tol_instr, r.other_instr
+            "{:>10} | {:>7} | {:>5} | {:>9} | {:>8} | {:>9} | {:>14} | {:>11}",
+            r.family,
+            r.window,
+            r.seeds,
+            r.completed,
+            r.re_executions,
+            r.avg_cycles,
+            r.fault_tol_instr,
+            r.other_instr
         )
         .unwrap();
     }
     out.push_str(
-        "\nEvery point delivers exactly once, byte-exact. The crash-specific\n\
+        "\nEvery cell delivers exactly once, byte-exact. The crash-specific\n\
          software price — restart detection, session re-establishment,\n\
-         stale-epoch discards, retried handshakes — lands in the fault-\n\
-         tolerance feature. The other feature bills scale only with the\n\
-         number of whole-session executions (each re-execution is a fresh\n\
-         session paying the ordinary paper-protocol bill), never with the\n\
-         fault: the paper's separability of feature costs, extended to\n\
-         node failure.\n",
+         stale-epoch discards, retried handshakes, receiver-side GC of the\n\
+         dead incarnation's sessions — lands in the fault-tolerance\n\
+         feature. The other feature bills scale only with the number of\n\
+         whole-session executions (each re-execution is a fresh session\n\
+         paying the ordinary paper-protocol bill), never with the fault:\n\
+         the paper's separability of feature costs, extended to node\n\
+         failure across every protocol family.\n",
     );
     out
 }
@@ -1641,22 +1739,37 @@ mod tests {
     use super::*;
 
     #[test]
-    fn recovery_rows_converge_and_bill_fault_tolerance() {
+    fn recovery_rows_converge_and_bill_fault_tolerance_per_family() {
         let rows =
             recovery_rows(&sweeps::RECOVERY_CRASH_WINDOWS_QUICK, sweeps::RECOVERY_SEEDS_QUICK);
-        let baseline = &rows[0];
-        assert_eq!(baseline.window, 0);
-        assert_eq!(baseline.completed, baseline.seeds, "clean baseline must deliver");
-        assert_eq!(baseline.re_executions, 0, "no crash, no re-execution");
-        let crashed = rows.iter().find(|r| r.window > 0).expect("a crash point");
-        assert_eq!(crashed.completed, crashed.seeds, "recovery must converge everywhere");
-        assert!(crashed.re_executions > 0, "the crash must force re-execution");
-        assert!(
-            crashed.fault_tol_instr > baseline.fault_tol_instr,
-            "recovery work must bill fault tolerance"
+        assert_eq!(
+            rows.len(),
+            sweeps::RECOVERY_FAMILIES.len() * sweeps::RECOVERY_CRASH_WINDOWS_QUICK.len()
         );
+        for family in sweeps::RECOVERY_FAMILIES {
+            let fam: Vec<&RecoveryRow> = rows.iter().filter(|r| r.family == family).collect();
+            let baseline = fam.iter().find(|r| r.window == 0).expect("a clean baseline");
+            assert_eq!(
+                baseline.completed, baseline.seeds,
+                "{family}: clean baseline must deliver"
+            );
+            assert_eq!(baseline.re_executions, 0, "{family}: no crash, no re-execution");
+            let crashed = fam.iter().find(|r| r.window > 0).expect("a crash point");
+            assert_eq!(
+                crashed.completed, crashed.seeds,
+                "{family}: recovery must converge everywhere"
+            );
+            assert!(crashed.re_executions > 0, "{family}: the crash must force re-execution");
+            assert!(
+                crashed.fault_tol_instr > baseline.fault_tol_instr,
+                "{family}: recovery work must bill fault tolerance"
+            );
+        }
         let report = recovery_report(&rows);
         assert!(report.contains("re-execs"), "{report}");
+        for family in sweeps::RECOVERY_FAMILIES {
+            assert!(report.contains(family), "{family} missing from report");
+        }
     }
 
     #[test]

@@ -164,6 +164,18 @@ pub(crate) mod recovery {
     /// Session re-establishment memory traffic: drop the stale segment
     /// table entry and store the fresh epoch.
     pub const SESSION_RESTART_MEM: u64 = 2;
+    /// Reclaim one dead reliable-transfer session at the receiver
+    /// (epoch-TTL sweep or replace-on-new-epoch): age/epoch compare,
+    /// table probe, branch, unlink.
+    pub const SESSION_GC_REG: u64 = 5;
+    /// Session reclaim memory traffic: delete the session-table entry
+    /// and its segment shadow state.
+    pub const SESSION_GC_MEM: u64 = 2;
+    /// Reclaim one expired cached RPC reply at the callee: age compare,
+    /// cache probe, branch.
+    pub const REPLY_GC_REG: u64 = 3;
+    /// Reply reclaim memory traffic: delete the reply-cache entry.
+    pub const REPLY_GC_MEM: u64 = 1;
 }
 
 /// High-level (CR substrate) finite-sequence receive: the specialized

@@ -95,7 +95,7 @@ use crate::am::PollOutcome;
 use crate::costs::{recovery, segment, xfer_order, xfer_recv, xfer_send};
 use crate::error::ProtocolError;
 use crate::machine::{Machine, Tags};
-use crate::retry::RetryPolicy;
+use crate::retry::{RecoveryPolicy, RetryPolicy};
 use crate::rpc::RpcEvent;
 use crate::stream::{StreamId, StreamOutcome};
 use crate::machine::SessionEntry;
@@ -111,6 +111,12 @@ impl OpId {
     #[must_use]
     pub fn raw(self) -> u64 {
         self.0
+    }
+
+    /// Mint an id from a raw value (crate-internal test helper).
+    #[cfg(test)]
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        OpId(raw)
     }
 }
 
@@ -153,6 +159,18 @@ pub enum EngineEvent {
     /// The operation finished; `true` means it produced an outcome,
     /// `false` an error.
     Completed(OpId, bool),
+    /// The operation settled with a retryable error but carries a
+    /// [`RecoveryPolicy`] with budget left: instead of completing, the
+    /// engine parked it for the backoff window and will re-execute it
+    /// under the same `OpId` with a fresh session epoch. Run-after
+    /// dependents stay held across re-executions and release only when
+    /// the operation finally completes successfully.
+    Recovering(OpId),
+    /// The operation was cancelled ([`Engine::cancel`] or
+    /// [`Engine::quiesce`]) — recorded uniformly whether the operation
+    /// was running, pending, dependency-held, or parked for recovery,
+    /// immediately before the `Completed(id, false)` it settles with.
+    Cancelled(OpId),
 }
 
 /// One scheduler trace entry: an [`EngineEvent`] stamped with the
@@ -203,6 +221,112 @@ struct HeldOp {
     waiting_on: HashSet<OpId>,
 }
 
+/// Re-execution recipe and budget for one recovery-armed operation
+/// (see [`RecoveryPolicy`] and the `submit_*_recovering` variants).
+struct RecoveryState {
+    spec: OpSpec,
+    policy: RecoveryPolicy,
+    /// Re-executions performed so far (0 while the first execution is
+    /// still the only one).
+    re_executions: u32,
+}
+
+/// Everything needed to rebuild an operation's state machine for an
+/// engine-native re-execution. The rebuild is from first principles —
+/// a fresh `start` allocates a fresh session epoch — except where
+/// exactly-once semantics need continuity: a stream re-execution
+/// resumes at the receiver's contiguous mark instead of re-sending
+/// delivered packets, and an RPC re-execution reuses its call id so
+/// the callee's reply cache deduplicates a handler that already ran.
+enum OpSpec {
+    Reliable {
+        src: NodeId,
+        dst: NodeId,
+        data: Vec<u32>,
+        n: usize,
+        policy: RetryPolicy,
+    },
+    Stream {
+        id: StreamId,
+        src: NodeId,
+        dst: NodeId,
+        data: Vec<u32>,
+        n: usize,
+        rto_iterations: u64,
+        /// First sequence number of the burst, learned from the first
+        /// execution's `start` (earlier same-stream sends may still be
+        /// advancing the sequence at submission time).
+        base_seq: Option<u64>,
+    },
+    Rpc {
+        src: NodeId,
+        dst: NodeId,
+        tag: u8,
+        args: [u32; 4],
+        call_id: u64,
+        policy: Option<RetryPolicy>,
+    },
+    Am4 {
+        src: NodeId,
+        dst: NodeId,
+        tag: u8,
+        words: [u32; 4],
+        token: u32,
+    },
+}
+
+impl OpSpec {
+    /// The node recovery work is billed at (the operation's source).
+    fn source(&self) -> NodeId {
+        match self {
+            OpSpec::Reliable { src, .. }
+            | OpSpec::Stream { src, .. }
+            | OpSpec::Rpc { src, .. }
+            | OpSpec::Am4 { src, .. } => *src,
+        }
+    }
+
+    /// Mirror of [`OpKind::conflict_key`], answerable while the op is
+    /// parked (no live `OpKind` exists between executions).
+    fn conflict_key(&self) -> Option<ConflictKey> {
+        match self {
+            OpSpec::Reliable { src, dst, .. } => Some((CLASS_XFER, *src, *dst)),
+            OpSpec::Stream { src, dst, .. } => Some((CLASS_STREAM, *src, *dst)),
+            OpSpec::Rpc { .. } => None,
+            OpSpec::Am4 { src, dst, .. } => Some((CLASS_AM, *src, *dst)),
+        }
+    }
+
+    fn rebuild(&self) -> OpKind {
+        match self {
+            OpSpec::Reliable { src, dst, data, n, policy } => OpKind::Reliable(ReliableOp::new(
+                *src,
+                *dst,
+                data.clone(),
+                *n,
+                policy.clone(),
+            )),
+            OpSpec::Stream { id, src, dst, data, n, rto_iterations, base_seq } => {
+                let mut op = StreamOp::new(*id, *src, *dst, data.clone(), *n, *rto_iterations);
+                op.resume_base = *base_seq;
+                OpKind::Stream(op)
+            }
+            OpSpec::Rpc { src, dst, tag, args, call_id, policy } => OpKind::Rpc(RpcOp::new(
+                *src,
+                *dst,
+                *tag,
+                *args,
+                *call_id,
+                policy.clone(),
+                true,
+            )),
+            OpSpec::Am4 { src, dst, tag, words, token } => {
+                OpKind::Am4(Am4Op::new(*src, *dst, *tag, *words, *token, true))
+            }
+        }
+    }
+}
+
 enum OpKind {
     Xfer(XferOp),
     Reliable(ReliableOp),
@@ -227,7 +351,8 @@ impl OpKind {
             OpKind::Xfer(op) => op.start(m),
             OpKind::Reliable(op) => op.start(m),
             OpKind::Stream(op) => op.start(m),
-            OpKind::Rpc(_) | OpKind::Am4(_) => {}
+            OpKind::Rpc(op) => op.start(m),
+            OpKind::Am4(op) => op.start(m),
         }
     }
 
@@ -282,7 +407,12 @@ impl OpKind {
                         && meta.tag == Tags::RPC_REPLY
                         && meta.header == op.call_id as u32)
             }
-            OpKind::Am4(op) => node == op.dst && meta.src == op.src && meta.tag == op.tag,
+            OpKind::Am4(op) => {
+                node == op.dst
+                    && meta.src == op.src
+                    && meta.tag == op.tag
+                    && meta.header == op.token
+            }
         }
     }
 }
@@ -328,6 +458,15 @@ pub struct Engine {
     // No-progress watchdog bound in cycles; `None` derives
     // 4 × max_wait_cycles from the machine config at enforcement time.
     watchdog: Option<u64>,
+    // Engine-native recovery plane: per-op re-execution recipe and
+    // budget, armed by the `submit_*_recovering` variants. Entries are
+    // kept after settlement so `recovery_executions` stays answerable.
+    recovery: BTreeMap<OpId, RecoveryState>,
+    // Ops waiting out a recovery backoff window: id -> absolute
+    // substrate clock at which to re-execute. A parked op keeps its
+    // conflict key busy so queued same-key work cannot overtake the
+    // re-execution (stream sequence ranges would otherwise collide).
+    parked: BTreeMap<OpId, u64>,
     trace: Vec<TracedEvent>,
     // Consecutive no-progress cycles, persisted across `pump` calls
     // (diagnostic context for the defensive held-op sweep).
@@ -357,6 +496,8 @@ impl Engine {
             root_errors: BTreeMap::new(),
             deadlines: BTreeMap::new(),
             watchdog: None,
+            recovery: BTreeMap::new(),
+            parked: BTreeMap::new(),
             trace: Vec::new(),
             idle_streak: 0,
         }
@@ -624,19 +765,7 @@ impl Engine {
             assert!(p.max_attempts >= 1, "need at least one attempt");
         }
         let call_id = m.alloc_call_id();
-        self.submit(m, OpKind::Rpc(RpcOp {
-            src,
-            dst,
-            tag,
-            args,
-            call_id,
-            policy: policy.cloned(),
-            sent: false,
-            stalled: false,
-            attempt: 0,
-            waited: 0,
-            total_waited: 0,
-        }))
+        self.submit(m, OpKind::Rpc(RpcOp::new(src, dst, tag, args, call_id, policy.cloned(), false)))
     }
 
     /// [`Engine::submit_rpc`] with run-after dependencies.
@@ -669,19 +798,7 @@ impl Engine {
         let call_id = m.alloc_call_id();
         self.enqueue(
             m,
-            OpKind::Rpc(RpcOp {
-                src,
-                dst,
-                tag,
-                args,
-                call_id,
-                policy: policy.cloned(),
-                sent: false,
-                stalled: false,
-                attempt: 0,
-                waited: 0,
-                total_waited: 0,
-            }),
+            OpKind::Rpc(RpcOp::new(src, dst, tag, args, call_id, policy.cloned(), false)),
             after,
         )
     }
@@ -747,17 +864,310 @@ impl Engine {
                 Tags::USER_BASE
             )));
         }
-        self.enqueue(
-            m,
-            OpKind::Am4(Am4Op { src, dst, tag, words, sent: false, stalled: false, waited: 0 }),
-            after,
-        )
+        self.enqueue(m, OpKind::Am4(Am4Op::new(src, dst, tag, words, 0, false)), after)
     }
 
-    /// Number of operations not yet finished (held operations included).
+    // -----------------------------------------------------------------
+    // Engine-native recovery: `submit_*_recovering` variants.
+    // -----------------------------------------------------------------
+
+    /// Arm engine-native recovery for an already-submitted operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy allows zero executions.
+    fn arm_recovery(&mut self, id: OpId, spec: OpSpec, policy: &RecoveryPolicy) {
+        assert!(policy.max_executions >= 1, "need at least one execution");
+        if policy.max_executions > 1 {
+            self.recovery.insert(
+                id,
+                RecoveryState { spec, policy: policy.clone(), re_executions: 0 },
+            );
+        }
+    }
+
+    /// [`Engine::submit_xfer_reliable`] with an attached
+    /// [`RecoveryPolicy`]: if the transfer settles with a retryable
+    /// error (`SessionReset`, `Timeout`, `DeadlineExceeded`), the
+    /// scheduler itself re-executes it under a fresh session epoch
+    /// after the policy's backoff window — no caller-side loop. Each
+    /// re-execution bills the session-restart instruction shape to
+    /// `Feature::FaultTol` at the source; a clean run is
+    /// instruction-identical to [`Engine::submit_xfer_reliable`].
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadTransfer`] for empty or oversized data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`, either node is out of range, or either
+    /// policy allows zero attempts/executions.
+    pub fn submit_xfer_reliable_recovering(
+        &mut self,
+        m: &Machine,
+        src: NodeId,
+        dst: NodeId,
+        data: &[u32],
+        policy: &RetryPolicy,
+        recovery: &RecoveryPolicy,
+    ) -> Result<OpId, ProtocolError> {
+        self.submit_xfer_reliable_recovering_after(m, src, dst, data, policy, recovery, &[])
+    }
+
+    /// [`Engine::submit_xfer_reliable_recovering`] with run-after
+    /// dependencies. Because the op keeps its `OpId` across
+    /// re-executions, dependents stay held while it recovers and
+    /// release when it finally succeeds — a recovered predecessor does
+    /// *not* cascade [`ProtocolError::DependencyFailed`].
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadTransfer`] for empty or oversized data, or a
+    /// dependency on an id this engine has not submitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`, either node is out of range, or either
+    /// policy allows zero attempts/executions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_xfer_reliable_recovering_after(
+        &mut self,
+        m: &Machine,
+        src: NodeId,
+        dst: NodeId,
+        data: &[u32],
+        policy: &RetryPolicy,
+        recovery: &RecoveryPolicy,
+        after: &[OpId],
+    ) -> Result<OpId, ProtocolError> {
+        let id = self.submit_xfer_reliable_after(m, src, dst, data, policy, after)?;
+        let n = m.config().packet_words;
+        self.arm_recovery(
+            id,
+            OpSpec::Reliable { src, dst, data: data.to_vec(), n, policy: policy.clone() },
+            recovery,
+        );
+        Ok(id)
+    }
+
+    /// [`Engine::submit_stream_send`] with an attached
+    /// [`RecoveryPolicy`]. A re-execution *resumes* the burst instead
+    /// of restarting it: packets the receiver already delivered
+    /// in-sequence are not re-sent, so the stream stays exactly-once
+    /// and byte-exact across sender or receiver crash-restarts.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadTransfer`] for empty data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale or the policy allows zero executions.
+    pub fn submit_stream_send_recovering(
+        &mut self,
+        m: &Machine,
+        id: StreamId,
+        data: &[u32],
+        recovery: &RecoveryPolicy,
+    ) -> Result<OpId, ProtocolError> {
+        self.submit_stream_send_recovering_after(m, id, data, recovery, &[])
+    }
+
+    /// [`Engine::submit_stream_send_recovering`] with run-after
+    /// dependencies.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadTransfer`] for empty data or a dependency on
+    /// an id this engine has not submitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale or the policy allows zero executions.
+    pub fn submit_stream_send_recovering_after(
+        &mut self,
+        m: &Machine,
+        id: StreamId,
+        data: &[u32],
+        recovery: &RecoveryPolicy,
+        after: &[OpId],
+    ) -> Result<OpId, ProtocolError> {
+        let op = self.submit_stream_send_after(m, id, data, after)?;
+        let st = m.stream_state(id);
+        let n = m.config().packet_words;
+        self.arm_recovery(
+            op,
+            OpSpec::Stream {
+                id,
+                src: st.src,
+                dst: st.dst,
+                data: data.to_vec(),
+                n,
+                rto_iterations: st.rto_iterations(),
+                base_seq: None,
+            },
+            recovery,
+        );
+        Ok(op)
+    }
+
+    /// [`Engine::submit_rpc`] with an attached [`RecoveryPolicy`]. A
+    /// re-execution reuses the original call id, so if the callee's
+    /// handler already ran, its reply cache answers the re-sent request
+    /// as a duplicate — the handler executes at most once per callee
+    /// incarnation (a callee crash-restart legitimately re-runs it on
+    /// the fresh incarnation, which is what the restart erased).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`, either node is out of range, or either
+    /// policy allows zero attempts/executions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_rpc_recovering(
+        &mut self,
+        m: &mut Machine,
+        src: NodeId,
+        dst: NodeId,
+        tag: u8,
+        args: [u32; 4],
+        policy: Option<&RetryPolicy>,
+        recovery: &RecoveryPolicy,
+    ) -> OpId {
+        self.submit_rpc_recovering_after(m, src, dst, tag, args, policy, recovery, &[])
+            .expect("no dependencies to reject")
+    }
+
+    /// [`Engine::submit_rpc_recovering`] with run-after dependencies.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadTransfer`] for a dependency on an id this
+    /// engine has not submitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`, either node is out of range, or either
+    /// policy allows zero attempts/executions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_rpc_recovering_after(
+        &mut self,
+        m: &mut Machine,
+        src: NodeId,
+        dst: NodeId,
+        tag: u8,
+        args: [u32; 4],
+        policy: Option<&RetryPolicy>,
+        recovery: &RecoveryPolicy,
+        after: &[OpId],
+    ) -> Result<OpId, ProtocolError> {
+        assert_ne!(src, dst, "rpc endpoints must differ");
+        assert!(src.index() < m.num_nodes() && dst.index() < m.num_nodes());
+        if let Some(p) = policy {
+            assert!(p.max_attempts >= 1, "need at least one attempt");
+        }
+        let call_id = m.alloc_call_id();
+        let id = self.enqueue(
+            m,
+            OpKind::Rpc(RpcOp::new(src, dst, tag, args, call_id, policy.cloned(), true)),
+            after,
+        )?;
+        self.arm_recovery(
+            id,
+            OpSpec::Rpc { src, dst, tag, args, call_id, policy: policy.cloned() },
+            recovery,
+        );
+        Ok(id)
+    }
+
+    /// [`Engine::submit_am4`] with an attached [`RecoveryPolicy`] — the
+    /// building block of recovering collectives. The message rides a
+    /// nonzero *delivery token* in the header word (plain user traffic
+    /// always carries header `0`): consumption is token-gated, so a
+    /// duplicate left by a crash-straddling re-execution can never be
+    /// mistaken for a later same-pair message and is orphan-discarded
+    /// once its operation completes.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadTransfer`] for a reserved (protocol-range)
+    /// tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`, either node is out of range, or the
+    /// policy allows zero executions.
+    pub fn submit_am4_recovering(
+        &mut self,
+        m: &mut Machine,
+        src: NodeId,
+        dst: NodeId,
+        tag: u8,
+        words: [u32; 4],
+        recovery: &RecoveryPolicy,
+    ) -> Result<OpId, ProtocolError> {
+        self.submit_am4_recovering_after(m, src, dst, tag, words, recovery, &[])
+    }
+
+    /// [`Engine::submit_am4_recovering`] with run-after dependencies.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadTransfer`] for a reserved tag or a dependency
+    /// on an id this engine has not submitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`, either node is out of range, or the
+    /// policy allows zero executions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_am4_recovering_after(
+        &mut self,
+        m: &mut Machine,
+        src: NodeId,
+        dst: NodeId,
+        tag: u8,
+        words: [u32; 4],
+        recovery: &RecoveryPolicy,
+        after: &[OpId],
+    ) -> Result<OpId, ProtocolError> {
+        assert_ne!(src, dst, "am4 endpoints must differ");
+        assert!(src.index() < m.num_nodes() && dst.index() < m.num_nodes());
+        if tag < Tags::USER_BASE {
+            return Err(ProtocolError::BadTransfer(format!(
+                "am4 tag {tag} is in the reserved protocol range (< {})",
+                Tags::USER_BASE
+            )));
+        }
+        // Allocated from the same counter as RPC call ids; the high bit
+        // keeps it nonzero, which is what distinguishes a recovery-
+        // stamped message from plain header-0 user traffic.
+        let token = (m.alloc_call_id() as u32) | 0x8000_0000;
+        let id = self.enqueue(m, OpKind::Am4(Am4Op::new(src, dst, tag, words, token, true)), after)?;
+        self.arm_recovery(id, OpSpec::Am4 { src, dst, tag, words, token }, recovery);
+        Ok(id)
+    }
+
+    /// How many engine-native re-executions `id` has undergone so far
+    /// (0 for clean runs and for ops submitted without a
+    /// [`RecoveryPolicy`]). Stays answerable after the op settles.
+    #[must_use]
+    pub fn recovery_executions(&self, id: OpId) -> u32 {
+        self.recovery.get(&id).map_or(0, |s| s.re_executions)
+    }
+
+    /// Number of operations currently parked between recovery
+    /// executions (waiting out a backoff window).
+    #[must_use]
+    pub fn parked_count(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Number of operations not yet finished (held operations and ops
+    /// parked between recovery executions included).
     #[must_use]
     pub fn unfinished(&self) -> usize {
-        self.pending.len() + self.running.len() + self.held.len()
+        self.pending.len() + self.running.len() + self.held.len() + self.parked.len()
     }
 
     /// Number of operations currently held behind unfinished run-after
@@ -883,18 +1293,34 @@ impl Engine {
         // stepping: erase the crashed endpoint's sessions and caches so
         // the ops observe the restart, not ghosts of the old incarnation.
         m.observe_restarts();
+        // Receiver-side GC: epoch-TTL sweep of dead sessions and
+        // expired reply-cache entries. Tables owned by live operations
+        // are exempt; a clean run sweeps (and bills) nothing.
+        self.collect_garbage(m);
         loop {
             if self.supervise(m) {
                 continue;
             }
+            self.release_recovered(m);
             self.admit(m);
             if self.running.is_empty() {
+                if let Some(&resume_at) = self.parked.values().min() {
+                    // Nothing is runnable until a parked op's backoff
+                    // window closes: jump the clock there and let the
+                    // next iteration re-admit it.
+                    let now = clock(m);
+                    if resume_at > now {
+                        m.advance(resume_at - now);
+                    }
+                    continue;
+                }
                 if self.pending.is_empty() {
                     // A held op always has a live predecessor somewhere
-                    // in running/pending (release and failure both move
-                    // it out of `held` when the last one settles), so
-                    // nothing can be held here; sweep defensively
-                    // rather than spin if that invariant ever breaks.
+                    // in running/pending/parked (release and failure
+                    // both move it out of `held` when the last one
+                    // settles), so nothing can be held here; sweep
+                    // defensively rather than spin if that invariant
+                    // ever breaks.
                     while let Some(&id) = self.held.keys().next() {
                         self.held.remove(&id);
                         let streak = self.idle_streak;
@@ -984,10 +1410,121 @@ impl Engine {
 
     fn finish(&mut self, m: &Machine, idx: usize, result: Result<OpOutcome, ProtocolError>) {
         let op = self.running.remove(idx);
+        if self.try_recover(m, op.id, Some(&op.op), &result) {
+            // The parked op keeps its conflict key: queued same-key
+            // work must not overtake the re-execution.
+            return;
+        }
         if let Some(k) = op.op.conflict_key() {
             self.busy.remove(&k);
         }
         self.settle(m, op.id, result);
+    }
+
+    /// Engine-native recovery decision: a retryable failure of a
+    /// recovery-armed op with budget left *parks* the op for its
+    /// backoff window instead of settling it, billing the
+    /// session-restart instruction shape to `Feature::FaultTol` at the
+    /// op's source — the same shape (and feature) the caller-side
+    /// restart loop this replaces used to bill. Returns `true` if the
+    /// op was parked.
+    fn try_recover(
+        &mut self,
+        m: &Machine,
+        id: OpId,
+        op: Option<&OpKind>,
+        result: &Result<OpOutcome, ProtocolError>,
+    ) -> bool {
+        let Err(err) = result else { return false };
+        if !err.is_retryable() {
+            return false;
+        }
+        let Some(state) = self.recovery.get_mut(&id) else { return false };
+        if state.re_executions + 1 >= state.policy.max_executions {
+            return false;
+        }
+        // A failed first execution teaches the stream spec its base
+        // sequence, so re-executions resume the burst (exactly-once)
+        // instead of restarting it at a fresh sequence range.
+        if let (OpSpec::Stream { base_seq, .. }, Some(OpKind::Stream(s))) = (&mut state.spec, op) {
+            base_seq.get_or_insert(s.first_seq);
+        }
+        state.re_executions += 1;
+        let wait = state.policy.window(state.re_executions);
+        let src = state.spec.source();
+        let cpu = m.cpu(src);
+        cpu.with_feature(Feature::FaultTol, |c| {
+            c.reg(Fine::RegOp, recovery::SESSION_RESTART_REG);
+            c.mem_store(recovery::SESSION_RESTART_MEM);
+        });
+        self.record(m, EngineEvent::Recovering(id));
+        self.parked.insert(id, clock(m).saturating_add(wait));
+        true
+    }
+
+    /// Re-admit parked ops whose backoff window has closed: rebuild the
+    /// state machine from its recovery spec (a fresh session epoch is
+    /// allocated in `start`) and put it straight back on the running
+    /// set — its conflict key never left `busy`.
+    fn release_recovered(&mut self, m: &mut Machine) {
+        let now = clock(m);
+        let due: Vec<OpId> = self
+            .parked
+            .iter()
+            .filter(|&(_, &at)| at <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in due {
+            self.parked.remove(&id);
+            let mut op =
+                self.recovery.get(&id).expect("parked ops are recovery-armed").spec.rebuild();
+            self.record(m, EngineEvent::Started(id));
+            op.start(m);
+            let last_progress_at = clock(m);
+            self.running.push(ActiveOp { id, op, last_progress_at });
+        }
+    }
+
+    /// Epoch-TTL sweep of receiver-side tables (dead sessions left by
+    /// crashed senders, reply-cache entries of long-settled calls).
+    /// Sessions and replies belonging to live operations are exempt —
+    /// including replies awaited by *parked* RPCs, so re-execution
+    /// still deduplicates against a handler that already ran. The
+    /// sweep itself happens in [`Machine::gc_expired`], billed to
+    /// `Feature::FaultTol` at each reclaiming receiver.
+    fn collect_garbage(&mut self, m: &mut Machine) {
+        let mut live_sessions: HashSet<(NodeId, NodeId)> = HashSet::new();
+        let mut live_replies: HashSet<(NodeId, NodeId, u32)> = HashSet::new();
+        let live_ops = self
+            .running
+            .iter()
+            .chain(self.pending.iter())
+            .chain(self.held.values().map(|h| &h.op));
+        for op in live_ops {
+            match &op.op {
+                OpKind::Xfer(o) => {
+                    live_sessions.insert((o.dst, o.src));
+                }
+                OpKind::Reliable(o) => {
+                    live_sessions.insert((o.dst, o.src));
+                }
+                OpKind::Rpc(o) => {
+                    live_replies.insert((o.dst, o.src, o.call_id as u32));
+                }
+                OpKind::Stream(_) | OpKind::Am4(_) => {}
+            }
+        }
+        // Parked reliable transfers are deliberately *not* exempt: the
+        // next execution opens a fresh epoch, so the receiver's
+        // stale-epoch session is exactly what the sweep should reclaim.
+        for id in self.parked.keys() {
+            if let Some(RecoveryState { spec: OpSpec::Rpc { src, dst, call_id, .. }, .. }) =
+                self.recovery.get(id)
+            {
+                live_replies.insert((*dst, *src, *call_id as u32));
+            }
+        }
+        m.gc_expired(&live_sessions, &live_replies);
     }
 
     /// Record an operation's final outcome and propagate it along
@@ -1050,8 +1587,13 @@ impl Engine {
             let Some(meta) = m.rx_peek_at(node) else {
                 continue;
             };
+            // Reserved protocol tags are engine-owned. User-tag packets
+            // carrying a nonzero header are recovery-stamped am4 sends
+            // (plain user traffic always rides header 0) and equally
+            // discardable once no running op claims their token.
             let reserved = meta.tag < Tags::USER_BASE || meta.tag == Tags::RPC_REPLY;
-            if !reserved {
+            let stamped = !reserved && meta.header != 0;
+            if !reserved && !stamped {
                 continue;
             }
             if self.running.iter().any(|op| op.op.claims(node, &meta)) {
@@ -1128,18 +1670,47 @@ impl Engine {
     }
 
     /// Settle one unfinished op with `err`, wherever it currently is.
+    /// Cancellations record the uniform [`EngineEvent::Cancelled`]
+    /// trace event regardless of where the op sat.
     fn expire(&mut self, m: &Machine, id: OpId, err: ProtocolError) -> bool {
         self.deadlines.remove(&id);
+        let cancelled = matches!(err, ProtocolError::Cancelled);
         if let Some(idx) = self.running.iter().position(|op| op.id == id) {
+            if cancelled {
+                self.record(m, EngineEvent::Cancelled(id));
+            }
             self.finish(m, idx, Err(err));
             return true;
         }
         if let Some(pos) = self.pending.iter().position(|op| op.id == id) {
+            if cancelled {
+                self.record(m, EngineEvent::Cancelled(id));
+            }
             self.pending.remove(pos);
             self.settle(m, id, Err(err));
             return true;
         }
         if self.held.remove(&id).is_some() {
+            if cancelled {
+                self.record(m, EngineEvent::Cancelled(id));
+            }
+            self.settle(m, id, Err(err));
+            return true;
+        }
+        if self.parked.remove(&id).is_some() {
+            if cancelled {
+                self.record(m, EngineEvent::Cancelled(id));
+            }
+            // A retryable expiry (a deadline firing mid-backoff)
+            // consumes recovery budget and re-parks; anything else —
+            // cancellation included — releases the conflict key the
+            // parked op was holding and settles it.
+            if self.try_recover(m, id, None, &Err(err.clone())) {
+                return true;
+            }
+            if let Some(k) = self.recovery.get(&id).and_then(|s| s.spec.conflict_key()) {
+                self.busy.remove(&k);
+            }
             self.settle(m, id, Err(err));
             return true;
         }
@@ -1182,13 +1753,21 @@ impl Engine {
         acted
     }
 
-    /// Graceful shutdown: cancel everything still waiting (pending and
-    /// held), drive the already-running operations to completion, then
-    /// drain orphaned in-flight packets until the network is empty.
+    /// Graceful shutdown: cancel everything still waiting (pending,
+    /// dependency-held, and parked between recovery executions), drive
+    /// the already-running operations to completion, then drain
+    /// orphaned in-flight packets until the network is empty. Every
+    /// cancellation records the uniform [`EngineEvent::Cancelled`]
+    /// trace event before settling with [`ProtocolError::Cancelled`].
     /// Returns the number of stray packets discarded during the drain.
     pub fn quiesce(&mut self, m: &mut Machine) -> usize {
-        let waiting: Vec<OpId> =
-            self.pending.iter().map(|op| op.id).chain(self.held.keys().copied()).collect();
+        let waiting: Vec<OpId> = self
+            .pending
+            .iter()
+            .map(|op| op.id)
+            .chain(self.held.keys().copied())
+            .chain(self.parked.keys().copied())
+            .collect();
         for id in waiting {
             self.cancel(m, id);
         }
@@ -1491,9 +2070,45 @@ struct RpcOp {
     attempt: u32,
     waited: u64,
     total_waited: u64,
+    // Recovery-managed ops fail fast with the retryable `SessionReset`
+    // when an endpoint crash-restarts mid-call (counters captured at
+    // start); unmanaged ops keep the pre-recovery-plane behavior and
+    // ride out crashes through their own retry windows.
+    managed: bool,
+    peer_restarts: (u32, u32),
 }
 
 impl RpcOp {
+    fn new(
+        src: NodeId,
+        dst: NodeId,
+        tag: u8,
+        args: [u32; 4],
+        call_id: u64,
+        policy: Option<RetryPolicy>,
+        managed: bool,
+    ) -> Self {
+        RpcOp {
+            src,
+            dst,
+            tag,
+            args,
+            call_id,
+            policy,
+            sent: false,
+            stalled: false,
+            attempt: 0,
+            waited: 0,
+            total_waited: 0,
+            managed,
+            peer_restarts: (0, 0),
+        }
+    }
+
+    fn start(&mut self, m: &Machine) {
+        self.peer_restarts = (m.restarts_of(self.src), m.restarts_of(self.dst));
+    }
+
     fn tick(&mut self) {
         self.stalled = false;
         self.waited += 1;
@@ -1503,6 +2118,11 @@ impl RpcOp {
     }
 
     fn step(&mut self, m: &mut Machine) -> Result<Stepped, ProtocolError> {
+        if self.managed {
+            if let Some(e) = check_restart(m, self.src, self.dst, self.peer_restarts) {
+                return Err(e);
+            }
+        }
         // Deadline / retry-window bookkeeping.
         if let Some(policy) = self.policy.clone() {
             if self.sent && self.waited > policy.backoff(self.attempt) {
@@ -1584,18 +2204,52 @@ struct Am4Op {
     dst: NodeId,
     tag: u8,
     words: [u32; 4],
+    // Delivery token riding the header word: 0 for plain submissions
+    // (matching `Machine::am4_send`), nonzero for recovery-managed ops
+    // so a duplicate left by a crash-straddling re-execution is
+    // attributable — consumption is token-gated, and an unclaimed
+    // leftover is orphan-discardable.
+    token: u32,
+    // Recovery-managed ops fail fast with `SessionReset` on an
+    // endpoint crash-restart (counters captured at start).
+    managed: bool,
     sent: bool,
     stalled: bool,
     waited: u64,
+    peer_restarts: (u32, u32),
 }
 
 impl Am4Op {
+    fn new(src: NodeId, dst: NodeId, tag: u8, words: [u32; 4], token: u32, managed: bool) -> Self {
+        Am4Op {
+            src,
+            dst,
+            tag,
+            words,
+            token,
+            managed,
+            sent: false,
+            stalled: false,
+            waited: 0,
+            peer_restarts: (0, 0),
+        }
+    }
+
+    fn start(&mut self, m: &Machine) {
+        self.peer_restarts = (m.restarts_of(self.src), m.restarts_of(self.dst));
+    }
+
     fn tick(&mut self) {
         self.stalled = false;
         self.waited += 1;
     }
 
     fn step(&mut self, m: &mut Machine) -> Result<Stepped, ProtocolError> {
+        if self.managed {
+            if let Some(e) = check_restart(m, self.src, self.dst, self.peer_restarts) {
+                return Err(e);
+            }
+        }
         if self.waited > m.config().max_wait_cycles {
             let what = if self.sent { "am4 delivery" } else { "am4 injection" };
             return Err(ProtocolError::timeout(what, self.waited));
@@ -1604,8 +2258,9 @@ impl Am4Op {
         if !self.sent && !self.stalled {
             // One attempt of the Table 1 single-packet send; identical
             // instruction shape to `Machine::am4_send`'s loop body
-            // (header word 0), paid again on every backpressure retry.
-            if m.rpc_send_once(self.src, self.dst, self.tag, 0, self.words) {
+            // (the token rides the header word the packet already
+            // carries), paid again on every backpressure retry.
+            if m.rpc_send_once(self.src, self.dst, self.tag, u64::from(self.token), self.words) {
                 self.sent = true;
                 self.waited = 0;
                 progress = true;
@@ -1614,10 +2269,14 @@ impl Am4Op {
             }
         }
         // Consume the message once it surfaces at the destination's
-        // queue head (a cost-free harness peek; the poll itself pays
-        // Table 1's 27-instruction message path, plus handler dispatch
-        // when a handler is registered for the tag).
-        if peek_is(m, self.dst, self.src, self.tag) {
+        // queue head (a cost-free harness peek gated on our delivery
+        // token; the poll itself pays Table 1's 27-instruction message
+        // path, plus handler dispatch when a handler is registered for
+        // the tag).
+        let token = self.token;
+        if m.rx_peek_at(self.dst).is_some_and(|meta| {
+            meta.src == self.src && meta.tag == self.tag && meta.header == token
+        }) {
             return match m.poll(self.dst) {
                 PollOutcome::Unclaimed(msg) => Ok(Stepped::Done(OpOutcome::Am4(msg.words))),
                 // A registered handler consumed the payload; the
@@ -1645,6 +2304,11 @@ struct StreamOp {
     // Captured at start (an earlier send on the same stream may still
     // be advancing the sequence when this op is submitted).
     first_seq: u64,
+    // Set on recovery re-executions: the first execution's `first_seq`.
+    // Resuming from it (instead of reading `next_seq`) keeps the burst
+    // in its original sequence range, and the start logic skips packets
+    // the receiver has already delivered in-sequence — exactly-once.
+    resume_base: Option<u64>,
     target_contig: u64,
     expected_acks: u64,
     outcome: StreamOutcome,
@@ -1677,6 +2341,7 @@ impl StreamOp {
             packets,
             rto_iterations,
             first_seq: 0,
+            resume_base: None,
             target_contig: 0,
             expected_acks: 0,
             outcome: StreamOutcome {
@@ -1698,9 +2363,20 @@ impl StreamOp {
 
     fn start(&mut self, m: &mut Machine) {
         let st = m.stream_state(self.id);
-        self.first_seq = st.next_seq;
+        let next_seq = st.next_seq;
+        let ack_period = st.ack_period().max(1);
+        self.first_seq = self.resume_base.unwrap_or(next_seq);
         self.target_contig = self.first_seq + self.packets;
-        self.expected_acks = self.packets.div_ceil(st.ack_period().max(1));
+        self.expected_acks = self.packets.div_ceil(ack_period);
+        if self.resume_base.is_some() {
+            // Resume where the receiver's contiguous prefix ends:
+            // packets already delivered in-sequence are not re-sent
+            // (exactly-once); anything at or past the receiver's
+            // expectation is. Stale unacked copies at the source drain
+            // via the ordinary RTO/duplicate-ack machinery.
+            self.sent =
+                m.stream_expected(self.id).saturating_sub(self.first_seq).min(self.packets);
+        }
         self.peer_restarts = (m.restarts_of(self.src), m.restarts_of(self.dst));
         m.stream_entry_charge(self.id);
     }
@@ -2054,6 +2730,19 @@ impl ReliableOp {
                 });
                 self.reply_pending = Some(Feature::FaultTol);
             } else {
+                // A leftover same-pair session of an *earlier* epoch —
+                // its sender crashed mid-transfer, or the op was
+                // re-executed by the recovery plane — is reclaimed
+                // before the fresh allocation. Recovery work, billed
+                // like the TTL sweep would bill it.
+                if m.sessions.get(&(dst, src)).is_some_and(|s| s.epoch != self.epoch) {
+                    m.sessions.remove(&(dst, src));
+                    let cpu = m.cpu(dst);
+                    cpu.with_feature(Feature::FaultTol, |c| {
+                        c.reg(Fine::RegOp, recovery::SESSION_GC_REG);
+                        c.mem_store(recovery::SESSION_GC_MEM);
+                    });
+                }
                 let epoch = self.epoch;
                 let node = m.node_mut(dst);
                 let cpu = node.cpu.clone();
@@ -2069,11 +2758,14 @@ impl ReliableOp {
                 });
                 self.segment = Some(seg);
                 // Record the open session so a crash-restart of the
-                // receiver observably erases it (host-side bookkeeping,
-                // no simulated instructions).
+                // receiver observably erases it — and so the TTL sweep
+                // can reclaim it if the *sender* crashes and never
+                // finishes the transfer (host-side bookkeeping, no
+                // simulated instructions on the clean path).
+                let opened_at = clock(m);
                 m.sessions.insert(
                     (dst, src),
-                    SessionEntry { epoch: self.epoch, seg: seg.0, buffer: seg.1 },
+                    SessionEntry { epoch: self.epoch, seg: seg.0, buffer: seg.1, opened_at },
                 );
                 self.reply_pending = Some(Feature::BufferMgmt);
             }

@@ -185,15 +185,68 @@ mod tests {
         assert!(s.contains("4 recovery attempts"), "{s}");
     }
 
+    /// Table-driven audit of `is_retryable()` over **every** variant:
+    /// the transient classes (timeouts, both supervision bounds, session
+    /// resets, and dependency failures flattened onto those roots) all
+    /// answer `true`; deliberate cancellation, usage errors, and
+    /// dependency failures rooted in them all answer `false`. Adding a
+    /// variant without classifying it here fails the completeness check.
     #[test]
-    fn transient_errors_are_retryable_and_usage_errors_are_not() {
-        assert!(ProtocolError::timeout("x", 1).is_retryable());
-        assert!(ProtocolError::DeadlineExceeded { what: "deadline", cycles: 7 }.is_retryable());
-        assert!(ProtocolError::SessionReset { node: NodeId::new(2) }.is_retryable());
-        assert!(!ProtocolError::Cancelled.is_retryable());
-        assert!(!ProtocolError::MissingGuarantees { have: Guarantees::RAW }.is_retryable());
-        assert!(!ProtocolError::BadTransfer("x".into()).is_retryable());
-        assert!(!ProtocolError::UnexpectedPacket { tag: 1 }.is_retryable());
+    fn retryability_table_covers_every_variant() {
+        let dep = |root: ProtocolError| ProtocolError::DependencyFailed {
+            failed: OpId::from_raw(7),
+            root: Box::new(root),
+        };
+        let table: Vec<(ProtocolError, bool)> = vec![
+            // Transient: lost/delayed traffic or a restarted peer.
+            (ProtocolError::timeout("ack", 1), true),
+            (
+                ProtocolError::Timeout {
+                    waiting_for: "reply",
+                    cycles: 9,
+                    node: Some(NodeId::new(1)),
+                    attempts: 3,
+                },
+                true,
+            ),
+            (ProtocolError::DeadlineExceeded { what: "deadline", cycles: 7 }, true),
+            (ProtocolError::DeadlineExceeded { what: "watchdog", cycles: 7 }, true),
+            (ProtocolError::SessionReset { node: NodeId::new(2) }, true),
+            // Dependency failures follow their flattened root cause.
+            (dep(ProtocolError::timeout("ack", 1)), true),
+            (dep(ProtocolError::DeadlineExceeded { what: "watchdog", cycles: 3 }), true),
+            (dep(ProtocolError::SessionReset { node: NodeId::new(0) }), true),
+            (dep(ProtocolError::BadTransfer("x".into())), false),
+            (dep(ProtocolError::Cancelled), false),
+            // Deliberate or usage errors: retrying cannot fix them.
+            (ProtocolError::Cancelled, false),
+            (ProtocolError::MissingGuarantees { have: Guarantees::RAW }, false),
+            (ProtocolError::BadTransfer("x".into()), false),
+            (ProtocolError::UnexpectedPacket { tag: 1 }, false),
+        ];
+        for (err, want) in &table {
+            assert_eq!(err.is_retryable(), *want, "{err:?}");
+        }
+        // Completeness: every variant of the enum appears in the table
+        // (discriminant names extracted from the Debug rendering).
+        let discriminant = |e: &ProtocolError| {
+            let s = format!("{e:?}");
+            s.split(|c: char| !c.is_alphanumeric()).next().unwrap().to_string()
+        };
+        let covered: std::collections::BTreeSet<String> =
+            table.iter().map(|(e, _)| discriminant(e)).collect();
+        for name in [
+            "Timeout",
+            "MissingGuarantees",
+            "BadTransfer",
+            "UnexpectedPacket",
+            "DependencyFailed",
+            "DeadlineExceeded",
+            "Cancelled",
+            "SessionReset",
+        ] {
+            assert!(covered.contains(name), "variant {name} missing from the table");
+        }
     }
 
     #[test]

@@ -84,7 +84,7 @@ pub use machine::{CmamConfig, Machine, Tags};
 pub use measure::{
     measure_hl_stream, measure_hl_xfer, measure_single_packet, measure_stream, measure_xfer,
 };
-pub use retry::RetryPolicy;
+pub use retry::{RecoveryPolicy, RetryPolicy};
 pub use rpc::{classify_poll, RpcEvent};
 pub use stream::{StreamConfig, StreamId, StreamOutcome};
 pub use xfer::XferOutcome;

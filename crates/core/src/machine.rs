@@ -2,7 +2,7 @@
 //! over a shared network substrate, plus the single-packet active-message
 //! layer.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use timego_cost::{CostHandle, Feature, Fine};
 use timego_netsim::{NodeId, RxMeta};
@@ -62,6 +62,13 @@ pub struct CmamConfig {
     /// Upper bound on cycles any protocol phase will wait for a packet
     /// before reporting [`ProtocolError::Timeout`].
     pub max_wait_cycles: u64,
+    /// Receiver-side garbage-collection TTL in cycles: sessions and
+    /// cached RPC replies older than this — and not owned by a live
+    /// operation — are reclaimed by the engine's epoch-TTL sweep
+    /// (billed to `Feature::FaultTol` at the receiver). The default
+    /// equals `max_wait_cycles`, comfortably past every protocol's own
+    /// retry envelope, so nothing live is ever collected.
+    pub gc_ttl_cycles: u64,
 }
 
 impl Default for CmamConfig {
@@ -70,6 +77,7 @@ impl Default for CmamConfig {
             packet_words: 4,
             mem_words: 1 << 20,
             max_wait_cycles: 1 << 20,
+            gc_ttl_cycles: 1 << 20,
         }
     }
 }
@@ -173,6 +181,20 @@ pub(crate) struct SessionEntry {
     pub(crate) seg: u32,
     /// The destination buffer backing the segment.
     pub(crate) buffer: Addr,
+    /// Substrate clock when the session opened — what the epoch-TTL
+    /// garbage sweep ages against.
+    pub(crate) opened_at: u64,
+}
+
+/// One cached RPC reply at a callee, stamped with the substrate clock
+/// so the epoch-TTL sweep can age it out once no live caller can still
+/// retransmit the request.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ReplyEntry {
+    /// The reply words the handler produced.
+    pub(crate) words: [u32; 4],
+    /// Substrate clock when the reply was cached.
+    pub(crate) cached_at: u64,
 }
 
 /// The simulated machine: `n` nodes over one shared network substrate.
@@ -191,7 +213,7 @@ pub struct Machine {
     /// instead of re-running the handler (exactly-once execution under
     /// retry). Keyed by callee so a crash-restart can erase exactly the
     /// restarted node's cache.
-    pub(crate) rpc_replies: HashMap<(NodeId, NodeId, u32), [u32; 4]>,
+    pub(crate) rpc_replies: HashMap<(NodeId, NodeId, u32), ReplyEntry>,
     /// Monotonic per-ordered-pair session epoch counters for reliable
     /// transfers. Epochs survive restarts (model them as
     /// incarnation-qualified counters) so a post-restart session can
@@ -371,6 +393,89 @@ impl Machine {
             cpu.reg(Fine::RegOp, recovery::STRAY_DISCARD_REG);
         });
         n.ni.drop_latched();
+    }
+
+    /// Epoch-TTL garbage sweep over the receiver-side protocol tables:
+    /// reclaim reliable-transfer sessions and cached RPC replies whose
+    /// age (against [`CmamConfig::gc_ttl_cycles`]) says no live peer can
+    /// still be driving them, skipping entries a live operation owns.
+    ///
+    /// Each reclaimed entry bills the table-maintenance shape to
+    /// `Feature::FaultTol` at the node holding it (the receiver for
+    /// sessions, the callee for replies). Segment *memory* is a bump
+    /// allocator with no free — what GC bounds is the shadow state the
+    /// protocol consults (session table, reply cache), which is the
+    /// state that grows per crash. Returns `(sessions, replies)`
+    /// reclaimed.
+    pub(crate) fn gc_expired(
+        &mut self,
+        live_sessions: &HashSet<(NodeId, NodeId)>,
+        live_replies: &HashSet<(NodeId, NodeId, u32)>,
+    ) -> (usize, usize) {
+        self.gc_tables(self.cfg.gc_ttl_cycles, live_sessions, live_replies)
+    }
+
+    /// Force-run the garbage sweep with a zero TTL and no live-set
+    /// exemptions: every session and cached reply still in the tables is
+    /// reclaimed (and billed to `FaultTol` at its holder). For tests and
+    /// benches that assert the bounded-table property after a run
+    /// completes. Returns `(sessions, replies)` reclaimed.
+    pub fn gc_sweep(&mut self) -> (usize, usize) {
+        self.gc_tables(0, &HashSet::new(), &HashSet::new())
+    }
+
+    fn gc_tables(
+        &mut self,
+        ttl: u64,
+        live_sessions: &HashSet<(NodeId, NodeId)>,
+        live_replies: &HashSet<(NodeId, NodeId, u32)>,
+    ) -> (usize, usize) {
+        let now = self.net.borrow().now().cycles();
+        let dead_sessions: Vec<(NodeId, NodeId)> = self
+            .sessions
+            .iter()
+            .filter(|(k, s)| {
+                !live_sessions.contains(*k) && now.saturating_sub(s.opened_at) >= ttl
+            })
+            .map(|(&k, _)| k)
+            .collect();
+        for k in &dead_sessions {
+            self.sessions.remove(k);
+            self.cpu(k.0).with_feature(Feature::FaultTol, |c| {
+                c.reg(Fine::RegOp, recovery::SESSION_GC_REG);
+                c.mem_store(recovery::SESSION_GC_MEM);
+            });
+        }
+        let dead_replies: Vec<(NodeId, NodeId, u32)> = self
+            .rpc_replies
+            .iter()
+            .filter(|(k, r)| {
+                !live_replies.contains(*k) && now.saturating_sub(r.cached_at) >= ttl
+            })
+            .map(|(&k, _)| k)
+            .collect();
+        for k in &dead_replies {
+            self.rpc_replies.remove(k);
+            self.cpu(k.0).with_feature(Feature::FaultTol, |c| {
+                c.reg(Fine::RegOp, recovery::REPLY_GC_REG);
+                c.mem_store(recovery::REPLY_GC_MEM);
+            });
+        }
+        (dead_sessions.len(), dead_replies.len())
+    }
+
+    /// Number of reliable-transfer sessions currently open across all
+    /// receivers (the table the epoch-TTL sweep bounds).
+    #[must_use]
+    pub fn open_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Number of RPC replies currently cached across all callees (the
+    /// exactly-once dedup table the epoch-TTL sweep bounds).
+    #[must_use]
+    pub fn reply_cache_len(&self) -> usize {
+        self.rpc_replies.len()
     }
 
     // --- harness-side buffer helpers (cost-free by design) ------------

@@ -71,6 +71,56 @@ impl RetryPolicy {
     }
 }
 
+/// Engine-native recovery: how many times the scheduler itself may
+/// *re-execute* an operation that settles with a retryable error
+/// ([`ProtocolError::is_retryable`](crate::ProtocolError::is_retryable)),
+/// and how long to back off between executions.
+///
+/// Attach one at submission with the engine's `submit_*_recovering`
+/// variants: instead of surfacing a `SessionReset`, `Timeout` or
+/// `DeadlineExceeded` to the caller, the engine parks the operation for
+/// the backoff window and re-runs it under a fresh session epoch — the
+/// operation keeps its [`OpId`](crate::OpId), so run-after dependents
+/// stay held and release when the recovered execution finally succeeds.
+/// Every re-execution bills the session-restart constants to
+/// `Feature::FaultTol` at the operation's source node; a clean run
+/// executes (and costs) exactly what the non-recovering submission
+/// does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Total executions the engine may run, including the first
+    /// (`1` disables engine-native recovery).
+    pub max_executions: u32,
+    /// Backoff between executions (the wait before re-execution `k`
+    /// is `backoff.backoff(k - 1)`).
+    pub backoff: RetryPolicy,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_executions: 6,
+            backoff: RetryPolicy::default(),
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// No engine-native recovery: one execution, errors surface to the
+    /// caller exactly as without a policy.
+    #[must_use]
+    pub fn none() -> Self {
+        RecoveryPolicy { max_executions: 1, ..RecoveryPolicy::default() }
+    }
+
+    /// The park window (in cycles) before re-execution `re_execution`
+    /// (1-based: the first recovery waits `backoff.backoff(0)`).
+    #[must_use]
+    pub fn window(&self, re_execution: u32) -> u64 {
+        self.backoff.backoff(re_execution.saturating_sub(1))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

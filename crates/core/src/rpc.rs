@@ -19,7 +19,7 @@ use crate::costs::{am4_recv, am4_send, recovery};
 use crate::engine::{Engine, OpOutcome};
 use crate::error::ProtocolError;
 use crate::machine::{Machine, Tags};
-use crate::retry::RetryPolicy;
+use crate::retry::{RecoveryPolicy, RetryPolicy};
 
 /// The result of servicing one node once (see [`Machine::rpc_service`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -131,6 +131,53 @@ impl Machine {
         }
     }
 
+    /// [`Machine::rpc_call_retrying`] hardened against node
+    /// crash-restarts: when the call dies with a retryable error (the
+    /// callee or caller crashed mid-call, every retry window expired),
+    /// the engine parks the op for the recovery policy's backoff window
+    /// and re-executes it — the re-execution reuses the **same call id**,
+    /// so a callee that already served the call answers from its reply
+    /// cache and the handler still runs exactly once per logical call.
+    /// (A callee that crashed loses its cache with everything else; the
+    /// re-run handler executes on the fresh incarnation, which is the
+    /// correct at-most-once-per-incarnation semantics.) Every
+    /// re-execution bills the session-restart shape to
+    /// `Feature::FaultTol` at the caller; a clean run is
+    /// instruction-identical to [`Machine::rpc_call_retrying`].
+    ///
+    /// Returns the reply words plus the number of re-executions (zero
+    /// when the first execution succeeded).
+    ///
+    /// # Errors
+    ///
+    /// The last execution's error once the recovery budget is exhausted
+    /// (non-retryable errors surface immediately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range, `src == dst`, the retry
+    /// policy allows zero attempts, or `recovery.max_executions` is
+    /// zero.
+    pub fn rpc_call_recovering(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        tag: u8,
+        args: [u32; 4],
+        policy: &RetryPolicy,
+        recovery: &RecoveryPolicy,
+    ) -> Result<([u32; 4], u32), ProtocolError> {
+        let mut eng = Engine::new();
+        let op = eng.submit_rpc_recovering(self, src, dst, tag, args, Some(policy), recovery);
+        eng.run(self);
+        let re_executions = eng.recovery_executions(op);
+        match eng.take_outcome(op).expect("op completed") {
+            Ok(OpOutcome::Rpc(words)) => Ok((words, re_executions)),
+            Err(e) => Err(e),
+            Ok(_) => unreachable!("rpc op yields reply words"),
+        }
+    }
+
     /// Poll `node` once in RPC terms: serve one pending request (run
     /// its handler, inject the reply) or surface one reply. Useful for
     /// building servers that interleave RPC service with other work.
@@ -166,7 +213,7 @@ impl Machine {
         // charged on a hit — on the fault-free path the lookup folds
         // into the existing dispatch and the service costs exactly what
         // it did without retry support.
-        if let Some(cached) = self.rpc_replies.get(&(node, msg_src, header)).copied() {
+        if let Some(cached) = self.rpc_replies.get(&(node, msg_src, header)).map(|r| r.words) {
             self.nodes[node.index()].rpc_handlers.insert(tag, h);
             let cpu = self.nodes[node.index()].cpu.clone();
             cpu.with_feature(Feature::FaultTol, |c| {
@@ -183,8 +230,11 @@ impl Machine {
         let reply = h(&mut n.mem, msg);
         self.nodes[node.index()].rpc_handlers.insert(tag, h);
         // Remember the reply for duplicate suppression (harness state,
-        // cost-free; the probe above is what a hit costs).
-        self.rpc_replies.insert((node, msg_src, header), reply);
+        // cost-free; the probe above is what a hit costs). The clock
+        // stamp is what the epoch-TTL sweep ages against.
+        let cached_at = self.net.borrow().now().cycles();
+        self.rpc_replies
+            .insert((node, msg_src, header), crate::machine::ReplyEntry { words: reply, cached_at });
         // Inject the reply (a Table 1 single-packet send, carrying
         // the correlation id in the header word).
         self.rpc_send(node, msg_src, Tags::RPC_REPLY, u64::from(header), reply)

@@ -27,6 +27,7 @@ use timego_netsim::NodeId;
 
 use crate::costs::{ctl_send, stream_dst, stream_src};
 use crate::engine::{Engine, OpOutcome};
+use crate::retry::RecoveryPolicy;
 use crate::error::ProtocolError;
 use crate::machine::{Machine, Tags};
 
@@ -181,6 +182,46 @@ impl Machine {
         }
     }
 
+    /// [`Machine::stream_send`] hardened against node crash-restarts:
+    /// when the send dies with a retryable error (an endpoint crashed
+    /// mid-burst, the watchdog fired), the engine parks the op for the
+    /// policy's backoff window and *resumes* it — the re-execution keeps
+    /// the original sequence range and consults the receiver's
+    /// next-expected cursor, so packets the first execution already
+    /// delivered are skipped, convergence is exactly-once and the
+    /// delivered byte stream is exact. Every re-execution bills the
+    /// session-restart shape to `Feature::FaultTol` at the source; a
+    /// clean run is instruction-identical to [`Machine::stream_send`].
+    ///
+    /// Returns the outcome plus the number of re-executions (zero when
+    /// the first execution succeeded).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadTransfer`] for empty data; otherwise the last
+    /// execution's error once the recovery budget is exhausted
+    /// (non-retryable errors surface immediately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale or `recovery.max_executions` is zero.
+    pub fn stream_send_recovering(
+        &mut self,
+        id: StreamId,
+        data: &[u32],
+        recovery: &RecoveryPolicy,
+    ) -> Result<(StreamOutcome, u32), ProtocolError> {
+        let mut eng = Engine::new();
+        let op = eng.submit_stream_send_recovering(self, id, data, recovery)?;
+        eng.run(self);
+        let re_executions = eng.recovery_executions(op);
+        match eng.take_outcome(op).expect("op completed") {
+            Ok(OpOutcome::Stream(out)) => Ok((out, re_executions)),
+            Err(e) => Err(e),
+            Ok(_) => unreachable!("stream op yields a stream outcome"),
+        }
+    }
+
     /// Immutable view of a stream's protocol state.
     ///
     /// # Panics
@@ -188,6 +229,17 @@ impl Machine {
     /// Panics if `id` is stale.
     pub(crate) fn stream_state(&self, id: StreamId) -> &StreamState {
         &self.streams[id.0]
+    }
+
+    /// The receiver's next-expected (contiguous) sequence number for
+    /// `id` — what a resumed send consults to skip packets the first
+    /// execution already delivered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale.
+    pub(crate) fn stream_expected(&self, id: StreamId) -> u64 {
+        self.streams[id.0].expected
     }
 
     /// Per-burst receiver entry: one receive poll + handler prologue

@@ -46,7 +46,7 @@ use crate::costs::{recovery, xfer_order, xfer_recv};
 use crate::engine::{Engine, OpOutcome};
 use crate::error::ProtocolError;
 use crate::machine::{Machine, Tags};
-use crate::retry::RetryPolicy;
+use crate::retry::{RecoveryPolicy, RetryPolicy};
 use crate::xfer::{XferOutcome, XferRx};
 
 /// Offset bits in a reliable data-packet header; the bits above hold the
@@ -113,9 +113,13 @@ impl Machine {
     /// mid-session, a deadline or watchdog fired, a phase timed out),
     /// the transfer is re-executed from scratch under a fresh session
     /// epoch after the policy's backoff window, up to
-    /// `policy.max_attempts` total executions. Packets of the dead
-    /// session are recognizably stale under the new epoch and get
-    /// discarded, so convergence is exactly-once and byte-exact.
+    /// `policy.max_attempts` total executions. The re-execution happens
+    /// *inside* the protocol engine (an engine-native
+    /// [`RecoveryPolicy`], no caller-side loop): the op parks for the
+    /// backoff window and re-runs under the same [`crate::OpId`].
+    /// Packets of the dead session are recognizably stale under the new
+    /// epoch and get discarded, so convergence is exactly-once and
+    /// byte-exact.
     ///
     /// Each re-execution charges the session re-establishment costs
     /// (`SESSION_RESTART_REG`/`SESSION_RESTART_MEM`) to
@@ -142,26 +146,18 @@ impl Machine {
         data: &[u32],
         policy: &RetryPolicy,
     ) -> Result<(ReliableOutcome, u32), ProtocolError> {
-        let mut attempt: u32 = 0;
-        loop {
-            match self.xfer_reliable(src, dst, data, policy) {
-                Ok(out) => return Ok((out, attempt)),
-                Err(e) if e.is_retryable() && attempt + 1 < policy.max_attempts => {
-                    attempt += 1;
-                    // Session re-establishment: drop the dead session's
-                    // bookkeeping and re-arm — recovery work, so it
-                    // bills to fault tolerance.
-                    let cpu = self.cpu(src);
-                    cpu.with_feature(Feature::FaultTol, |c| {
-                        c.reg(Fine::RegOp, recovery::SESSION_RESTART_REG);
-                        c.mem_store(recovery::SESSION_RESTART_MEM);
-                    });
-                    // Ride out whatever felled the session (e.g. the
-                    // remainder of a crash window) before re-executing.
-                    self.advance(policy.backoff(attempt - 1));
-                }
-                Err(e) => return Err(e),
-            }
+        let recovery = RecoveryPolicy {
+            max_executions: policy.max_attempts,
+            backoff: policy.clone(),
+        };
+        let mut eng = Engine::new();
+        let op = eng.submit_xfer_reliable_recovering(self, src, dst, data, policy, &recovery)?;
+        eng.run(self);
+        let re_executions = eng.recovery_executions(op);
+        match eng.take_outcome(op).expect("op completed") {
+            Ok(OpOutcome::Reliable(out)) => Ok((out, re_executions)),
+            Err(e) => Err(e),
+            Ok(_) => unreachable!("reliable op yields a reliable outcome"),
         }
     }
 

@@ -24,7 +24,7 @@
 //!   compares these against the DAGs to measure what run-after overlap
 //!   buys.
 
-use timego_am::{Engine, Machine, OpId, OpOutcome, ProtocolError, Tags};
+use timego_am::{Engine, Machine, OpId, OpOutcome, ProtocolError, RecoveryPolicy, Tags};
 use timego_netsim::NodeId;
 
 /// Tag used by collective packets (user range).
@@ -168,6 +168,87 @@ pub fn broadcast(
     let dag = submit_broadcast(&mut eng, m, root, value)?;
     eng.run(m);
     broadcast_results(&mut eng, &dag, m.num_nodes())
+}
+
+/// [`submit_broadcast`] with an engine-native [`RecoveryPolicy`] on
+/// every tree edge: an edge felled by a node crash-restart (or a
+/// watchdog) is parked and re-executed by the engine itself, and — the
+/// DAG-aware part — its dependent subtree stays held and releases when
+/// the recovered edge finally delivers, instead of cascading
+/// `DependencyFailed`. Each edge carries a unique delivery token, so a
+/// duplicate from a superseded execution can never satisfy (or corrupt)
+/// another edge's delivery.
+///
+/// # Errors
+///
+/// [`ProtocolError::BadTransfer`] if a dependency id is rejected
+/// (cannot happen for ids minted by `eng` itself).
+///
+/// # Panics
+///
+/// Panics if `root` is out of range or `recovery.max_executions` is
+/// zero.
+pub fn submit_broadcast_recovering(
+    eng: &mut Engine,
+    m: &mut Machine,
+    root: NodeId,
+    value: [u32; 4],
+    recovery: &RecoveryPolicy,
+) -> Result<BroadcastDag, ProtocolError> {
+    let n = m.num_nodes();
+    assert!(root.index() < n);
+    let node_of = |rank: usize| (rank + root.index()) % n;
+
+    let mut deliverer: Vec<Option<OpId>> = vec![None; n];
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    let mut stride = 1;
+    while stride < n {
+        for rank in 0..stride.min(n) {
+            let peer = rank + stride;
+            if peer < n {
+                let after: Vec<OpId> = deliverer[rank].into_iter().collect();
+                let id = eng.submit_am4_recovering_after(
+                    m,
+                    NodeId::new(node_of(rank)),
+                    NodeId::new(node_of(peer)),
+                    COLLECTIVE_TAG,
+                    value,
+                    recovery,
+                    &after,
+                )?;
+                deliverer[peer] = Some(id);
+                edges.push((node_of(peer), id));
+            }
+        }
+        stride *= 2;
+    }
+    Ok(BroadcastDag { value, root: root.index(), edges })
+}
+
+/// Blocking self-healing broadcast: [`submit_broadcast_recovering`] on
+/// a fresh engine, run to completion. Returns the per-node values plus
+/// the total number of edge re-executions the engine performed (zero on
+/// a clean run, whose cost is identical to [`broadcast`]).
+///
+/// # Errors
+///
+/// The root-cause error once some edge's recovery budget is exhausted.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range or `recovery.max_executions` is
+/// zero.
+pub fn broadcast_recovering(
+    m: &mut Machine,
+    root: NodeId,
+    value: [u32; 4],
+    recovery: &RecoveryPolicy,
+) -> Result<(Vec<[u32; 4]>, u32), ProtocolError> {
+    let mut eng = Engine::new();
+    let dag = submit_broadcast_recovering(&mut eng, m, root, value, recovery)?;
+    eng.run(m);
+    let re_executions = dag.edges.iter().map(|&(_, id)| eng.recovery_executions(id)).sum();
+    broadcast_results(&mut eng, &dag, m.num_nodes()).map(|seen| (seen, re_executions))
 }
 
 /// The pre-dependency baseline: the same binomial tree, but one engine
@@ -338,6 +419,93 @@ pub fn allreduce_sum(m: &mut Machine, inputs: &[u32]) -> Result<Vec<u32>, Protoc
     let dag = submit_allreduce(&mut eng, m, inputs)?;
     eng.run(m);
     allreduce_results(&mut eng, &dag)
+}
+
+/// [`submit_allreduce`] with an engine-native [`RecoveryPolicy`] on
+/// every exchange edge: an exchange felled by a node crash-restart is
+/// parked and re-executed inside the engine, its later-round dependents
+/// stay held until the recovered exchange delivers, and per-edge
+/// delivery tokens keep superseded duplicates from satisfying any other
+/// edge.
+///
+/// # Errors
+///
+/// [`ProtocolError::BadTransfer`] if a dependency id is rejected
+/// (cannot happen for ids minted by `eng` itself).
+///
+/// # Panics
+///
+/// Panics if the node count is not a power of two, inputs are fewer
+/// than the node count, or `recovery.max_executions` is zero.
+pub fn submit_allreduce_recovering(
+    eng: &mut Engine,
+    m: &mut Machine,
+    inputs: &[u32],
+    recovery: &RecoveryPolicy,
+) -> Result<AllreduceDag, ProtocolError> {
+    let n = m.num_nodes();
+    assert!(n.is_power_of_two(), "recursive doubling needs a power-of-two node count");
+    assert!(inputs.len() >= n, "one input per node");
+    let mut acc: Vec<u32> = inputs[..n].to_vec();
+    let mut recv: Vec<Vec<OpId>> = Vec::new();
+    let mut prev: Vec<Option<OpId>> = vec![None; n];
+    let mut stride = 1;
+    while stride < n {
+        let mut this: Vec<Option<OpId>> = vec![None; n];
+        for node in 0..n {
+            let peer = node ^ stride;
+            let after: Vec<OpId> = prev[node].into_iter().collect();
+            let id = eng.submit_am4_recovering_after(
+                m,
+                NodeId::new(node),
+                NodeId::new(peer),
+                COLLECTIVE_TAG,
+                [acc[node], 0, 0, 0],
+                recovery,
+                &after,
+            )?;
+            this[peer] = Some(id);
+        }
+        let snapshot = acc.clone();
+        for node in 0..n {
+            acc[node] = acc[node].wrapping_add(snapshot[node ^ stride]);
+        }
+        recv.push(this.into_iter().map(|id| id.expect("every node is someone's peer")).collect());
+        prev = recv.last().expect("just pushed").iter().copied().map(Some).collect();
+        stride *= 2;
+    }
+    Ok(AllreduceDag { inputs: inputs[..n].to_vec(), recv })
+}
+
+/// Blocking self-healing all-reduce: [`submit_allreduce_recovering`] on
+/// a fresh engine, run to completion. Returns every node's sum plus the
+/// total number of exchange re-executions the engine performed (zero on
+/// a clean run, whose cost is identical to [`allreduce_sum`]).
+///
+/// # Errors
+///
+/// The root-cause error once some exchange's recovery budget is
+/// exhausted.
+///
+/// # Panics
+///
+/// Panics if the node count is not a power of two, inputs are fewer
+/// than the node count, or `recovery.max_executions` is zero.
+pub fn allreduce_sum_recovering(
+    m: &mut Machine,
+    inputs: &[u32],
+    recovery: &RecoveryPolicy,
+) -> Result<(Vec<u32>, u32), ProtocolError> {
+    let mut eng = Engine::new();
+    let dag = submit_allreduce_recovering(&mut eng, m, inputs, recovery)?;
+    eng.run(m);
+    let re_executions = dag
+        .recv
+        .iter()
+        .flat_map(|round| round.iter())
+        .map(|&id| eng.recovery_executions(id))
+        .sum();
+    allreduce_results(&mut eng, &dag).map(|acc| (acc, re_executions))
 }
 
 /// The pre-dependency baseline: the same recursive doubling, but one

@@ -1,0 +1,617 @@
+//! Self-healing engine: engine-native recovery across every protocol
+//! family, sender-crash garbage collection, and the composed-fault
+//! chaos matrix.
+//!
+//! * **Engine-native recovery**: an operation submitted with a
+//!   `RecoveryPolicy` that settles with a retryable error
+//!   (`SessionReset`, `Timeout`, `DeadlineExceeded`) is parked by the
+//!   scheduler for the backoff window and re-executed under a fresh
+//!   session epoch — same `OpId`, no caller-side loop. Run-after
+//!   dependents stay held across re-executions and release when the
+//!   recovered predecessor finally completes, instead of cascading
+//!   `DependencyFailed`.
+//! * **Zero-cost-when-clean**: every recovering submission is
+//!   instruction-identical, feature by feature, to its non-recovering
+//!   counterpart on a fault-free run.
+//! * **Receiver-side GC**: repeated sender crashes mid-transfer leave
+//!   no half-filled segments and no unbounded session/reply-cache
+//!   growth — dead sessions are replaced on the next epoch's handshake
+//!   or reclaimed by the epoch-TTL sweep, and both reclaims bill
+//!   `Feature::FaultTol` at the node holding the state.
+//! * **Composed faults**: `CrashWindow` × {dup+jitter, drop-heavy,
+//!   outage} × {switched, wormhole, dual} stays exactly-once,
+//!   byte-exact, and bounded-memory.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use timego_am::{
+    CmamConfig, Engine, EngineEvent, Machine, OpOutcome, ProtocolError, RecoveryPolicy,
+    RetryPolicy, StreamConfig, Tags,
+};
+use timego_cost::Feature;
+use timego_netsim::{
+    CrashWindow, DualNetwork, FaultConfig, NodeId, OutageWindow, Torus2D, VcDiscipline,
+    WormholeConfig, WormholeNetwork,
+};
+use timego_ni::share;
+use timego_workloads::apps::collectives;
+use timego_workloads::{payloads, scenarios};
+
+const NODES: usize = 16;
+
+fn n(i: usize) -> NodeId {
+    NodeId::new(i)
+}
+
+fn machine_cfg(sub: &str, fault: &FaultConfig, seed: u64, cfg: CmamConfig) -> Machine {
+    match sub {
+        "switched" => {
+            Machine::new(share(scenarios::cm5_chaos(NODES, fault.clone(), seed)), NODES, cfg)
+        }
+        "wormhole" => Machine::new(
+            share(WormholeNetwork::new(
+                Torus2D::new(4, 4),
+                WormholeConfig {
+                    virtual_channels: 2,
+                    discipline: VcDiscipline::Dateline,
+                    fault: fault.clone(),
+                    seed,
+                    ..WormholeConfig::default()
+                },
+            )),
+            NODES,
+            cfg,
+        ),
+        "dual" => Machine::new(
+            share(DualNetwork::new(
+                scenarios::cm5_chaos(NODES, fault.clone(), seed),
+                scenarios::cm5_chaos(NODES, fault.clone(), seed ^ 0x9e37),
+                Tags::RPC_REPLY,
+            )),
+            NODES,
+            cfg,
+        ),
+        other => panic!("unknown substrate {other}"),
+    }
+}
+
+fn machine(sub: &str, fault: &FaultConfig, seed: u64) -> Machine {
+    machine_cfg(sub, fault, seed, CmamConfig::default())
+}
+
+fn crash(node: NodeId, start: u64, end: u64) -> FaultConfig {
+    FaultConfig {
+        crashes: vec![CrashWindow { node, start, end }],
+        ..FaultConfig::default()
+    }
+}
+
+fn fault_tol(m: &Machine, node: NodeId) -> u64 {
+    m.cpu(node).snapshot().feature_total(Feature::FaultTol)
+}
+
+// ---------------------------------------------------------------------
+// Engine-level recovery: the ROADMAP remnant, closed.
+// ---------------------------------------------------------------------
+
+/// A `SessionReset` is recovered *inside* the engine: one submission,
+/// no caller-side loop. The trace shows the `Recovering` parking event,
+/// delivery is exactly-once and byte-exact, and the re-establishment
+/// instructions land in `Feature::FaultTol`.
+#[test]
+fn session_reset_recovers_inside_the_engine() {
+    let data = payloads::mixed(256, 42);
+    let mut recovered = 0;
+    for seed in 0..4u64 {
+        let mut m = machine("switched", &crash(n(9), 50, 3000), seed);
+        m.reset_costs();
+        let mut eng = Engine::new();
+        let op = eng
+            .submit_xfer_reliable_recovering(
+                &m,
+                n(2),
+                n(9),
+                &data,
+                &RetryPolicy::default(),
+                &RecoveryPolicy::default(),
+            )
+            .unwrap();
+        eng.run(&mut m);
+        let out = match eng.take_outcome(op).unwrap() {
+            Ok(OpOutcome::Reliable(out)) => out,
+            other => panic!("seed {seed}: recovery must converge, got {other:?}"),
+        };
+        assert_eq!(
+            m.read_buffer(n(9), out.xfer.dst_buffer, data.len()),
+            data,
+            "seed {seed}: exactly-once, byte-exact"
+        );
+        if eng.recovery_executions(op) > 0 {
+            recovered += 1;
+            assert!(
+                eng.trace().iter().any(|e| e.event == EngineEvent::Recovering(op)),
+                "seed {seed}: the park must be traced"
+            );
+            assert!(
+                fault_tol(&m, n(2)) > 0,
+                "seed {seed}: re-establishment must bill fault tolerance"
+            );
+        }
+    }
+    assert!(recovered > 0, "the crash window must force at least one in-engine recovery");
+}
+
+/// DAG-aware recovery: a mid-DAG predecessor felled by a crash-restart
+/// is re-executed by the engine while its dependent stays *held*; the
+/// dependent then releases and completes instead of failing with
+/// `DependencyFailed`.
+#[test]
+fn mid_dag_predecessor_recovers_and_releases_dependents() {
+    let policy = RetryPolicy::default();
+    let data_a = payloads::mixed(256, 7);
+    let data_b = payloads::mixed(64, 8);
+    let mut recovered = 0;
+    for seed in 0..4u64 {
+        let mut m = machine("switched", &crash(n(9), 50, 3000), seed);
+        let mut eng = Engine::new();
+        let a = eng
+            .submit_xfer_reliable_recovering(
+                &m,
+                n(2),
+                n(9),
+                &data_a,
+                &policy,
+                &RecoveryPolicy::default(),
+            )
+            .unwrap();
+        let b = eng
+            .submit_xfer_reliable_after(&m, n(9), n(12), &data_b, &policy, &[a])
+            .unwrap();
+        eng.run(&mut m);
+        match eng.take_outcome(a).unwrap() {
+            Ok(OpOutcome::Reliable(out)) => {
+                assert_eq!(m.read_buffer(n(9), out.xfer.dst_buffer, data_a.len()), data_a);
+            }
+            other => panic!("seed {seed}: predecessor must recover, got {other:?}"),
+        }
+        match eng.take_outcome(b).unwrap() {
+            Ok(OpOutcome::Reliable(out)) => {
+                assert_eq!(
+                    m.read_buffer(n(12), out.xfer.dst_buffer, data_b.len()),
+                    data_b,
+                    "seed {seed}: dependent must run after the recovered predecessor"
+                );
+            }
+            other => panic!(
+                "seed {seed}: dependent must complete, not cascade DependencyFailed: {other:?}"
+            ),
+        }
+        if eng.recovery_executions(a) > 0 {
+            recovered += 1;
+        }
+    }
+    assert!(recovered > 0, "the crash window must force at least one mid-DAG recovery");
+}
+
+/// Clean-run cost identity, per protocol family: with no faults, every
+/// recovering submission bills per-feature instruction counts identical
+/// to its non-recovering counterpart, at every node. Recovery support
+/// costs nothing until a fault actually happens.
+#[test]
+fn clean_recovering_runs_bill_identical_to_non_recovering() {
+    let clean = FaultConfig::default();
+    let assert_identical = |plain: &Machine, rec: &Machine, what: &str| {
+        for i in 0..NODES {
+            for f in Feature::ALL {
+                assert_eq!(
+                    plain.cpu(n(i)).snapshot().feature_total(f),
+                    rec.cpu(n(i)).snapshot().feature_total(f),
+                    "{what}: node {i}, {f:?}"
+                );
+            }
+        }
+    };
+    let policy = RetryPolicy::default();
+    let recovery = RecoveryPolicy::default();
+
+    // Reliable transfer.
+    let data = payloads::mixed(128, 3);
+    let mut plain = machine("switched", &clean, 11);
+    plain.reset_costs();
+    plain.xfer_reliable(n(2), n(9), &data, &policy).unwrap();
+    let mut rec = machine("switched", &clean, 11);
+    rec.reset_costs();
+    let (_, re) = rec.xfer_reliable_recovering(n(2), n(9), &data, &policy).unwrap();
+    assert_eq!(re, 0, "clean run must not re-execute");
+    assert_identical(&plain, &rec, "xfer_reliable");
+
+    // Stream.
+    let mut plain = machine("switched", &clean, 12);
+    let id = plain.open_stream(n(3), n(9), StreamConfig::default());
+    plain.reset_costs();
+    plain.stream_send(id, &data).unwrap();
+    let mut rec = machine("switched", &clean, 12);
+    let id = rec.open_stream(n(3), n(9), StreamConfig::default());
+    rec.reset_costs();
+    let (_, re) = rec.stream_send_recovering(id, &data, &recovery).unwrap();
+    assert_eq!(re, 0, "clean run must not re-execute");
+    assert_identical(&plain, &rec, "stream_send");
+
+    // RPC.
+    let mut plain = machine("switched", &clean, 13);
+    plain.register_rpc_handler(n(11), 40, |_, msg| [msg.words[0] + 1, 0, 0, 0]);
+    plain.reset_costs();
+    plain.rpc_call_retrying(n(4), n(11), 40, [7, 0, 0, 0], &policy).unwrap();
+    let mut rec = machine("switched", &clean, 13);
+    rec.register_rpc_handler(n(11), 40, |_, msg| [msg.words[0] + 1, 0, 0, 0]);
+    rec.reset_costs();
+    let (reply, re) = rec.rpc_call_recovering(n(4), n(11), 40, [7, 0, 0, 0], &policy, &recovery).unwrap();
+    assert_eq!(reply, [8, 0, 0, 0]);
+    assert_eq!(re, 0, "clean run must not re-execute");
+    assert_identical(&plain, &rec, "rpc_call");
+
+    // Collectives (broadcast + all-reduce), deterministic substrate.
+    let table = || {
+        Machine::new(share(scenarios::table_in_order(NODES)), NODES, CmamConfig::default())
+    };
+    let mut plain = table();
+    plain.reset_costs();
+    collectives::broadcast(&mut plain, n(0), [5; 4]).unwrap();
+    let mut rec = table();
+    rec.reset_costs();
+    let (seen, re) = collectives::broadcast_recovering(&mut rec, n(0), [5; 4], &recovery).unwrap();
+    assert!(seen.iter().all(|v| *v == [5; 4]));
+    assert_eq!(re, 0, "clean run must not re-execute");
+    assert_identical(&plain, &rec, "broadcast");
+    // The Table 1 pin carries over: 15 edges × (20 send + 27 receive).
+    let total: u64 = (0..NODES).map(|i| rec.cpu(n(i)).snapshot().total()).sum();
+    assert_eq!(total, 15 * 47, "recovering broadcast keeps the Table 1 edge bill");
+
+    let inputs: Vec<u32> = (0..NODES as u32).collect();
+    let mut plain = table();
+    plain.reset_costs();
+    collectives::allreduce_sum(&mut plain, &inputs).unwrap();
+    let mut rec = table();
+    rec.reset_costs();
+    let (sums, re) = collectives::allreduce_sum_recovering(&mut rec, &inputs, &recovery).unwrap();
+    assert_eq!(sums, vec![120; NODES]);
+    assert_eq!(re, 0, "clean run must not re-execute");
+    assert_identical(&plain, &rec, "allreduce");
+}
+
+// ---------------------------------------------------------------------
+// Per-family crash recovery.
+// ---------------------------------------------------------------------
+
+/// A stream send felled by a receiver crash-restart resumes inside the
+/// engine: the re-execution keeps the original sequence range, skips
+/// packets the first execution already delivered, and converges to an
+/// exactly-once, byte-exact delivered stream.
+#[test]
+fn stream_crash_recovery_is_exactly_once_and_byte_exact() {
+    let data = payloads::mixed(192, 21);
+    let mut recovered = 0;
+    for seed in 0..4u64 {
+        let mut m = machine("switched", &crash(n(9), 50, 3000), seed);
+        let id = m.open_stream(n(3), n(9), StreamConfig::default());
+        m.reset_costs();
+        let (_, re) = m
+            .stream_send_recovering(id, &data, &RecoveryPolicy::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: stream recovery must converge: {e}"));
+        assert_eq!(
+            m.stream_received(id),
+            &data[..],
+            "seed {seed}: delivered stream must be exactly the data, once"
+        );
+        if re > 0 {
+            recovered += 1;
+            assert!(
+                fault_tol(&m, n(3)) > 0,
+                "seed {seed}: stream re-execution must bill fault tolerance"
+            );
+        }
+    }
+    assert!(recovered > 0, "the crash window must force at least one stream recovery");
+}
+
+/// RPC recovery is exactly-once end to end: when drop-heavy faults
+/// exhaust the inner retry budget and the engine re-executes the call,
+/// the re-execution reuses the same call id, so the callee either
+/// answers from its reply cache or runs the handler for the first time
+/// — never twice. The handler-run counter equals the number of logical
+/// calls across every seed.
+#[test]
+fn rpc_recovery_is_exactly_once_via_reply_cache() {
+    const CALLS: u32 = 8;
+    // An inner budget small enough that drop-heavy faults exhaust it
+    // and force engine-level re-execution.
+    let inner = RetryPolicy { max_attempts: 2, base_wait: 256, ..RetryPolicy::default() };
+    let recovery = RecoveryPolicy::default();
+    let fault = FaultConfig { drop_prob: 0.25, ..FaultConfig::default() };
+    let mut re_executed = 0;
+    for seed in 0..6u64 {
+        let mut m = machine("switched", &fault, seed);
+        let runs = Rc::new(RefCell::new(0u32));
+        let runs2 = Rc::clone(&runs);
+        m.register_rpc_handler(n(11), 40, move |_, msg| {
+            *runs2.borrow_mut() += 1;
+            [msg.words[0] * 3, 0, 0, 0]
+        });
+        for v in 0..CALLS {
+            let (reply, re) = m
+                .rpc_call_recovering(n(4), n(11), 40, [v, 0, 0, 0], &inner, &recovery)
+                .unwrap_or_else(|e| panic!("seed {seed} call {v}: {e}"));
+            assert_eq!(reply[0], v * 3, "seed {seed} call {v}");
+            re_executed += re;
+        }
+        assert_eq!(
+            *runs.borrow(),
+            CALLS,
+            "seed {seed}: the handler must run exactly once per logical call"
+        );
+    }
+    assert!(re_executed > 0, "drop-heavy faults must force at least one re-execution");
+}
+
+/// Collectives survive a node crash-restart mid-broadcast and
+/// mid-all-reduce: the felled edges are re-executed inside the engine,
+/// held subtrees release when their recovered predecessor delivers,
+/// and the results are correct at every node.
+#[test]
+fn collectives_survive_node_crash_restart() {
+    let recovery = RecoveryPolicy::default();
+    let mut recovered = 0;
+    for seed in 0..3u64 {
+        let mut m = machine("switched", &crash(n(5), 10, 2500), seed);
+        let (seen, re) = collectives::broadcast_recovering(&mut m, n(0), [9, 9, 9, 9], &recovery)
+            .unwrap_or_else(|e| panic!("seed {seed}: broadcast must survive the crash: {e}"));
+        assert!(
+            seen.iter().all(|v| *v == [9, 9, 9, 9]),
+            "seed {seed}: every node must see the broadcast value: {seen:?}"
+        );
+        recovered += re;
+
+        let mut m = machine("switched", &crash(n(5), 10, 2500), seed);
+        let inputs: Vec<u32> = (1..=NODES as u32).collect();
+        let (sums, re) = collectives::allreduce_sum_recovering(&mut m, &inputs, &recovery)
+            .unwrap_or_else(|e| panic!("seed {seed}: all-reduce must survive the crash: {e}"));
+        assert_eq!(sums, vec![136; NODES], "seed {seed}: every node must hold the global sum");
+        recovered += re;
+    }
+    assert!(recovered > 0, "the crash window must force at least one edge re-execution");
+}
+
+// ---------------------------------------------------------------------
+// Receiver-side garbage collection.
+// ---------------------------------------------------------------------
+
+/// The bounded-memory pin: ≥ 20 sender crash cycles mid-transfer leave
+/// no half-filled segments (no open sessions once transfers complete)
+/// and no unbounded session/reply-cache growth. Dead sessions are
+/// replaced on the recovered execution's fresh-epoch handshake; expired
+/// reply-cache entries are reclaimed by the epoch-TTL sweep riding the
+/// engine pump; a final forced sweep returns both tables to empty.
+#[test]
+fn sender_crash_cycles_leave_no_residual_receiver_state() {
+    const CYCLES: u64 = 22;
+    const PERIOD: u64 = 20_000;
+    let crashes: Vec<CrashWindow> = (0..CYCLES)
+        .map(|k| CrashWindow { node: n(2), start: k * PERIOD + 50, end: k * PERIOD + 2500 })
+        .collect();
+    let fault = FaultConfig { crashes, ..FaultConfig::default() };
+    // A TTL shorter than the crash period, so the sweep reclaims one
+    // cycle's leavings during the next cycle's engine run.
+    let cfg = CmamConfig { gc_ttl_cycles: 8_192, ..CmamConfig::default() };
+    let mut m = machine_cfg("switched", &fault, 5, cfg);
+    let runs = Rc::new(RefCell::new(0u32));
+    let runs2 = Rc::clone(&runs);
+    m.register_rpc_handler(n(11), 40, move |_, msg| {
+        *runs2.borrow_mut() += 1;
+        [msg.words[0], 0, 0, 0]
+    });
+    let policy = RetryPolicy::default();
+    let recovery = RecoveryPolicy::default();
+    let data = payloads::mixed(256, 9);
+    let mut max_sessions = 0usize;
+    let mut max_replies = 0usize;
+    let mut recovered = 0u32;
+    for k in 0..CYCLES {
+        // Align to this cycle's crash window.
+        let now = m.network().borrow().now().cycles();
+        let base = k * PERIOD;
+        if base > now {
+            m.advance(base - now);
+        }
+        // Sender n(2) crashes mid-transfer; the engine recovers.
+        let (out, re) = m
+            .xfer_reliable_recovering(n(2), n(9), &data, &policy)
+            .unwrap_or_else(|e| panic!("cycle {k}: recovery must converge: {e}"));
+        assert_eq!(
+            m.read_buffer(n(9), out.xfer.dst_buffer, data.len()),
+            data,
+            "cycle {k}: byte-exact after the sender crash"
+        );
+        recovered += re;
+        // An RPC each cycle keeps the reply cache in play.
+        let (reply, _) = m
+            .rpc_call_recovering(n(4), n(11), 40, [k as u32, 0, 0, 0], &policy, &recovery)
+            .unwrap_or_else(|e| panic!("cycle {k}: rpc must complete: {e}"));
+        assert_eq!(reply[0], k as u32);
+
+        max_sessions = max_sessions.max(m.open_sessions());
+        max_replies = max_replies.max(m.reply_cache_len());
+        assert_eq!(
+            m.open_sessions(),
+            0,
+            "cycle {k}: a completed transfer must leave no open session (no half-filled segments)"
+        );
+    }
+    assert!(recovered > 0, "the crash windows must force re-executions");
+    assert_eq!(*runs.borrow(), CYCLES as u32, "rpc handler exactly once per call");
+    // Bounded across the whole soak: the TTL sweep and replace-on-epoch
+    // reclaim keep both tables at a few entries, never O(cycles).
+    assert!(max_sessions <= 2, "session table must stay bounded, saw {max_sessions}");
+    assert!(
+        max_replies <= 3,
+        "reply cache must stay bounded by the TTL sweep, saw {max_replies}"
+    );
+    // A forced sweep returns both tables to the empty baseline and
+    // reports exactly what it reclaimed.
+    let before = (m.open_sessions(), m.reply_cache_len());
+    let (s, r) = m.gc_sweep();
+    assert_eq!((s, r), before, "the sweep must reclaim exactly what was left");
+    assert_eq!(m.open_sessions(), 0);
+    assert_eq!(m.reply_cache_len(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Quiesce: uniform cancellation wherever an op sits.
+// ---------------------------------------------------------------------
+
+/// `quiesce` settles dependency-held and recovery-parked operations
+/// with `Cancelled` — not stranded, not `DependencyFailed` — and
+/// records the uniform `Cancelled` trace event for each.
+#[test]
+fn quiesce_settles_parked_and_held_ops_with_uniform_events() {
+    let policy = RetryPolicy::default();
+    let data = payloads::mixed(256, 4);
+    // A short crash window fells the recovering op early; a long outage
+    // on an unrelated node keeps a third op running so the scheduler
+    // returns control while the recovering op sits parked (with nothing
+    // else running, `pump` would jump the clock through the backoff
+    // window in one quantum and the park would never be observable).
+    let fault = FaultConfig {
+        crashes: vec![CrashWindow { node: n(9), start: 50, end: 600 }],
+        outages: vec![OutageWindow { node: n(14), start: 0, end: 50_000 }],
+        ..FaultConfig::default()
+    };
+    let mut m = machine("switched", &fault, 3);
+    let mut eng = Engine::new();
+    let parked = eng
+        .submit_xfer_reliable_recovering(
+            &m,
+            n(2),
+            n(9),
+            &data,
+            &policy,
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+    let held = eng
+        .submit_xfer_reliable_after(&m, n(9), n(12), &data, &policy, &[parked])
+        .unwrap();
+    let patient = RetryPolicy { max_attempts: 4, base_wait: 512, ..RetryPolicy::default() };
+    let busy = eng.submit_xfer_reliable(&m, n(3), n(14), &data, &patient).unwrap();
+    // Pump until the crash fells the first execution and the engine
+    // parks the op for its backoff window.
+    let mut guard = 0;
+    while eng.parked_count() == 0 {
+        eng.pump(&mut m);
+        guard += 1;
+        assert!(guard < 200_000, "the crash must park the recovering op");
+    }
+    eng.quiesce(&mut m);
+    assert_eq!(eng.unfinished(), 0);
+    assert_eq!(eng.take_outcome(parked).unwrap(), Err(ProtocolError::Cancelled));
+    assert_eq!(eng.take_outcome(held).unwrap(), Err(ProtocolError::Cancelled));
+    assert!(eng.take_outcome(busy).is_some(), "the running op is driven to a settled outcome");
+    for id in [parked, held] {
+        assert!(
+            eng.trace().iter().any(|e| e.event == EngineEvent::Cancelled(id)),
+            "uniform Cancelled event for {id:?}"
+        );
+    }
+    assert_eq!(m.network().borrow().in_flight(), 0, "quiesce leaves the fabric empty");
+}
+
+// ---------------------------------------------------------------------
+// Composed-fault chaos matrix.
+// ---------------------------------------------------------------------
+
+/// `CrashWindow` × {dup+jitter, drop-heavy, outage} × {switched,
+/// wormhole, dual}: recovering transfers, streams, and RPCs all stay
+/// exactly-once and byte-exact, and the receiver tables return to
+/// baseline after GC (no half-filled segments, no unbounded
+/// session/reply-cache growth).
+#[test]
+fn composed_fault_matrix_stays_exact_and_bounded() {
+    let mixes: Vec<(&str, FaultConfig)> = vec![
+        (
+            "dup+jitter",
+            FaultConfig { duplicate_prob: 0.10, delay_jitter: 8, ..FaultConfig::default() },
+        ),
+        ("drop-heavy", FaultConfig { drop_prob: 0.20, ..FaultConfig::default() }),
+        (
+            "outage",
+            FaultConfig {
+                drop_prob: 0.02,
+                outages: vec![OutageWindow { node: n(12), start: 200, end: 1500 }],
+                ..FaultConfig::default()
+            },
+        ),
+    ];
+    let inner = RetryPolicy { max_attempts: 3, base_wait: 512, ..RetryPolicy::default() };
+    let recovery = RecoveryPolicy::default();
+    let data = payloads::mixed(128, 17);
+    let mut recovered = 0u32;
+    for sub in ["switched", "wormhole", "dual"] {
+        for (mix, fault) in &mixes {
+            for seed in 0..2u64 {
+                let fault = FaultConfig {
+                    crashes: vec![CrashWindow { node: n(9), start: 50, end: 2500 }],
+                    ..fault.clone()
+                };
+                let mut m = machine(sub, &fault, seed);
+                let ctx = format!("{sub}/{mix}/seed {seed}");
+                let runs = Rc::new(RefCell::new(0u32));
+                let runs2 = Rc::clone(&runs);
+                m.register_rpc_handler(n(12), 40, move |_, msg| {
+                    *runs2.borrow_mut() += 1;
+                    [msg.words[0] ^ 0xbeef, 0, 0, 0]
+                });
+
+                // Reliable transfer into the crashing node.
+                let (out, re) = m
+                    .xfer_reliable_recovering(n(2), n(9), &data, &inner)
+                    .unwrap_or_else(|e| panic!("{ctx}: xfer: {e}"));
+                assert_eq!(
+                    m.read_buffer(n(9), out.xfer.dst_buffer, data.len()),
+                    data,
+                    "{ctx}: xfer byte-exact"
+                );
+                recovered += re;
+
+                // Stream into the crashing node.
+                let id = m.open_stream(n(3), n(9), StreamConfig::default());
+                let (_, re) = m
+                    .stream_send_recovering(id, &data, &recovery)
+                    .unwrap_or_else(|e| panic!("{ctx}: stream: {e}"));
+                assert_eq!(m.stream_received(id), &data[..], "{ctx}: stream exactly-once");
+                recovered += re;
+
+                // RPCs to the outage-affected node: exactly-once via the
+                // reply cache.
+                for v in 0..3u32 {
+                    let (reply, re) = m
+                        .rpc_call_recovering(n(4), n(12), 40, [v, 0, 0, 0], &inner, &recovery)
+                        .unwrap_or_else(|e| panic!("{ctx}: rpc {v}: {e}"));
+                    assert_eq!(reply[0], v ^ 0xbeef, "{ctx}: rpc {v}");
+                    recovered += re;
+                }
+                assert_eq!(*runs.borrow(), 3, "{ctx}: handler exactly once per call");
+
+                // Bounded receiver tables: completed transfers leave no
+                // sessions (no half-filled segments); the reply cache
+                // holds at most one entry per logical call, and a forced
+                // sweep returns everything to the empty baseline.
+                assert_eq!(m.open_sessions(), 0, "{ctx}: no residual sessions");
+                assert!(m.reply_cache_len() <= 3, "{ctx}: reply cache bounded");
+                m.gc_sweep();
+                assert_eq!(m.open_sessions(), 0, "{ctx}: baseline after GC");
+                assert_eq!(m.reply_cache_len(), 0, "{ctx}: baseline after GC");
+            }
+        }
+    }
+    assert!(recovered > 0, "the matrix must exercise engine-native recovery");
+}
