@@ -85,7 +85,8 @@
 //! paid to send, so a clean run bills exactly what the unstamped
 //! protocol billed.
 
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::time::Instant;
 
 use timego_cost::{Feature, Fine};
 use timego_netsim::{LatencyStats, NodeId, RxMeta};
@@ -97,6 +98,7 @@ use crate::error::ProtocolError;
 use crate::machine::{Machine, Tags};
 use crate::retry::{RecoveryPolicy, RetryPolicy};
 use crate::rpc::RpcEvent;
+use crate::sched::{SchedCounters, SchedMode, SchedPhase, SchedProfiler, Slab, TimingWheel};
 use crate::stream::{StreamId, StreamOutcome};
 use crate::machine::SessionEntry;
 use crate::xfer::{PayloadEngine, XferOutcome, XferRx};
@@ -219,6 +221,63 @@ struct ActiveOp {
 struct HeldOp {
     op: ActiveOp,
     waiting_on: HashSet<OpId>,
+}
+
+/// One admitted operation's scheduler slot in the run arena. Both
+/// scheduler modes share this storage; the readiness fields (`ready`,
+/// `slept_epoch`, `sleep_gen`, `wd_due`) are only consulted by the
+/// event-driven mode — the reference round-robin sweeps every slot in
+/// `run_order` regardless.
+struct RunSlot {
+    a: ActiveOp,
+    /// Incarnation number, unique across the engine's lifetime. Slab
+    /// slots are reused, so timing-wheel entries validate `(slot, inc)`
+    /// before acting.
+    inc: u64,
+    /// Eligible to be stepped this sweep. Cleared when a step returns
+    /// `Idle` (the op goes to sleep on its wake conditions), set again
+    /// by a packet touch or wheel timer.
+    ready: bool,
+    /// The engine's tick epoch when the op last went to sleep — the
+    /// lazy-tick anchor: on wake it receives `tick_epoch - slept_epoch`
+    /// timer ticks at once. Ticks are counted in the *engine-advance*
+    /// domain, not raw substrate cycles: the reference scheduler ticks
+    /// ops once per engine-driven idle `advance`, while cycles burned
+    /// *inside* an op's step (blocking NI waits) tick nobody.
+    slept_epoch: u64,
+    /// Bumped on every wake so a stale wheel wake for an earlier sleep
+    /// of the same slot is recognized and ignored.
+    sleep_gen: u64,
+    /// Whether this op currently holds a live entry in the subscriber
+    /// list of `endpoints().0` / `endpoints().1` respectively. Lists
+    /// hold only *sleeping* ops and are drained wholesale on touch, so
+    /// a touch at a hot node costs its sleeper count, not its lifetime
+    /// subscriber count; these flags keep re-sleeps from pushing
+    /// duplicate entries while an undrained one is still queued.
+    subbed: [bool; 2],
+    /// Absolute clock at which the no-progress watchdog would expire
+    /// this op (`last_progress_at + bound + 1`). Wheel watchdog entries
+    /// re-validate against this and lazily re-arm when the op progressed
+    /// since they were scheduled.
+    wd_due: u64,
+}
+
+/// What one timing-wheel expiry means to the event-driven scheduler.
+/// Every variant is validated against current engine state when it
+/// fires — entries are never eagerly cancelled, they just go stale.
+enum WheelItem {
+    /// Wake a sleeping op: the earliest future cycle at which its next
+    /// step could be anything but a cost-free `Idle` (retry window,
+    /// timeout threshold, RTO, or plain backpressure re-poll).
+    Wake { slot: u32, inc: u64, gen: u64 },
+    /// A deadline armed via [`Engine::set_deadline`] may be due.
+    Deadline { id: OpId },
+    /// A running op's no-progress watchdog may have expired.
+    Watchdog { slot: u32, inc: u64 },
+    /// A parked op's recovery backoff window closes here. Carries no
+    /// payload — it exists so `next_due` bounds idle clock-jumps and the
+    /// loop re-runs `release_recovered` at exactly the right cycle.
+    ParkResume,
 }
 
 /// Re-execution recipe and budget for one recovery-armed operation
@@ -376,6 +435,56 @@ impl OpKind {
         }
     }
 
+    /// Deliver `k` timer ticks at once — exactly what `k` consecutive
+    /// [`OpKind::tick`] calls with no intervening steps would do. The
+    /// event scheduler ticks sleeping ops lazily on wake, and a
+    /// sleeping op by construction takes no steps in between, so the
+    /// per-op closed forms are exact. `k == 0` is a no-op: a same-cycle
+    /// wake must preserve `stalled` (the reference only clears it when
+    /// a cycle actually passes).
+    fn tick_n(&mut self, k: u64) {
+        if k == 0 {
+            return;
+        }
+        match self {
+            OpKind::Xfer(op) => op.tick_n(k),
+            OpKind::Reliable(op) => op.tick_n(k),
+            OpKind::Stream(op) => op.tick_n(k),
+            OpKind::Rpc(op) => op.tick_n(k),
+            OpKind::Am4(op) => op.tick_n(k),
+        }
+    }
+
+    /// The two endpoint nodes whose packet activity can change this
+    /// op's behavior — what the event scheduler subscribes it to.
+    fn endpoints(&self) -> (NodeId, NodeId) {
+        match self {
+            OpKind::Xfer(op) => (op.src, op.dst),
+            OpKind::Reliable(op) => (op.src, op.dst),
+            OpKind::Stream(op) => (op.src, op.dst),
+            OpKind::Rpc(op) => (op.src, op.dst),
+            OpKind::Am4(op) => (op.src, op.dst),
+        }
+    }
+
+    /// Cycles until this op's next step could be anything but a
+    /// cost-free `Idle`, absent packet activity at its endpoints (which
+    /// wakes it earlier). `u64::MAX` means purely packet-driven — no
+    /// timer tick alone can change its behavior (the no-progress
+    /// watchdog still bounds how long it can sleep). Conservative by
+    /// design: waking early costs one traceless idle step; waking late
+    /// would diverge from the reference scheduler.
+    fn wake_in(&self, m: &Machine) -> u64 {
+        let max_wait = m.config().max_wait_cycles;
+        match self {
+            OpKind::Xfer(op) => op.wake_in(max_wait),
+            OpKind::Reliable(op) => op.wake_in(max_wait),
+            OpKind::Stream(op) => op.wake_in(max_wait),
+            OpKind::Rpc(op) => op.wake_in(max_wait),
+            OpKind::Am4(op) => op.wake_in(max_wait),
+        }
+    }
+
     /// Does a reserved-tag packet at `node`'s queue head belong to this
     /// operation? Claims are pair-wide and conservative: anything an
     /// operation might still consume must be claimed, or the engine's
@@ -426,6 +535,13 @@ fn clock(m: &Machine) -> u64 {
     m.network().borrow().now().cycles()
 }
 
+/// Ticks until a `waited`-style counter first *exceeds* `bound` (the
+/// protocols' window checks are all `waited > bound`), clamped to at
+/// least one cycle out.
+fn win(bound: u64, waited: u64) -> u64 {
+    bound.saturating_add(1).saturating_sub(waited).max(1)
+}
+
 /// The protocol engine: a scheduler interleaving NI polls, timer
 /// expiries, and injections across every submitted operation.
 ///
@@ -435,7 +551,40 @@ fn clock(m: &Machine) -> u64 {
 pub struct Engine {
     next_id: u64,
     pending: VecDeque<ActiveOp>,
-    running: Vec<ActiveOp>,
+    // Running ops live in a slot-stable arena; `run_order` preserves
+    // admission order (what the sweep and the watchdog scan follow).
+    slots: Slab<RunSlot>,
+    run_order: Vec<u32>,
+    next_inc: u64,
+    mode: SchedMode,
+    // Timing wheel carrying op wakes, deadlines, watchdogs, and
+    // park-resume markers (event mode only; empty under the reference
+    // round-robin).
+    wheel: TimingWheel<WheelItem>,
+    // Wheel expiries harvested by `absorb_wakes`, pending validation in
+    // `supervise_event`. Watchdog tuples are `(slot, inc, due)`.
+    fired_deadlines: Vec<OpId>,
+    fired_watchdogs: Vec<(u32, u64, u64)>,
+    // node index -> `(slot, inc, endpoint idx)` entries for ops
+    // currently *sleeping* on packet activity at that node. Pushed by
+    // `sleep_slot`, drained wholesale by `touch_node` (waking each
+    // still-valid sleeper), so the total list work is bounded by the
+    // number of sleeps rather than touches x lifetime subscribers —
+    // the difference between O(n) and O(n^2) under hotspot traffic.
+    node_subs: Vec<Vec<(u32, u64, u8)>>,
+    // Nodes whose rx queue saw activity since the orphan sweep last
+    // proved their head clean. Invariant: any node whose queue head is
+    // a discardable unclaimed packet is in this set, so scanning it
+    // ascending finds the same node a full 0..N scan would.
+    orphan_dirty: BTreeSet<usize>,
+    // Engine-advance time: total cycles advanced by the *scheduler's
+    // own* idle advances (each of which ticks every op once per cycle in
+    // the reference). Cycles burned inside an op's step — blocking NI
+    // waits advance the substrate clock mid-pass — tick nobody, so the
+    // lazy-tick accounting anchors here rather than on the raw clock.
+    tick_epoch: u64,
+    counters: SchedCounters,
+    profiler: Option<SchedProfiler>,
     busy: HashSet<ConflictKey>,
     // Held operations (run-after dependencies outstanding), keyed by id
     // so releases happen in submission order when one completion frees
@@ -480,13 +629,33 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// An empty engine.
+    /// An empty engine running the default readiness-driven scheduler.
     #[must_use]
     pub fn new() -> Self {
+        Engine::with_mode(SchedMode::EventDriven)
+    }
+
+    /// An empty engine with an explicit scheduler mode (see
+    /// [`SchedMode`]). Both modes produce the identical trace and
+    /// per-feature bills; [`SchedMode::ReferenceRoundRobin`] is kept as
+    /// the equivalence baseline and for benchmarking.
+    #[must_use]
+    pub fn with_mode(mode: SchedMode) -> Self {
         Engine {
             next_id: 0,
             pending: VecDeque::new(),
-            running: Vec::new(),
+            slots: Slab::new(),
+            run_order: Vec::new(),
+            next_inc: 0,
+            mode,
+            wheel: TimingWheel::new(),
+            fired_deadlines: Vec::new(),
+            fired_watchdogs: Vec::new(),
+            node_subs: Vec::new(),
+            orphan_dirty: BTreeSet::new(),
+            tick_epoch: 0,
+            counters: SchedCounters::default(),
+            profiler: None,
             busy: HashSet::new(),
             held: BTreeMap::new(),
             dependents: BTreeMap::new(),
@@ -501,6 +670,33 @@ impl Engine {
             trace: Vec::new(),
             idle_streak: 0,
         }
+    }
+
+    /// The scheduler mode this engine runs.
+    #[must_use]
+    pub fn mode(&self) -> SchedMode {
+        self.mode
+    }
+
+    /// Always-on scheduler counters (step invocations, quanta, wakes,
+    /// idle jumps). The bench harness' acceptance metric.
+    #[must_use]
+    pub fn counters(&self) -> &SchedCounters {
+        &self.counters
+    }
+
+    /// Attach a self-profiling ring buffer of `capacity` samples; each
+    /// pump quantum then records per-phase wall times (see
+    /// [`SchedPhase`]). Off by default — profiling costs two `Instant`
+    /// reads per phase per quantum.
+    pub fn enable_profiling(&mut self, capacity: usize) {
+        self.profiler = Some(SchedProfiler::new(capacity));
+    }
+
+    /// The attached profiler, if [`Engine::enable_profiling`] was
+    /// called. Flush and read totals between runs, outside the hot path.
+    pub fn profiler_mut(&mut self) -> Option<&mut SchedProfiler> {
+        self.profiler.as_mut()
     }
 
     fn record(&mut self, m: &Machine, event: EngineEvent) {
@@ -1167,7 +1363,7 @@ impl Engine {
     /// parked between recovery executions included).
     #[must_use]
     pub fn unfinished(&self) -> usize {
-        self.pending.len() + self.running.len() + self.held.len() + self.parked.len()
+        self.pending.len() + self.run_order.len() + self.held.len() + self.parked.len()
     }
 
     /// Number of operations currently held behind unfinished run-after
@@ -1285,8 +1481,21 @@ impl Engine {
     /// engine is empty, `pump` advances the clock one cycle so a driver
     /// waiting for its next injection slot still makes time pass.
     pub fn pump(&mut self, m: &mut Machine) -> usize {
+        match self.mode {
+            SchedMode::EventDriven => self.pump_event(m),
+            SchedMode::ReferenceRoundRobin => self.pump_reference(m),
+        }
+    }
+
+    /// The retained reference scheduler: round-robin every running op
+    /// each pass, scan every deadline and watchdog, `advance(1)` when
+    /// nothing progresses. The `sched_equivalence` soak pins the
+    /// event-driven scheduler's trace and bills against this.
+    fn pump_reference(&mut self, m: &mut Machine) -> usize {
+        self.counters.quanta += 1;
         if self.unfinished() == 0 {
             m.advance(1);
+            self.counters.advances += 1;
             return 0;
         }
         // Fold any node crash-restarts into protocol state before
@@ -1298,12 +1507,12 @@ impl Engine {
         // are exempt; a clean run sweeps (and bills) nothing.
         self.collect_garbage(m);
         loop {
-            if self.supervise(m) {
+            if self.supervise_reference(m) {
                 continue;
             }
             self.release_recovered(m);
             self.admit(m);
-            if self.running.is_empty() {
+            if self.run_order.is_empty() {
                 if let Some(&resume_at) = self.parked.values().min() {
                     // Nothing is runnable until a parked op's backoff
                     // window closes: jump the clock there and let the
@@ -1311,6 +1520,7 @@ impl Engine {
                     let now = clock(m);
                     if resume_at > now {
                         m.advance(resume_at - now);
+                        self.counters.advances += 1;
                     }
                     continue;
                 }
@@ -1339,11 +1549,14 @@ impl Engine {
             let mut progressed = false;
             let mut i = 0;
             let now = clock(m);
-            while i < self.running.len() {
-                match self.running[i].op.step(m) {
+            self.counters.passes += 1;
+            while i < self.run_order.len() {
+                let slot = self.run_order[i];
+                self.counters.steps += 1;
+                match self.slots[slot].a.op.step(m) {
                     Ok(Stepped::Progress) => {
-                        let id = self.running[i].id;
-                        self.running[i].last_progress_at = now;
+                        let id = self.slots[slot].a.id;
+                        self.slots[slot].a.last_progress_at = now;
                         self.record(m, EngineEvent::Progressed(id));
                         progressed = true;
                         i += 1;
@@ -1367,15 +1580,355 @@ impl Engine {
                 continue;
             }
             m.advance(1);
-            for op in &mut self.running {
-                op.op.tick();
+            self.counters.advances += 1;
+            for i in 0..self.run_order.len() {
+                let slot = self.run_order[i];
+                self.slots[slot].a.op.tick();
             }
             self.idle_streak += 1;
             // No global wedge backstop here: the per-op watchdog in
-            // `supervise` settles individual no-progress operations with
-            // a retryable `DeadlineExceeded` instead of failing the
-            // whole engine at once.
+            // `supervise_reference` settles individual no-progress
+            // operations with a retryable `DeadlineExceeded` instead of
+            // failing the whole engine at once.
             return self.unfinished();
+        }
+    }
+
+    /// The readiness-driven scheduler. Same observable semantics as
+    /// [`Engine::pump_reference`] — identical trace, identical
+    /// per-feature bills — reached with far fewer op steps:
+    ///
+    /// * an op whose step returns `Idle` goes to *sleep* on its wake
+    ///   conditions (packet activity at its endpoints, or the earliest
+    ///   cycle a timer tick could change its behavior) and is skipped by
+    ///   the sweep until one fires;
+    /// * deadlines, watchdogs, and park-resume markers ride the timing
+    ///   wheel instead of being scanned every quantum;
+    /// * when nothing is runnable and the fabric is empty, the clock
+    ///   jumps straight to the next wheel event (never overshooting a
+    ///   scripted crash-restart), and sleepers are lazily ticked the
+    ///   whole distance on wake.
+    ///
+    /// Sleeping is *conservative*: a spurious wake costs one cost-free
+    /// `Idle` step, while the wake conditions are chosen so an op can
+    /// never sleep through a step the reference would have made
+    /// non-idle. That is what makes the two schedulers
+    /// trace-equivalent.
+    fn pump_event(&mut self, m: &mut Machine) -> usize {
+        self.counters.quanta += 1;
+        if self.unfinished() == 0 {
+            m.advance(1);
+            self.counters.advances += 1;
+            return 0;
+        }
+        // Restart folding first, same slot the reference gives it; ops
+        // subscribed at a restarted endpoint wake so their next step
+        // observes the `SessionReset`.
+        for node in m.observe_restarts() {
+            self.touch_node(node);
+        }
+        let t = self.profiler.as_ref().map(|_| Instant::now());
+        self.absorb_wakes(m);
+        self.profile(SchedPhase::WheelAdvance, t);
+        self.collect_garbage(m);
+        loop {
+            if self.supervise_event(m) {
+                continue;
+            }
+            self.release_recovered(m);
+            self.admit(m);
+            // Collect clock-free delivery marks (self-sends during
+            // `start`, same-cycle fast paths) so sleepers subscribed at
+            // those nodes join the coming pass.
+            self.absorb_wakes(m);
+            if self.run_order.is_empty() {
+                if let Some(&resume_at) = self.parked.values().min() {
+                    // Identical to the reference (which also defers
+                    // restart folding to the next pump top); the wheel
+                    // catches up so deadlines due inside the jumped
+                    // window fire on this iteration.
+                    let now = clock(m);
+                    if resume_at > now {
+                        m.advance(resume_at - now);
+                        self.counters.advances += 1;
+                    }
+                    self.absorb_wakes(m);
+                    continue;
+                }
+                if self.pending.is_empty() {
+                    while let Some(&id) = self.held.keys().next() {
+                        self.held.remove(&id);
+                        let streak = self.idle_streak;
+                        self.settle(
+                            m,
+                            id,
+                            Err(ProtocolError::timeout("engine progress", streak)),
+                        );
+                    }
+                    return 0;
+                }
+                unreachable!("pending operations with no running key holder");
+            }
+            let mut progressed = false;
+            let mut i = 0;
+            let now = clock(m);
+            let bound = self.watchdog.unwrap_or(4 * m.config().max_wait_cycles);
+            self.counters.passes += 1;
+            let pass_t = self.profiler.as_ref().map(|_| Instant::now());
+            let mut step_ns: u64 = 0;
+            while i < self.run_order.len() {
+                let slot = self.run_order[i];
+                // Visit-time readiness: an op woken by an earlier op's
+                // progress in this pass is stepped *in this pass* —
+                // exactly when the reference sweep would reach it.
+                if !self.slots[slot].ready {
+                    i += 1;
+                    continue;
+                }
+                self.counters.steps += 1;
+                let st = self.profiler.as_ref().map(|_| Instant::now());
+                let clock_before = clock(m);
+                let stepped = self.slots[slot].a.op.step(m);
+                // Blocking NI waits inside a step advance the substrate
+                // clock mid-pass, delivering packets along the way.
+                // Absorb those wakes immediately so sleepers at the
+                // affected nodes are ready exactly when the reference
+                // sweep (which re-steps everyone) would next reach them.
+                // Note this burns *clock*, not tick epochs: the
+                // reference never ticks ops for in-step cycles.
+                if clock(m) != clock_before {
+                    self.absorb_wakes(m);
+                }
+                if let Some(st) = st {
+                    step_ns += st.elapsed().as_nanos() as u64;
+                }
+                match stepped {
+                    Ok(Stepped::Progress) => {
+                        let id = self.slots[slot].a.id;
+                        self.slots[slot].a.last_progress_at = now;
+                        self.slots[slot].wd_due =
+                            now.saturating_add(bound).saturating_add(1);
+                        self.record(m, EngineEvent::Progressed(id));
+                        // Progress may have consumed or injected at the
+                        // endpoints, revealing queued packets there:
+                        // wake the subscribers and mark the orphan
+                        // sweep.
+                        let (ea, eb) = self.slots[slot].a.op.endpoints();
+                        self.touch_node(ea);
+                        self.touch_node(eb);
+                        progressed = true;
+                        i += 1;
+                    }
+                    Ok(Stepped::Idle) => {
+                        self.sleep_slot(m, slot);
+                        i += 1;
+                    }
+                    Ok(Stepped::Done(out)) => {
+                        self.finish(m, i, Ok(out));
+                        progressed = true;
+                    }
+                    Err(e) => {
+                        self.finish(m, i, Err(e));
+                        progressed = true;
+                    }
+                }
+            }
+            if let Some(pt) = pass_t {
+                let total = pt.elapsed().as_nanos() as u64;
+                if let Some(p) = self.profiler.as_mut() {
+                    p.record(SchedPhase::OpStep, step_ns);
+                    p.record(SchedPhase::ReadyPop, total.saturating_sub(step_ns));
+                }
+            }
+            if progressed {
+                self.idle_streak = 0;
+                continue;
+            }
+            if self.discard_orphan_event(m) {
+                continue;
+            }
+            // Every running op is now asleep (a ready op either
+            // progressed — and we looped — or idled and slept). With
+            // traffic in flight a delivery can wake someone next cycle;
+            // with the fabric empty nothing observable happens before
+            // the next wheel event, so jump the clock straight there.
+            let jump = self.idle_jump(m);
+            let t = self.profiler.as_ref().map(|_| Instant::now());
+            m.advance(jump);
+            self.profile(SchedPhase::SubstrateStep, t);
+            self.counters.advances += 1;
+            // Engine-advance time: these are the cycles the reference
+            // scheduler would have spent ticking every op once each.
+            self.tick_epoch += jump;
+            if jump > 1 {
+                self.counters.idle_jumps += 1;
+                self.counters.jumped_cycles += jump - 1;
+            }
+            self.idle_streak += 1;
+            let t = self.profiler.as_ref().map(|_| Instant::now());
+            self.absorb_wakes(m);
+            self.profile(SchedPhase::WheelAdvance, t);
+            return self.unfinished();
+        }
+    }
+
+    fn profile(&mut self, phase: SchedPhase, started: Option<Instant>) {
+        if let (Some(t), Some(p)) = (started, self.profiler.as_mut()) {
+            p.record(phase, t.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// How far the clock may advance in one quantum with every running
+    /// op asleep. One cycle while packets are in flight (a delivery can
+    /// wake someone); otherwise straight to the next wheel event,
+    /// clamped so a scripted crash-restart is observed on the cycle its
+    /// window closes — exactly when the reference would observe it.
+    fn idle_jump(&self, m: &Machine) -> u64 {
+        let net = m.network().borrow();
+        if net.in_flight() > 0 {
+            return 1;
+        }
+        let Some(mut due) = self.wheel.next_due() else { return 1 };
+        if let Some(r) = net.next_restart_at() {
+            due = due.min(r.cycles());
+        }
+        due.saturating_sub(net.now().cycles()).max(1)
+    }
+
+    /// Advance the timing wheel to the substrate clock, harvest every
+    /// ripe entry, and absorb the substrate's delivery wake set. Wheel
+    /// wakes are validated against the slot's incarnation and sleep
+    /// generation (slots are reused; sleeps are re-entered); deadline
+    /// and watchdog expiries are queued for [`Engine::supervise_event`].
+    fn absorb_wakes(&mut self, m: &mut Machine) {
+        let now = clock(m);
+        self.wheel.advance_to(now);
+        for (due, _seq, item) in self.wheel.take_ripe() {
+            match item {
+                WheelItem::Wake { slot, inc, gen } => {
+                    let live = self
+                        .slots
+                        .get(slot)
+                        .is_some_and(|s| s.inc == inc && !s.ready && s.sleep_gen == gen);
+                    if live {
+                        self.counters.timer_wakes += 1;
+                        self.wake_slot(slot);
+                    }
+                }
+                WheelItem::Deadline { id } => self.fired_deadlines.push(id),
+                WheelItem::Watchdog { slot, inc } => {
+                    self.fired_watchdogs.push((slot, inc, due));
+                }
+                WheelItem::ParkResume => {}
+            }
+        }
+        for node in m.take_delivered() {
+            self.counters.packet_wakes += 1;
+            self.touch_node(node);
+        }
+    }
+
+    /// Note packet activity at `node`: mark it for the orphan sweep and
+    /// wake every op sleeping there. Called on substrate deliveries,
+    /// crash-restarts, engine stray discards, and whenever an op
+    /// progresses or finishes at its endpoints (consumption can reveal
+    /// the next queued packet). Consumes the node's subscriber entries
+    /// — woken ops re-subscribe when they next sleep — and skips stale
+    /// entries whose slot was reused (incarnation mismatch).
+    fn touch_node(&mut self, node: NodeId) {
+        self.orphan_dirty.insert(node.index());
+        if node.index() >= self.node_subs.len() {
+            return;
+        }
+        let mut subs = std::mem::take(&mut self.node_subs[node.index()]);
+        for &(slot, inc, ep) in &subs {
+            let Some(s) = self.slots.get_mut(slot) else { continue };
+            if s.inc != inc {
+                continue;
+            }
+            s.subbed[ep as usize] = false;
+            self.wake_slot(slot);
+        }
+        // Hand the emptied allocation back for the next sleepers.
+        subs.clear();
+        self.node_subs[node.index()] = subs;
+    }
+
+    /// Wake a sleeping slot, delivering the timer ticks it slept
+    /// through in one lazy batch. Ticks are engine-advance epochs, not
+    /// raw clock cycles: a same-epoch wake delivers zero ticks —
+    /// preserving `stalled` until an idle advance actually passes,
+    /// exactly like the reference (which only clears it in `tick`).
+    fn wake_slot(&mut self, slot: u32) {
+        let epoch = self.tick_epoch;
+        let Some(s) = self.slots.get_mut(slot) else { return };
+        if s.ready {
+            return;
+        }
+        s.ready = true;
+        // Invalidate the outstanding wheel wake for this sleep.
+        s.sleep_gen += 1;
+        let elapsed = epoch.saturating_sub(s.slept_epoch);
+        s.a.op.tick_n(elapsed);
+    }
+
+    /// Put a slot to sleep after an `Idle` step: record the sleep
+    /// anchor, subscribe its endpoints for packet wakes, and schedule
+    /// the op's own timer wake — the earliest future cycle at which a
+    /// timer tick could make its next step non-idle. Packet activity at
+    /// its endpoints wakes it earlier.
+    fn sleep_slot(&mut self, m: &Machine, slot: u32) {
+        let now = clock(m);
+        let wake_in = self.slots[slot].a.op.wake_in(m);
+        let endpoints = self.slots[slot].a.op.endpoints();
+        let epoch = self.tick_epoch;
+        let s = &mut self.slots[slot];
+        s.ready = false;
+        s.slept_epoch = epoch;
+        let inc = s.inc;
+        if wake_in != u64::MAX {
+            let item = WheelItem::Wake { slot, inc, gen: s.sleep_gen };
+            self.wheel.insert(now.saturating_add(wake_in), item);
+        }
+        // Re-subscribe endpoints whose entry was consumed by a touch
+        // since the last sleep; a wake that didn't come through
+        // `touch_node` (timer, spurious) leaves the entries queued, so
+        // the flags keep this duplicate-free.
+        for (ep, node) in [endpoints.0, endpoints.1].into_iter().enumerate() {
+            if self.slots[slot].subbed[ep] {
+                continue;
+            }
+            self.slots[slot].subbed[ep] = true;
+            let ni = node.index();
+            if ni >= self.node_subs.len() {
+                self.node_subs.resize_with(ni + 1, Vec::new);
+            }
+            self.node_subs[ni].push((slot, inc, ep as u8));
+        }
+    }
+
+    /// Move an admitted op into the run arena: allocate its slot and
+    /// arm its no-progress watchdog on the wheel. Endpoint
+    /// subscriptions happen lazily on first sleep — the op spawns
+    /// ready.
+    fn spawn(&mut self, m: &Machine, a: ActiveOp) {
+        let now = clock(m);
+        let bound = self.watchdog.unwrap_or(4 * m.config().max_wait_cycles);
+        let inc = self.next_inc;
+        self.next_inc += 1;
+        let wd_due = now.saturating_add(bound).saturating_add(1);
+        let slot = self.slots.insert(RunSlot {
+            a,
+            inc,
+            ready: true,
+            slept_epoch: self.tick_epoch,
+            sleep_gen: 0,
+            subbed: [false; 2],
+            wd_due,
+        });
+        self.run_order.push(slot);
+        if self.mode == SchedMode::EventDriven {
+            self.wheel.insert(wd_due, WheelItem::Watchdog { slot, inc });
         }
     }
 
@@ -1403,22 +1956,31 @@ impl Engine {
             self.record(m, EngineEvent::Started(op.id));
             op.op.start(m);
             op.last_progress_at = clock(m);
-            self.running.push(op);
+            self.spawn(m, op);
         }
         self.pending = still_pending;
     }
 
     fn finish(&mut self, m: &Machine, idx: usize, result: Result<OpOutcome, ProtocolError>) {
-        let op = self.running.remove(idx);
-        if self.try_recover(m, op.id, Some(&op.op), &result) {
+        let slot = self.run_order.remove(idx);
+        let s = self.slots.remove(slot);
+        let endpoints = s.a.op.endpoints();
+        // Any subscriber entries the op still holds go stale with its
+        // slot: touches validate the incarnation and drop them lazily.
+        // The op's remaining packets just became unclaimed, and a queue
+        // head it was about to consume may now be someone else's to
+        // reveal: mark both endpoints and wake their subscribers.
+        self.touch_node(endpoints.0);
+        self.touch_node(endpoints.1);
+        if self.try_recover(m, s.a.id, Some(&s.a.op), &result) {
             // The parked op keeps its conflict key: queued same-key
             // work must not overtake the re-execution.
             return;
         }
-        if let Some(k) = op.op.conflict_key() {
+        if let Some(k) = s.a.op.conflict_key() {
             self.busy.remove(&k);
         }
-        self.settle(m, op.id, result);
+        self.settle(m, s.a.id, result);
     }
 
     /// Engine-native recovery decision: a retryable failure of a
@@ -1458,7 +2020,13 @@ impl Engine {
             c.mem_store(recovery::SESSION_RESTART_MEM);
         });
         self.record(m, EngineEvent::Recovering(id));
-        self.parked.insert(id, clock(m).saturating_add(wait));
+        let resume_at = clock(m).saturating_add(wait);
+        self.parked.insert(id, resume_at);
+        if self.mode == SchedMode::EventDriven {
+            // Jump-bound marker only: release is decided from `parked`
+            // itself, but the idle jump must not overshoot the resume.
+            self.wheel.insert(resume_at, WheelItem::ParkResume);
+        }
         true
     }
 
@@ -1481,7 +2049,7 @@ impl Engine {
             self.record(m, EngineEvent::Started(id));
             op.start(m);
             let last_progress_at = clock(m);
-            self.running.push(ActiveOp { id, op, last_progress_at });
+            self.spawn(m, ActiveOp { id, op, last_progress_at });
         }
     }
 
@@ -1493,11 +2061,18 @@ impl Engine {
     /// sweep itself happens in [`Machine::gc_expired`], billed to
     /// `Feature::FaultTol` at each reclaiming receiver.
     fn collect_garbage(&mut self, m: &mut Machine) {
+        // Fast path: nothing is past its TTL, so the sweep would
+        // reclaim (and bill) nothing. The check is conservative —
+        // ignoring live-set exemptions — so a `false` is always exact.
+        if !m.gc_has_expired() {
+            return;
+        }
         let mut live_sessions: HashSet<(NodeId, NodeId)> = HashSet::new();
         let mut live_replies: HashSet<(NodeId, NodeId, u32)> = HashSet::new();
         let live_ops = self
-            .running
+            .run_order
             .iter()
+            .map(|&s| &self.slots[s].a)
             .chain(self.pending.iter())
             .chain(self.held.values().map(|h| &h.op));
         for op in live_ops {
@@ -1596,13 +2171,62 @@ impl Engine {
             if !reserved && !stamped {
                 continue;
             }
-            if self.running.iter().any(|op| op.op.claims(node, &meta)) {
+            if self.claimed(node, &meta) {
                 continue;
             }
             m.discard_stray(node);
             return true;
         }
         false
+    }
+
+    fn claimed(&self, node: NodeId, meta: &RxMeta) -> bool {
+        self.run_order.iter().any(|&s| self.slots[s].a.op.claims(node, meta))
+    }
+
+    /// Event-mode orphan discard: same decision as
+    /// [`Engine::discard_orphan`], but only nodes with packet activity
+    /// since their last clean verdict are examined. Every path that can
+    /// surface a discardable head marks the node dirty (deliveries,
+    /// restarts, claimant progress/finish, prior discards), so the
+    /// dirty set is a superset of the nodes the full scan could act on.
+    fn discard_orphan_event(&mut self, m: &mut Machine) -> bool {
+        while let Some(&ni) = self.orphan_dirty.iter().next() {
+            let node = NodeId::new(ni);
+            let Some(meta) = m.rx_peek_at(node) else {
+                self.orphan_dirty.remove(&ni);
+                continue;
+            };
+            let reserved = meta.tag < Tags::USER_BASE || meta.tag == Tags::RPC_REPLY;
+            let stamped = !reserved && meta.header != 0;
+            if (!reserved && !stamped) || self.claimed(node, &meta) {
+                self.orphan_dirty.remove(&ni);
+                continue;
+            }
+            m.discard_stray(node);
+            // The next queued packet (if any) surfaced: leave the node
+            // dirty and wake its subscribers.
+            self.touch_node(node);
+            return true;
+        }
+        debug_assert!(
+            !self.discard_scan_would_find(m),
+            "orphan-dirty set missed a discardable packet"
+        );
+        false
+    }
+
+    /// Debug cross-check for [`Engine::discard_orphan_event`]: would the
+    /// reference full scan have discarded something the dirty scan just
+    /// declared absent?
+    fn discard_scan_would_find(&self, m: &mut Machine) -> bool {
+        (0..m.num_nodes()).map(NodeId::new).any(|node| {
+            m.rx_peek_at(node).is_some_and(|meta| {
+                let reserved = meta.tag < Tags::USER_BASE || meta.tag == Tags::RPC_REPLY;
+                let stamped = !reserved && meta.header != 0;
+                (reserved || stamped) && !self.claimed(node, &meta)
+            })
+        })
     }
 
     // -----------------------------------------------------------------
@@ -1621,7 +2245,14 @@ impl Engine {
         if self.outcomes.contains_key(&id) || self.done_ok.contains(&id) || self.done_err.contains(&id) {
             return;
         }
-        self.deadlines.insert(id, (clock(m).saturating_add(cycles_from_now), cycles_from_now));
+        let at = clock(m).saturating_add(cycles_from_now);
+        self.deadlines.insert(id, (at, cycles_from_now));
+        if self.mode == SchedMode::EventDriven {
+            // Always arm a fresh wheel entry: re-arming to a *shorter*
+            // budget must not wait out the old entry. Stale entries
+            // validate against the map when they fire and are dropped.
+            self.wheel.insert(at, WheelItem::Deadline { id });
+        }
     }
 
     /// Override the per-operation no-progress watchdog bound (cycles an
@@ -1631,6 +2262,18 @@ impl Engine {
     /// protocol's own internal timeout so op-level errors fire first.
     pub fn set_watchdog(&mut self, cycles: u64) {
         self.watchdog = Some(cycles);
+        if self.mode == SchedMode::EventDriven {
+            // Re-derive every running op's expiry under the new bound
+            // and arm fresh wheel entries: a shrunken bound must not
+            // wait out entries armed under the old one.
+            for i in 0..self.run_order.len() {
+                let slot = self.run_order[i];
+                let s = &mut self.slots[slot];
+                s.wd_due = s.a.last_progress_at.saturating_add(cycles).saturating_add(1);
+                let (wd_due, inc) = (s.wd_due, s.inc);
+                self.wheel.insert(wd_due, WheelItem::Watchdog { slot, inc });
+            }
+        }
     }
 
     /// [`Engine::submit_xfer_reliable`] with a completion deadline in
@@ -1675,7 +2318,7 @@ impl Engine {
     fn expire(&mut self, m: &Machine, id: OpId, err: ProtocolError) -> bool {
         self.deadlines.remove(&id);
         let cancelled = matches!(err, ProtocolError::Cancelled);
-        if let Some(idx) = self.running.iter().position(|op| op.id == id) {
+        if let Some(idx) = self.run_order.iter().position(|&s| self.slots[s].a.id == id) {
             if cancelled {
                 self.record(m, EngineEvent::Cancelled(id));
             }
@@ -1717,10 +2360,11 @@ impl Engine {
         false
     }
 
-    /// Enforce deadlines and the no-progress watchdog. Returns `true`
-    /// if any operation was settled (the pump loop restarts its sweep so
+    /// Enforce deadlines and the no-progress watchdog by scanning every
+    /// armed deadline and every running op. Returns `true` if any
+    /// operation was settled (the pump loop restarts its sweep so
     /// released conflict keys are re-admitted in the same quantum).
-    fn supervise(&mut self, m: &Machine) -> bool {
+    fn supervise_reference(&mut self, m: &Machine) -> bool {
         let now = clock(m);
         let mut acted = false;
         let due: Vec<(OpId, u64)> = self
@@ -1738,8 +2382,9 @@ impl Engine {
         }
         let bound = self.watchdog.unwrap_or(4 * m.config().max_wait_cycles);
         let starved: Vec<(OpId, u64)> = self
-            .running
+            .run_order
             .iter()
+            .map(|&s| &self.slots[s].a)
             .filter(|op| now.saturating_sub(op.last_progress_at) > bound)
             .map(|op| (op.id, now - op.last_progress_at))
             .collect();
@@ -1749,6 +2394,68 @@ impl Engine {
                 id,
                 ProtocolError::DeadlineExceeded { what: "watchdog", cycles },
             );
+        }
+        acted
+    }
+
+    /// Event-mode supervision: act only on deadline and watchdog
+    /// entries the wheel has already fired, validating each against
+    /// current engine state (wheel entries are never cancelled, so a
+    /// re-armed deadline or a progressed op simply shows up stale here
+    /// and is dropped or re-scheduled). Expiry order matches the
+    /// reference scan: deadlines in `OpId` order first, then starved
+    /// ops in running order.
+    fn supervise_event(&mut self, m: &Machine) -> bool {
+        if self.fired_deadlines.is_empty() && self.fired_watchdogs.is_empty() {
+            return false;
+        }
+        let now = clock(m);
+        let mut acted = false;
+        let mut fired = std::mem::take(&mut self.fired_deadlines);
+        fired.sort_unstable();
+        fired.dedup();
+        for id in fired {
+            match self.deadlines.get(&id) {
+                Some(&(at, budget)) if now >= at => {
+                    acted |= self.expire(
+                        m,
+                        id,
+                        ProtocolError::DeadlineExceeded { what: "deadline", cycles: budget },
+                    );
+                }
+                Some(&(at, _)) => {
+                    // Re-armed to a later cycle since this entry was
+                    // scheduled: chase the live expiry.
+                    self.wheel.insert(at, WheelItem::Deadline { id });
+                }
+                None => {}
+            }
+        }
+        let mut fired = std::mem::take(&mut self.fired_watchdogs);
+        // The reference scans in running order; fired order is wheel
+        // (due, seq) order, so re-sort by current position.
+        fired.sort_by_key(|&(slot, _, _)| {
+            self.run_order.iter().position(|&s| s == slot).unwrap_or(usize::MAX)
+        });
+        for (slot, inc, _due) in fired {
+            let live = self
+                .slots
+                .get(slot)
+                .filter(|s| s.inc == inc)
+                .map(|s| (s.a.id, s.wd_due, s.a.last_progress_at));
+            let Some((id, wd_due, last_progress_at)) = live else { continue };
+            if now >= wd_due {
+                let cycles = now - last_progress_at;
+                acted |= self.expire(
+                    m,
+                    id,
+                    ProtocolError::DeadlineExceeded { what: "watchdog", cycles },
+                );
+            } else {
+                // Progressed since this entry was armed: chase the
+                // pushed-out expiry.
+                self.wheel.insert(wd_due, WheelItem::Watchdog { slot, inc });
+            }
         }
         acted
     }
@@ -1857,8 +2564,24 @@ impl XferOp {
     }
 
     fn tick(&mut self) {
-        self.waited += 1;
+        self.tick_n(1);
+    }
+
+    fn tick_n(&mut self, k: u64) {
+        self.waited += k;
         self.stalled = false;
+    }
+
+    /// Every injection attempt sets `stalled` on backpressure and every
+    /// receive path is head-gated on a packet being present, so an idle
+    /// step without `stalled` can only become non-idle when `waited`
+    /// crosses the protocol's wait window (or a packet arrives, which
+    /// wakes the op through its endpoint subscription).
+    fn wake_in(&self, max_wait: u64) -> u64 {
+        if self.stalled {
+            return 1;
+        }
+        win(max_wait, self.waited)
     }
 
     fn step(&mut self, m: &mut Machine) -> Result<Stepped, ProtocolError> {
@@ -2110,10 +2833,28 @@ impl RpcOp {
     }
 
     fn tick(&mut self) {
+        self.tick_n(1);
+    }
+
+    fn tick_n(&mut self, k: u64) {
         self.stalled = false;
-        self.waited += 1;
+        self.waited += k;
         if self.sent {
-            self.total_waited += 1;
+            self.total_waited += k;
+        }
+    }
+
+    /// Unsent requests retry injection every cycle once the stall
+    /// clears; a sent request is quiet until its retry window (or the
+    /// global wait bound) closes. Request service and reply pickup are
+    /// packet-driven and wake the op through its endpoints.
+    fn wake_in(&self, max_wait: u64) -> u64 {
+        if self.stalled || !self.sent {
+            return 1;
+        }
+        match &self.policy {
+            Some(p) => win(p.backoff(self.attempt), self.waited),
+            None => win(max_wait, self.waited),
         }
     }
 
@@ -2240,8 +2981,22 @@ impl Am4Op {
     }
 
     fn tick(&mut self) {
+        self.tick_n(1);
+    }
+
+    fn tick_n(&mut self, k: u64) {
         self.stalled = false;
-        self.waited += 1;
+        self.waited += k;
+    }
+
+    /// Unsent messages retry injection every cycle once the stall
+    /// clears; a sent message only acts again when the wait bound
+    /// closes (delivery wakes it through the destination endpoint).
+    fn wake_in(&self, max_wait: u64) -> u64 {
+        if self.stalled || !self.sent {
+            return 1;
+        }
+        win(max_wait, self.waited)
     }
 
     fn step(&mut self, m: &mut Machine) -> Result<Stepped, ProtocolError> {
@@ -2382,12 +3137,35 @@ impl StreamOp {
     }
 
     fn tick(&mut self) {
+        self.tick_n(1);
+    }
+
+    fn tick_n(&mut self, k: u64) {
         self.stalled = false;
-        self.idle_iterations += 1;
-        if self.idle_iterations >= self.rto_iterations {
+        // `total_iterations` counts engine cycles without progress
+        // anywhere (each reference quantum that advances the clock
+        // ticks every running op exactly once), so a batched tick is a
+        // plain sum and the RTO counter wraps modulo its period.
+        self.total_iterations += k;
+        let total = self.idle_iterations + k;
+        if total >= self.rto_iterations {
             self.rto_due = true;
-            self.idle_iterations = 0;
+            self.idle_iterations = total % self.rto_iterations.max(1);
+        } else {
+            self.idle_iterations = total;
         }
+    }
+
+    /// Injection stalls and ack-flush stalls set `stalled`; receives
+    /// are head-gated. With neither a stall nor a due RTO, only the RTO
+    /// counter reaching its period or the completion-timeout window
+    /// closing can make a step non-idle without new packets.
+    fn wake_in(&self, max_wait: u64) -> u64 {
+        if self.stalled || self.rto_due {
+            return 1;
+        }
+        win(max_wait, self.total_iterations)
+            .min(self.rto_iterations.saturating_sub(self.idle_iterations).max(1))
     }
 
     fn flush_acks(&mut self, m: &mut Machine) -> bool {
@@ -2481,7 +3259,10 @@ impl StreamOp {
         if progress {
             self.idle_iterations = 0;
         }
-        self.total_iterations += 1;
+        // `total_iterations` advances in `tick` (once per no-progress
+        // engine cycle), making the completion timeout a bound on quiet
+        // *time* rather than on scheduler step count — the same clock
+        // under both schedulers.
         if self.total_iterations > m.config().max_wait_cycles {
             return Err(ProtocolError::timeout(
                 "stream completion",
@@ -2605,11 +3386,50 @@ impl ReliableOp {
     }
 
     fn tick(&mut self) {
+        self.tick_n(1);
+    }
+
+    fn tick_n(&mut self, k: u64) {
         self.stalled = false;
         match self.phase {
-            ReliablePhase::Handshake => self.hs_waited += 1,
-            ReliablePhase::Transfer => self.drain_waited += 1,
-            ReliablePhase::SendAck | ReliablePhase::AwaitAck => self.ack_waited += 1,
+            ReliablePhase::Handshake => self.hs_waited += k,
+            ReliablePhase::Transfer => self.drain_waited += k,
+            ReliablePhase::SendAck | ReliablePhase::AwaitAck => self.ack_waited += k,
+        }
+    }
+
+    /// Per-phase quiet windows. Only the phase's own waited counter
+    /// advances on a tick, so the next timer-driven action (handshake
+    /// resend, receiver NACK round, ack resend/probe) is a closed form
+    /// over that counter. A source mid-burst or a receiver mid-drain is
+    /// packet-driven: it acts on arrivals (endpoint wakes) or because
+    /// an injection stall cleared, never from a timer alone — `MAX`
+    /// with the no-progress watchdog as the backstop.
+    fn wake_in(&self, max_wait: u64) -> u64 {
+        if self.stalled {
+            return 1;
+        }
+        match self.phase {
+            ReliablePhase::Handshake => {
+                if self.req_sent {
+                    win(self.policy.backoff(self.hs_attempt), self.hs_waited)
+                } else {
+                    1
+                }
+            }
+            ReliablePhase::Transfer => {
+                if self.rx.packets_received < self.rx.packets_expected
+                    && self.next_packet == self.packets
+                {
+                    // Receiver drain window: a quiet stretch triggers
+                    // the next NACK round.
+                    win(self.policy.backoff(self.drain_attempt), self.drain_waited)
+                } else {
+                    u64::MAX
+                }
+            }
+            ReliablePhase::SendAck => win(max_wait, self.ack_waited),
+            ReliablePhase::AwaitAck => win(self.policy.backoff(self.ack_attempt), self.ack_waited),
         }
     }
 

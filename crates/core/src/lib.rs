@@ -71,6 +71,7 @@ mod machine;
 mod measure;
 mod retry;
 mod rpc;
+mod sched;
 mod stream;
 mod xfer;
 mod xfer_reliable;
@@ -86,6 +87,7 @@ pub use measure::{
 };
 pub use retry::{RecoveryPolicy, RetryPolicy};
 pub use rpc::{classify_poll, RpcEvent};
+pub use sched::{PhaseTotal, SchedCounters, SchedMode, SchedPhase, SchedProfiler, Slab, TimingWheel};
 pub use stream::{StreamConfig, StreamId, StreamOutcome};
 pub use xfer::XferOutcome;
 pub use xfer_reliable::ReliableOutcome;

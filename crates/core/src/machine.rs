@@ -226,6 +226,10 @@ pub struct Machine {
     /// Per-node restart counts already absorbed by
     /// [`Machine::observe_restarts`] (indexed by node).
     pub(crate) restart_seen: Vec<u32>,
+    /// Last [`Network::restarts_hint`] value absorbed — the O(1) change
+    /// detector that lets `observe_restarts` skip the per-node scan on
+    /// crash-free quanta.
+    restart_hint_seen: u64,
 }
 
 impl Machine {
@@ -267,6 +271,7 @@ impl Machine {
             session_epochs: HashMap::new(),
             sessions: HashMap::new(),
             restart_seen: vec![0; nodes],
+            restart_hint_seen: 0,
         }
     }
 
@@ -351,10 +356,19 @@ impl Machine {
     /// detect the restart (stale-epoch discards, `SessionReset`
     /// fail-fast) and re-establish sessions, all under
     /// `Feature::FaultTol`. On a crash-free run the per-node counters
-    /// never move and this is a pure compare loop. Returns `true` if
-    /// any restart was absorbed.
-    pub(crate) fn observe_restarts(&mut self) -> bool {
-        let mut any = false;
+    /// never move and this is a single hint comparison. Returns the
+    /// nodes whose restarts were absorbed this call (empty on the
+    /// crash-free fast path) so a readiness scheduler can wake their
+    /// subscribers.
+    pub(crate) fn observe_restarts(&mut self) -> Vec<NodeId> {
+        // O(1) early-out: the hint is any value that changes whenever a
+        // per-node restart counter does.
+        let hint = self.net.borrow().restarts_hint();
+        if hint == self.restart_hint_seen {
+            return Vec::new();
+        }
+        self.restart_hint_seen = hint;
+        let mut restarted = Vec::new();
         for i in 0..self.nodes.len() {
             let node = NodeId::new(i);
             let count = self.net.borrow().restarts(node);
@@ -362,7 +376,7 @@ impl Machine {
                 continue;
             }
             self.restart_seen[i] = count;
-            any = true;
+            restarted.push(node);
             // The restarted node's own endpoint protocol state is gone.
             self.sessions.retain(|&(receiver, _), _| receiver != node);
             self.rpc_replies.retain(|&(callee, _, _), _| callee != node);
@@ -373,7 +387,13 @@ impl Machine {
             let mut net = self.net.borrow_mut();
             while net.try_receive(node).is_some() {}
         }
-        any
+        restarted
+    }
+
+    /// Drain the substrate's per-node delivery wake set (see
+    /// [`Network::take_delivered`](timego_netsim::Network::take_delivered)).
+    pub(crate) fn take_delivered(&mut self) -> Vec<NodeId> {
+        self.net.borrow_mut().take_delivered()
     }
 
     /// Consume and discard the (peeked) packet at `node`'s queue head as
@@ -413,6 +433,22 @@ impl Machine {
         live_replies: &HashSet<(NodeId, NodeId, u32)>,
     ) -> (usize, usize) {
         self.gc_tables(self.cfg.gc_ttl_cycles, live_sessions, live_replies)
+    }
+
+    /// Cheap pre-check for the per-quantum sweep: is *any* session or
+    /// cached reply TTL-expired right now, ignoring live-set
+    /// exemptions? When this is `false` a full [`Machine::gc_expired`]
+    /// is guaranteed to reclaim (and bill) nothing, so the engine can
+    /// skip building the live sets entirely. Conservative in the safe
+    /// direction: a live-exempt expired entry still returns `true`.
+    pub(crate) fn gc_has_expired(&self) -> bool {
+        if self.sessions.is_empty() && self.rpc_replies.is_empty() {
+            return false;
+        }
+        let now = self.net.borrow().now().cycles();
+        let ttl = self.cfg.gc_ttl_cycles;
+        self.sessions.values().any(|s| now.saturating_sub(s.opened_at) >= ttl)
+            || self.rpc_replies.values().any(|r| now.saturating_sub(r.cached_at) >= ttl)
     }
 
     /// Force-run the garbage sweep with a zero TTL and no live-set

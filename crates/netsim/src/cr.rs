@@ -23,7 +23,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use crate::id::{NodeId, PacketId};
-use crate::network::{Guarantees, InjectError, Network, RxMeta};
+use crate::network::{Guarantees, InjectError, Network, RxMeta, WakeSet};
 use crate::packet::Packet;
 use crate::rng::SimRng;
 use crate::stats::NetStats;
@@ -87,6 +87,7 @@ pub struct CrNetwork {
     in_flight: usize,
     stats: NetStats,
     rng: SimRng,
+    wake: WakeSet,
 }
 
 impl CrNetwork {
@@ -101,6 +102,7 @@ impl CrNetwork {
         assert!(cfg.rx_queue_capacity >= 1, "rx queue must hold at least 1 packet");
         let rx = (0..cfg.nodes).map(|_| VecDeque::new()).collect();
         let rng = SimRng::new(cfg.seed);
+        let wake = WakeSet::new(cfg.nodes);
         CrNetwork {
             cfg,
             now: Time::ZERO,
@@ -111,6 +113,7 @@ impl CrNetwork {
             in_flight: 0,
             stats: NetStats::new(),
             rng,
+            wake,
         }
     }
 
@@ -154,6 +157,7 @@ impl CrNetwork {
             let seq = packet.pair_seq().expect("stamped at injection");
             let injected = packet.injected_at();
             self.rx[dst.index()].push_back(packet);
+            self.wake.mark(dst);
             let depth = self.rx[dst.index()].len();
             self.stats
                 .record_delivery(src, dst, seq, injected, self.now, depth);
@@ -233,6 +237,10 @@ impl Network for CrNetwork {
 
     fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    fn take_delivered(&mut self) -> Vec<NodeId> {
+        self.wake.take()
     }
 
     fn guarantees(&self) -> Guarantees {

@@ -162,6 +162,34 @@ impl<A: Network, B: Network> Network for DualNetwork<A, B> {
         // the larger count rather than double-counting.
         self.request.restarts(node).max(self.reply.restarts(node))
     }
+
+    fn restarts_hint(&self) -> u64 {
+        // Sum of the sides is a valid change detector even though the
+        // per-node counter above takes the max: any per-node change
+        // moves at least one side's total.
+        self.request.restarts_hint() + self.reply.restarts_hint()
+    }
+
+    fn next_restart_at(&self) -> Option<Time> {
+        // Earliest across both sides: a restart on either side must not
+        // be jumped over.
+        match (self.request.next_restart_at(), self.reply.next_restart_at()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn take_delivered(&mut self) -> Vec<NodeId> {
+        // Union of both sides' wake sets; a node delivered to on both
+        // sides appears once.
+        let mut nodes = self.request.take_delivered();
+        for n in self.reply.take_delivered() {
+            if !nodes.contains(&n) {
+                nodes.push(n);
+            }
+        }
+        nodes
+    }
 }
 
 #[cfg(test)]

@@ -234,6 +234,28 @@ impl FaultSchedule {
             .count() as u32
     }
 
+    /// Total restarts across *all* nodes by `now` — a change detector
+    /// for [`crate::Network::restarts_hint`]. O(#crash windows), which
+    /// is O(1) on the usual crash-free schedule.
+    #[must_use]
+    pub fn restarts_total(&self, now: Time) -> u64 {
+        self.cfg.crashes.iter().filter(|w| w.restarted_by(now)).count() as u64
+    }
+
+    /// The earliest scripted restart strictly after `now` (the first
+    /// cycle some crashed node comes back), if any. Event-driven
+    /// schedulers clamp idle clock-jumps here so a restart is observed
+    /// on exactly the cycle its window closes.
+    pub fn next_restart_after(&self, now: Time) -> Option<Time> {
+        self.cfg
+            .crashes
+            .iter()
+            .map(|w| w.end)
+            .filter(|&end| end > now.cycles())
+            .min()
+            .map(Time::from_cycles)
+    }
+
     /// Decide the faults for one packet being injected now, updating
     /// the per-fault counters. Corruption is decided here but counted
     /// at delivery (where detection happens), matching the existing

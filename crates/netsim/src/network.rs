@@ -92,6 +92,42 @@ impl fmt::Display for InjectError {
 
 impl Error for InjectError {}
 
+/// A per-node delivery recorder backing precise
+/// [`Network::take_delivered`] implementations.
+///
+/// Substrates call [`WakeSet::mark`] at every receive-queue push; the
+/// mark bitmap deduplicates, so the pending list is bounded by the node
+/// count no matter how long a blocking (non-engine) caller goes without
+/// taking the set.
+#[derive(Debug, Clone, Default)]
+pub struct WakeSet {
+    marked: Vec<bool>,
+    nodes: Vec<NodeId>,
+}
+
+impl WakeSet {
+    /// An empty wake set over `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        WakeSet { marked: vec![false; num_nodes], nodes: Vec::new() }
+    }
+
+    /// Record a delivery at `node` (idempotent until taken).
+    pub fn mark(&mut self, node: NodeId) {
+        if !self.marked[node.index()] {
+            self.marked[node.index()] = true;
+            self.nodes.push(node);
+        }
+    }
+
+    /// Drain the recorded nodes, clearing the marks.
+    pub fn take(&mut self) -> Vec<NodeId> {
+        for n in &self.nodes {
+            self.marked[n.index()] = false;
+        }
+        std::mem::take(&mut self.nodes)
+    }
+}
+
 /// A packet-switched network connecting `num_nodes` nodes.
 ///
 /// All three substrates (switched CM-5-like, Compressionless-Routing-like
@@ -150,6 +186,44 @@ pub trait Network {
     fn restarts(&self, node: NodeId) -> u32 {
         let _ = node;
         0
+    }
+
+    /// Drain the set of nodes that have received packets since the last
+    /// call — the scheduler's wake set. A node appears at most once per
+    /// call; the set is cumulative across [`advance`](Network::advance)
+    /// calls until taken.
+    ///
+    /// The default derives the set from current receive-queue depths
+    /// (`rx_pending > 0`), which is *conservative*: a node whose queue
+    /// was drained between calls may be missed, but every node with
+    /// something pending is always reported, which is what a
+    /// readiness-driven scheduler needs (it re-checks queues on wake
+    /// anyway). Substrates with an internal delivery step override this
+    /// with a precise per-delivery record.
+    fn take_delivered(&mut self) -> Vec<NodeId> {
+        (0..self.num_nodes())
+            .filter(|&i| self.rx_pending(NodeId::new(i)) > 0)
+            .map(NodeId::new)
+            .collect()
+    }
+
+    /// A cheap change-detector over [`restarts`](Network::restarts):
+    /// any value that changes whenever some node's restart counter
+    /// does. Callers compare against the last value they saw to skip
+    /// the per-node scan on the (overwhelmingly common) quanta where
+    /// nothing crashed. The default sums all per-node counters.
+    fn restarts_hint(&self) -> u64 {
+        (0..self.num_nodes()).map(|i| self.restarts(NodeId::new(i)) as u64).sum()
+    }
+
+    /// The earliest scripted crash-restart strictly after the current
+    /// cycle, if the substrate knows of one. Event-driven schedulers
+    /// clamp idle clock-jumps here so the restart is observed on
+    /// exactly the cycle its window closes — jumping past it would
+    /// defer the peers' `SessionReset` detection. Substrates without a
+    /// crash plane have nothing to clamp to.
+    fn next_restart_at(&self) -> Option<Time> {
+        None
     }
 
     /// Advance until the network is drained (nothing in flight) or

@@ -13,7 +13,7 @@ use std::collections::{HashMap, VecDeque};
 
 use crate::fault::{FaultConfig, FaultSchedule};
 use crate::id::{NodeId, PacketId};
-use crate::network::{Guarantees, InjectError, Network, RxMeta};
+use crate::network::{Guarantees, InjectError, Network, RxMeta, WakeSet};
 use crate::packet::Packet;
 use crate::rng::SimRng;
 use crate::stats::NetStats;
@@ -148,6 +148,7 @@ pub struct SwitchedNetwork<T> {
     trace: Option<TraceBuffer>,
     rng: SimRng,
     faults: FaultSchedule,
+    wake: WakeSet,
 }
 
 impl<T: Topology> SwitchedNetwork<T> {
@@ -168,6 +169,7 @@ impl<T: Topology> SwitchedNetwork<T> {
         let rx = (0..topo.num_nodes()).map(|_| VecDeque::new()).collect();
         let rng = SimRng::new(cfg.seed);
         let faults = FaultSchedule::new(cfg.fault.clone(), cfg.seed);
+        let wake = WakeSet::new(topo.num_nodes());
         SwitchedNetwork {
             topo,
             cfg,
@@ -182,6 +184,7 @@ impl<T: Topology> SwitchedNetwork<T> {
             trace: None,
             rng,
             faults,
+            wake,
         }
     }
 
@@ -311,6 +314,7 @@ impl<T: Topology> SwitchedNetwork<T> {
         let seq = packet.pair_seq().expect("stamped at injection");
         let injected = packet.injected_at();
         self.rx[dst.index()].push_back(packet);
+        self.wake.mark(dst);
         let depth = self.rx[dst.index()].len();
         self.stats
             .record_delivery(src, dst, seq, injected, self.now, depth);
@@ -480,6 +484,7 @@ impl<T: Topology> Network for SwitchedNetwork<T> {
             let pseq = packet.pair_seq().expect("just stamped");
             let injected = packet.injected_at();
             self.rx[dst.index()].push_back(packet);
+            self.wake.mark(dst);
             let depth = self.rx[dst.index()].len();
             self.stats
                 .record_delivery(src, dst, pseq, injected, self.now, depth);
@@ -606,6 +611,18 @@ impl<T: Topology> Network for SwitchedNetwork<T> {
 
     fn restarts(&self, node: NodeId) -> u32 {
         self.faults.restarts(node, self.now)
+    }
+
+    fn restarts_hint(&self) -> u64 {
+        self.faults.restarts_total(self.now)
+    }
+
+    fn next_restart_at(&self) -> Option<Time> {
+        self.faults.next_restart_after(self.now)
+    }
+
+    fn take_delivered(&mut self) -> Vec<NodeId> {
+        self.wake.take()
     }
 }
 

@@ -28,7 +28,7 @@ use std::collections::HashMap;
 
 use crate::fault::{FaultConfig, FaultSchedule};
 use crate::id::{NodeId, PacketId};
-use crate::network::{Guarantees, InjectError, Network, RxMeta};
+use crate::network::{Guarantees, InjectError, Network, RxMeta, WakeSet};
 use crate::packet::Packet;
 use crate::rng::SimRng;
 use crate::stats::NetStats;
@@ -165,6 +165,7 @@ pub struct WormholeNetwork<T> {
     kills: u64,
     rng: SimRng,
     faults: FaultSchedule,
+    wake: WakeSet,
 }
 
 impl<T: Topology> WormholeNetwork<T> {
@@ -186,6 +187,7 @@ impl<T: Topology> WormholeNetwork<T> {
         let rx = (0..topo.num_nodes()).map(|_| Default::default()).collect();
         let rng = SimRng::new(cfg.seed);
         let faults = FaultSchedule::new(cfg.fault.clone(), cfg.seed);
+        let wake = WakeSet::new(topo.num_nodes());
         WormholeNetwork {
             topo,
             cfg,
@@ -202,6 +204,7 @@ impl<T: Topology> WormholeNetwork<T> {
             kills: 0,
             rng,
             faults,
+            wake,
         }
     }
 
@@ -447,6 +450,7 @@ impl<T: Topology> WormholeNetwork<T> {
                     packet.injected_at(),
                 );
                 self.rx[dst.index()].push_back(packet);
+                self.wake.mark(dst);
                 let depth = self.rx[dst.index()].len();
                 self.stats
                     .record_delivery(src, dst, seq, injected, self.now, depth);
@@ -555,6 +559,7 @@ impl<T: Topology> Network for WormholeNetwork<T> {
             let pseq = packet.pair_seq().expect("stamped");
             let injected = packet.injected_at();
             self.rx[dst.index()].push_back(packet);
+            self.wake.mark(dst);
             let depth = self.rx[dst.index()].len();
             self.stats
                 .record_delivery(src, dst, pseq, injected, self.now, depth);
@@ -638,6 +643,18 @@ impl<T: Topology> Network for WormholeNetwork<T> {
 
     fn restarts(&self, node: NodeId) -> u32 {
         self.faults.restarts(node, self.now)
+    }
+
+    fn restarts_hint(&self) -> u64 {
+        self.faults.restarts_total(self.now)
+    }
+
+    fn next_restart_at(&self) -> Option<Time> {
+        self.faults.next_restart_after(self.now)
+    }
+
+    fn take_delivered(&mut self) -> Vec<NodeId> {
+        self.wake.take()
     }
 }
 

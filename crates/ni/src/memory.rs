@@ -29,9 +29,18 @@ impl fmt::Display for Addr {
 /// Allocation itself is free, matching the paper: *"we exclude the
 /// actual allocation cost since our interest is only in the protocol
 /// costs."*
+///
+/// Backing storage is materialized lazily as the bump allocator hands
+/// addresses out: `capacity` is a logical limit, so a large-memory
+/// machine with many mostly-idle nodes costs what its nodes actually
+/// allocate, not `nodes x capacity`. (Eagerly zeroing every node's full
+/// address space made big-fleet machine construction page-fault-bound.)
 #[derive(Debug, Clone)]
 pub struct Memory {
+    /// Physical words, always exactly `brk` long: newly allocated
+    /// regions appear zeroed, matching the eager all-zero layout.
     words: Vec<u32>,
+    capacity: usize,
     brk: usize,
     cpu: CostHandle,
 }
@@ -40,7 +49,8 @@ impl Memory {
     /// Memory of `capacity` words, all zero.
     pub fn new(capacity: usize, cpu: CostHandle) -> Self {
         Memory {
-            words: vec![0; capacity],
+            words: Vec::new(),
+            capacity,
             brk: 0,
             cpu,
         }
@@ -48,7 +58,7 @@ impl Memory {
 
     /// Total capacity in words.
     pub fn capacity(&self) -> usize {
-        self.words.len()
+        self.capacity
     }
 
     /// Allocate `words` words (bump allocator; free of instruction
@@ -59,46 +69,55 @@ impl Memory {
     /// Panics if memory is exhausted.
     pub fn alloc(&mut self, words: usize) -> Addr {
         assert!(
-            self.brk + words <= self.words.len(),
+            self.brk + words <= self.capacity,
             "node memory exhausted: {} + {} > {}",
             self.brk,
             words,
-            self.words.len()
+            self.capacity
         );
         let a = Addr(self.brk);
         self.brk += words;
+        self.words.resize(self.brk, 0);
         a
     }
 
-    /// Load one word (1 `mem` instruction).
+    /// Load one word (1 `mem` instruction). Unallocated words below
+    /// `capacity` read as zero, exactly as in the eager all-zero
+    /// layout — protocol padding reads past a buffer's end rely on it.
     ///
     /// # Panics
     ///
-    /// Panics on an out-of-range address.
+    /// Panics on an address at or past `capacity`.
     pub fn load(&self, addr: Addr) -> u32 {
         self.cpu.mem_load(1);
-        self.words[addr.0]
+        assert!(addr.0 < self.capacity, "load past memory capacity: {addr}");
+        self.words.get(addr.0).copied().unwrap_or(0)
     }
 
     /// Store one word (1 `mem` instruction).
     ///
     /// # Panics
     ///
-    /// Panics on an out-of-range address.
+    /// Panics on an address outside allocated memory.
     pub fn store(&mut self, addr: Addr, value: u32) {
         self.cpu.mem_store(1);
         self.words[addr.0] = value;
     }
 
     /// Load two consecutive words with one double-word instruction
-    /// (1 `mem` instruction).
+    /// (1 `mem` instruction). Unallocated words below `capacity` read
+    /// as zero (see [`Memory::load`]).
     ///
     /// # Panics
     ///
-    /// Panics on an out-of-range address.
+    /// Panics on an address pair reaching past `capacity`.
     pub fn load2(&self, addr: Addr) -> (u32, u32) {
         self.cpu.mem_load(1);
-        (self.words[addr.0], self.words[addr.0 + 1])
+        assert!(addr.0 + 1 < self.capacity, "load past memory capacity: {addr}");
+        (
+            self.words.get(addr.0).copied().unwrap_or(0),
+            self.words.get(addr.0 + 1).copied().unwrap_or(0),
+        )
     }
 
     /// Store two consecutive words with one double-word instruction
@@ -106,7 +125,7 @@ impl Memory {
     ///
     /// # Panics
     ///
-    /// Panics on an out-of-range address.
+    /// Panics on an address outside allocated memory.
     pub fn store2(&mut self, addr: Addr, w0: u32, w1: u32) {
         self.cpu.mem_store(1);
         self.words[addr.0] = w0;
