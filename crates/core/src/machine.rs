@@ -202,6 +202,29 @@ pub(crate) struct ReplyEntry {
 /// All protocol entry points live here because the drivers orchestrate
 /// both endpoints of a transfer; per-node costs are nevertheless
 /// recorded separately (see [`Machine::cpu`]).
+///
+/// Any [`Network`](timego_netsim::Network) substrate plugs in — the
+/// parallel sharded one included, since it hides its worker pool behind
+/// `advance`:
+///
+/// ```
+/// use timego_am::{CmamConfig, Machine};
+/// use timego_netsim::{NodeId, ShardedConfig, ShardedNetwork};
+/// use timego_ni::share;
+///
+/// // 16 nodes over a 4-shard substrate stepped by 2 worker threads;
+/// // the protocol layers can't tell it from a flat network (and its
+/// // results don't depend on the thread count).
+/// let net = ShardedNetwork::new(16, ShardedConfig {
+///     shards: 4,
+///     threads: 2,
+///     ..ShardedConfig::default()
+/// });
+/// let mut m = Machine::new(share(net), 16, CmamConfig::default());
+/// let data: Vec<u32> = (0..40).collect();
+/// let outcome = m.xfer(NodeId::new(1), NodeId::new(9), &data).unwrap();
+/// assert!(outcome.packets > 0);
+/// ```
 pub struct Machine {
     pub(crate) net: SharedNetwork,
     pub(crate) nodes: Vec<Node>,

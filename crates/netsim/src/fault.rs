@@ -187,6 +187,12 @@ struct HeldPacket {
 ///
 /// Construction is cheap; a fault-free schedule makes no RNG draws, so
 /// adding the plane to a substrate changes nothing when faults are off.
+///
+/// One schedule serves one decision site: each switched subnet owns its
+/// own (per-shard streams in the sharded substrate), and the sharded
+/// front keeps an additional engine-thread-only schedule under global
+/// node ids for the cross-shard boundary path and all restart queries —
+/// schedules are never shared across threads.
 #[derive(Debug, Clone)]
 pub struct FaultSchedule {
     cfg: FaultConfig,

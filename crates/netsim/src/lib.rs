@@ -31,6 +31,11 @@
 //!   [`DeliveryScript::AlternateSwap`] reproduces that assumption
 //!   deterministically, which is how the table-regeneration benches run.
 //!
+//! [`ShardedNetwork`] wraps many [`SwitchedNetwork`] shards behind the
+//! same trait and steps them on a worker pool; its results are
+//! bit-identical for every thread count (see the [`sharded`] module
+//! docs for the argument).
+//!
 //! ## Example
 //!
 //! ```
@@ -56,6 +61,7 @@ mod network;
 mod packet;
 pub mod rng;
 mod scripted;
+pub mod sharded;
 mod stats;
 mod switched;
 mod time;
@@ -71,6 +77,7 @@ pub use network::{Guarantees, InjectError, Network, RxMeta, WakeSet};
 pub use packet::Packet;
 pub use rng::SimRng;
 pub use scripted::{DeliveryScript, ScriptedNetwork};
+pub use sharded::{ShardedConfig, ShardedNetwork};
 pub use stats::{LatencyStats, NetStats, NodeOccupancy, OrderTracker};
 pub use switched::{RouteStrategy, SwappedContext, SwitchedConfig, SwitchedNetwork};
 pub use time::Time;

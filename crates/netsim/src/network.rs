@@ -130,9 +130,32 @@ impl WakeSet {
 
 /// A packet-switched network connecting `num_nodes` nodes.
 ///
-/// All three substrates (switched CM-5-like, Compressionless-Routing-like
-/// and scripted) implement this trait; the NI and messaging layers are
-/// generic over it.
+/// All the substrates (switched CM-5-like, Compressionless-Routing-like,
+/// scripted, and the parallel sharded front) implement this trait; the
+/// NI and messaging layers are generic over it. Implementations may
+/// step packets on worker threads internally (see
+/// [`sharded`](crate::sharded)), but the trait itself is a
+/// single-threaded surface: one caller injects, receives, and advances.
+///
+/// # Example
+///
+/// The inject → advance → peek → receive cycle every substrate obeys:
+///
+/// ```
+/// use timego_netsim::{DeliveryScript, Network, NodeId, Packet, ScriptedNetwork};
+///
+/// let mut net = ScriptedNetwork::new(4, DeliveryScript::InOrder);
+/// let (src, dst) = (NodeId::new(0), NodeId::new(3));
+/// net.try_inject(Packet::new(src, dst, 7, 99, vec![1, 2])).unwrap();
+/// net.advance(1);
+/// assert_eq!(net.take_delivered(), vec![dst]); // the scheduler's wake set
+///
+/// let meta = net.rx_peek(dst).expect("head visible before paying to receive");
+/// assert_eq!((meta.src, meta.tag, meta.header), (src, 7, 99));
+/// let got = net.try_receive(dst).expect("delivered");
+/// assert_eq!(got.data(), &[1, 2]);
+/// assert_eq!(net.stats().delivered, 1);
+/// ```
 pub trait Network {
     /// Number of attached nodes.
     fn num_nodes(&self) -> usize;

@@ -109,6 +109,16 @@ impl Packet {
         self.injected_at = Some(at);
     }
 
+    /// Rewrite the routing envelope's endpoints. Used by the sharded
+    /// substrate to translate between global node ids (what software
+    /// sees) and shard-local ids (what a shard's subnet routes over);
+    /// every packet crossing the translation boundary is remapped both
+    /// ways, so software only ever observes global ids.
+    pub(crate) fn set_endpoints(&mut self, src: NodeId, dst: NodeId) {
+        self.src = src;
+        self.dst = dst;
+    }
+
     pub(crate) fn corrupt(&mut self) {
         self.corrupted = true;
     }

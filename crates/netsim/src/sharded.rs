@@ -1,0 +1,996 @@
+//! The parallel sharded substrate: many [`SwitchedNetwork`] shards
+//! stepped by a worker pool behind one [`Network`] front.
+//!
+//! PR 7's self-profiling showed the readiness-driven scheduler spending
+//! ~86% of its wall time in the single-threaded `substrate_step` phase
+//! at 4096-node permutation. This module attacks that share by
+//! partitioning the node space into contiguous *shards*, each a
+//! self-contained [`SwitchedNetwork`] over its own fat tree with its own
+//! clock, RNG streams, and fault plane. Intra-shard traffic never leaves
+//! its shard; cross-shard traffic rides *bounded boundary queues* with a
+//! fixed crossing latency.
+//!
+//! ## Why any thread count produces bit-identical results
+//!
+//! Two parameters are deliberately kept apart:
+//!
+//! * **`shards` is a model parameter.** Changing it changes the
+//!   simulated machine (smaller subnets, boundary crossings) and
+//!   therefore the results — exactly like changing a topology.
+//! * **`threads` is an execution resource.** It must never change any
+//!   observable result, and the design makes that structural rather
+//!   than probabilistic: cross-shard packets are injected *only* by the
+//!   (single-threaded) protocol layer between `advance` calls, and a
+//!   packet in flight inside a shard can never emit into another shard.
+//!   An `advance(n)` is therefore embarrassingly parallel — each worker
+//!   steps whole shards to completion with no mid-advance exchanges —
+//!   and the conservative-sync condition ("a shard may advance past `t`
+//!   only once its neighbors' emissions for `t` are published") is
+//!   satisfied trivially: all emissions for the window were published
+//!   before the window began, with `cross_latency >= 1` as lookahead.
+//!
+//! The merge points are all deterministic: wake notifications are
+//! reduced in ascending global node-id order, statistics are absorbed
+//! shard-by-shard in index order, and restarts come from a single
+//! global fault schedule. No result ever depends on which worker
+//! stepped which shard first.
+//!
+//! With `shards == 1` the front delegates everything to the one subnet
+//! (same seed, same ids, pass-through wake order), making it byte-for-
+//! byte identical to a plain [`SwitchedNetwork`] — which is how the
+//! scheduler-equivalence soak pins the sharded substrate against the
+//! unsharded one.
+//!
+//! ## Example
+//!
+//! ```
+//! use timego_netsim::{Network, NodeId, Packet, ShardedConfig, ShardedNetwork};
+//!
+//! // 16 nodes in 4 shards, stepped by 2 worker threads.
+//! let mut net = ShardedNetwork::new(16, ShardedConfig {
+//!     shards: 4,
+//!     threads: 2,
+//!     ..ShardedConfig::default()
+//! });
+//! // Node 1 and node 9 live in different shards: the packet crosses a
+//! // boundary queue instead of a fat tree, but software can't tell.
+//! net.try_inject(Packet::new(NodeId::new(1), NodeId::new(9), 7, 0, vec![42])).unwrap();
+//! net.drain(1_000);
+//! let got = net.try_receive(NodeId::new(9)).expect("delivered");
+//! assert_eq!(got.src(), NodeId::new(1));
+//! assert_eq!(got.data(), &[42]);
+//! ```
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use crate::fault::{FaultConfig, FaultSchedule};
+use crate::id::{NodeId, PacketId};
+use crate::network::{Guarantees, InjectError, Network, RxMeta, WakeSet};
+use crate::packet::Packet;
+use crate::rng::splitmix64;
+use crate::stats::{NetStats, NodeOccupancy};
+use crate::switched::{SwitchedConfig, SwitchedNetwork};
+use crate::time::Time;
+use crate::topology::FatTree;
+
+/// Configuration for [`ShardedNetwork`].
+///
+/// `shards` changes the simulated machine; `threads` only changes how
+/// fast the host steps it (results are identical for every thread
+/// count — see the [module docs](self)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedConfig {
+    /// Number of shards the node space is partitioned into (≥ 1). A
+    /// *model* parameter: each shard is its own fat-tree subnet, and
+    /// cross-shard traffic pays `cross_latency` instead of tree hops.
+    /// `shards == 1` is exactly a plain [`SwitchedNetwork`].
+    pub shards: usize,
+    /// Worker threads stepping shards during [`Network::advance`]
+    /// (≥ 1, clamped to `shards`). A pure *execution* parameter: every
+    /// thread count produces bit-identical results. The calling thread
+    /// participates as one of the workers, so `threads == 1` spawns no
+    /// OS threads at all.
+    pub threads: usize,
+    /// Cycles a cross-shard packet spends in its boundary queue before
+    /// delivery (≥ 1) — the conservative-sync lookahead. Stands in for
+    /// the fat-tree hops the packet no longer takes.
+    pub cross_latency: u64,
+    /// Template configuration for each shard's subnet. Probabilistic
+    /// faults apply per shard (independent derived RNG streams);
+    /// outage/crash windows are routed to the shard owning their node;
+    /// the same faults also govern the boundary path under global ids.
+    pub switched: SwitchedConfig,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            shards: 4,
+            threads: 1,
+            cross_latency: 8,
+            switched: SwitchedConfig::default(),
+        }
+    }
+}
+
+/// One shard: a subnet over shard-local node ids plus the boundary
+/// ingress machinery feeding it cross-shard traffic.
+#[derive(Debug)]
+struct ShardCell {
+    /// The shard's own switched network, routing over local ids
+    /// `0..len` (its fat tree may be larger; the excess ports idle).
+    subnet: SwitchedNetwork<FatTree>,
+    /// First global node id of this shard.
+    base: usize,
+    /// Cross-shard packets in transit to this shard, keyed by absolute
+    /// due cycle. Values preserve engine injection order, so delivery
+    /// order within a cycle is deterministic.
+    ingress: BTreeMap<u64, VecDeque<Packet>>,
+    /// Total packets in `ingress`.
+    ingress_len: usize,
+    /// Per local node: boundary packets accepted but not yet received
+    /// by software (calendar + `brx`). Bounds boundary buffering: when
+    /// it reaches the rx capacity, further cross-shard injections to
+    /// that node backpressure.
+    pending_to: Vec<usize>,
+    /// Boundary receive queues, one per local node. Drained *before*
+    /// the subnet's rx queues (fixed priority, so receive order never
+    /// depends on timing).
+    brx: Vec<VecDeque<Packet>>,
+    /// Statistics for the boundary deliveries this shard performed,
+    /// under **global** node ids.
+    ingress_stats: NetStats,
+    /// Wake marks for boundary deliveries (local ids; the subnet keeps
+    /// its own wake set for intra-shard deliveries).
+    wake: WakeSet,
+}
+
+/// Shared state between the front and its workers.
+#[derive(Debug)]
+struct Pool {
+    cells: Vec<Mutex<ShardCell>>,
+    ctl: Mutex<Ctl>,
+    /// Signals workers that a new advance window was dispatched.
+    work: Condvar,
+    /// Signals the front that the last claimed shard finished.
+    done: Condvar,
+}
+
+#[derive(Debug)]
+struct Ctl {
+    /// Next unclaimed shard index of the current window (`== cells.len()`
+    /// when nothing is claimable).
+    next: usize,
+    /// Shards claimed but not yet finished this window.
+    remaining: usize,
+    /// Cycles to step each shard this window.
+    cycles: u64,
+    shutdown: bool,
+}
+
+/// A [`SwitchedNetwork`] sharded across worker threads — see the
+/// [module docs](self) for the design and the determinism argument.
+///
+/// Implements [`Network`] over **global** node ids; internally each
+/// shard routes over local ids and every packet crossing the front is
+/// remapped, so software never observes the partitioning.
+///
+/// The aggregate [`stats`](Network::stats) carry exact scalar counters,
+/// order verdicts, and latency histograms reduced over all shards; the
+/// per-node occupancy table at that level is intentionally empty (it
+/// would cost O(nodes) per advance to maintain) — use
+/// [`merged_occupancy`](ShardedNetwork::merged_occupancy) to compute it
+/// on demand.
+pub struct ShardedNetwork {
+    nodes: usize,
+    threads: usize,
+    cross_latency: u64,
+    boundary_capacity: usize,
+    shard_of: Vec<usize>,
+    base: Vec<usize>,
+    pool: Arc<Pool>,
+    workers: Vec<JoinHandle<()>>,
+    now: Time,
+    next_id: u64,
+    pair_seq: HashMap<(NodeId, NodeId), u64>,
+    /// The full fault mix under global ids: decides cross-shard packet
+    /// fates and answers all restart queries. Engine-thread only.
+    boundary_faults: FaultSchedule,
+    /// Boundary-path injection-side counters (global ids).
+    boundary_stats: NetStats,
+    /// Cached aggregate, refreshed after every mutation.
+    merged: NetStats,
+    in_flight_cache: usize,
+}
+
+fn fat_tree_for(nodes: usize) -> FatTree {
+    let mut levels = 1u32;
+    while 4usize.pow(levels) < nodes {
+        levels += 1;
+    }
+    FatTree::new(4, levels as usize, 2)
+}
+
+/// Derive shard `s`'s subnet seed. With one shard the template seed is
+/// used untouched (exact identity with the unsharded substrate); with
+/// more, each shard gets a decorrelated stream.
+fn shard_seed(seed: u64, shard: usize, shards: usize) -> u64 {
+    if shards == 1 {
+        seed
+    } else {
+        splitmix64(seed ^ splitmix64(0x5AAD_ED00 ^ shard as u64))
+    }
+}
+
+/// Restrict a fault mix to one shard: probabilistic faults copy (each
+/// shard draws from its own stream), scripted windows are kept only for
+/// nodes the shard owns and remapped to local ids.
+fn shard_fault(cfg: &FaultConfig, base: usize, len: usize) -> FaultConfig {
+    let owns = |n: NodeId| n.index() >= base && n.index() < base + len;
+    FaultConfig {
+        outages: cfg
+            .outages
+            .iter()
+            .filter(|w| owns(w.node))
+            .map(|w| crate::fault::OutageWindow { node: NodeId::new(w.node.index() - base), ..*w })
+            .collect(),
+        crashes: cfg
+            .crashes
+            .iter()
+            .filter(|w| owns(w.node))
+            .map(|w| crate::fault::CrashWindow { node: NodeId::new(w.node.index() - base), ..*w })
+            .collect(),
+        ..cfg.clone()
+    }
+}
+
+/// Step one shard through `cycles` cycles: advance the subnet, then
+/// deliver every boundary packet that came due, in due-cycle order and
+/// injection order within a cycle. Runs on worker threads; touches
+/// nothing outside the cell.
+fn step_cell(cell: &mut ShardCell, cycles: u64) {
+    for _ in 0..cycles {
+        cell.subnet.advance(1);
+        let now = cell.subnet.now();
+        while let Some((&due, _)) = cell.ingress.first_key_value() {
+            if due > now.cycles() {
+                break;
+            }
+            let batch = cell.ingress.remove(&due).expect("key just observed");
+            for packet in batch {
+                deliver_boundary(cell, packet, now);
+            }
+        }
+    }
+}
+
+/// Complete one boundary delivery: CRC-drop corrupted packets at the
+/// receiving NI, otherwise enqueue on the node's boundary rx queue and
+/// mark its wake. `pending_to` already counts the packet; a corrupt
+/// drop releases it here, a delivery releases it when software receives.
+fn deliver_boundary(cell: &mut ShardCell, packet: Packet, now: Time) {
+    cell.ingress_len -= 1;
+    let local = packet.dst().index() - cell.base;
+    if packet.is_corrupted() {
+        cell.pending_to[local] -= 1;
+        cell.ingress_stats.dropped_corrupt += 1;
+        return;
+    }
+    let (src, dst) = (packet.src(), packet.dst());
+    let seq = packet.pair_seq().expect("stamped at injection");
+    let injected = packet.injected_at();
+    cell.brx[local].push_back(packet);
+    cell.wake.mark(NodeId::new(local));
+    let depth = cell.brx[local].len();
+    cell.ingress_stats.record_delivery(src, dst, seq, injected, now, depth);
+}
+
+fn worker_loop(pool: &Pool) {
+    let mut ctl = lock(&pool.ctl);
+    loop {
+        if ctl.shutdown {
+            return;
+        }
+        if ctl.next < pool.cells.len() {
+            let i = ctl.next;
+            ctl.next += 1;
+            let cycles = ctl.cycles;
+            drop(ctl);
+            step_cell(&mut lock(&pool.cells[i]), cycles);
+            ctl = lock(&pool.ctl);
+            ctl.remaining -= 1;
+            if ctl.remaining == 0 {
+                pool.done.notify_all();
+            }
+        } else {
+            ctl = pool.work.wait(ctl).expect("pool lock poisoned");
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().expect("pool lock poisoned")
+}
+
+impl ShardedNetwork {
+    /// Build a sharded network over `nodes` nodes.
+    ///
+    /// Nodes are partitioned into `cfg.shards` contiguous ranges (as
+    /// even as possible); each range gets a fat-tree subnet sized for
+    /// it. `cfg.threads - 1` worker threads are spawned (the caller's
+    /// thread is the remaining worker) and joined on drop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` or `cfg.shards` is zero, `cfg.shards > nodes`,
+    /// or `cfg.cross_latency` is zero.
+    pub fn new(nodes: usize, cfg: ShardedConfig) -> Self {
+        assert!(nodes >= 1, "need at least one node");
+        assert!(cfg.shards >= 1, "need at least one shard");
+        assert!(cfg.shards <= nodes, "cannot have more shards than nodes");
+        assert!(cfg.cross_latency >= 1, "boundary crossing takes at least 1 cycle");
+        let shards = cfg.shards;
+        let threads = cfg.threads.max(1).min(shards);
+
+        let mut shard_of = Vec::with_capacity(nodes);
+        let mut base = Vec::with_capacity(shards);
+        let (q, r) = (nodes / shards, nodes % shards);
+        let mut cells = Vec::with_capacity(shards);
+        let mut start = 0usize;
+        for s in 0..shards {
+            let len = q + usize::from(s < r);
+            base.push(start);
+            shard_of.extend(std::iter::repeat_n(s, len));
+            let sub_cfg = SwitchedConfig {
+                seed: shard_seed(cfg.switched.seed, s, shards),
+                fault: if shards == 1 {
+                    cfg.switched.fault.clone()
+                } else {
+                    shard_fault(&cfg.switched.fault, start, len)
+                },
+                ..cfg.switched.clone()
+            };
+            cells.push(Mutex::new(ShardCell {
+                subnet: SwitchedNetwork::new(fat_tree_for(len), sub_cfg),
+                base: start,
+                ingress: BTreeMap::new(),
+                ingress_len: 0,
+                pending_to: vec![0; len],
+                brx: (0..len).map(|_| VecDeque::new()).collect(),
+                ingress_stats: NetStats::new(),
+                wake: WakeSet::new(len),
+            }));
+            start += len;
+        }
+
+        let pool = Arc::new(Pool {
+            cells,
+            ctl: Mutex::new(Ctl { next: shards, remaining: 0, cycles: 0, shutdown: false }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || worker_loop(&pool))
+            })
+            .collect();
+
+        let boundary_faults = FaultSchedule::new(cfg.switched.fault.clone(), cfg.switched.seed);
+        let mut net = ShardedNetwork {
+            nodes,
+            threads,
+            cross_latency: cfg.cross_latency,
+            boundary_capacity: cfg.switched.rx_queue_capacity,
+            shard_of,
+            base,
+            pool,
+            workers,
+            now: Time::ZERO,
+            next_id: 0,
+            pair_seq: HashMap::new(),
+            boundary_faults,
+            boundary_stats: NetStats::new(),
+            merged: NetStats::new(),
+            in_flight_cache: 0,
+        };
+        net.refresh();
+        net
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.pool.cells.len()
+    }
+
+    /// Worker threads stepping the shards (including the caller's).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The shard owning global node `node`.
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        self.shard_of[node.index()]
+    }
+
+    /// The per-node occupancy table reduced over every shard (and the
+    /// boundary path), indexed by global node id. Computed on demand —
+    /// the trait-level [`stats`](Network::stats) deliberately leave it
+    /// empty to keep the per-advance aggregate O(shards).
+    pub fn merged_occupancy(&self) -> Vec<NodeOccupancy> {
+        let mut tmp = NetStats::new();
+        for (s, cell) in self.pool.cells.iter().enumerate() {
+            let cell = lock(cell);
+            tmp.absorb_per_node_offset(cell.subnet.stats(), self.base[s]);
+            // Boundary stats are already under global ids.
+            tmp.absorb_per_node_offset(&cell.ingress_stats, 0);
+        }
+        let mut table = tmp.occupancy_table().to_vec();
+        table.resize(self.nodes, NodeOccupancy::default());
+        table
+    }
+
+    fn local(&self, node: NodeId) -> (usize, usize) {
+        let s = self.shard_of[node.index()];
+        (s, node.index() - self.base[s])
+    }
+
+    /// Recompute the aggregate statistics and in-flight count. O(shards)
+    /// — each shard contributes its counters, histogram, and in-flight
+    /// totals in index order (a fixed reduction order, so the aggregate
+    /// never depends on worker interleaving).
+    fn refresh(&mut self) {
+        let mut merged = NetStats::new();
+        merged.absorb(&self.boundary_stats);
+        let mut in_flight = self.boundary_faults.held_count();
+        for cell in &self.pool.cells {
+            let cell = lock(cell);
+            merged.absorb(cell.subnet.stats());
+            merged.absorb(&cell.ingress_stats);
+            in_flight += cell.subnet.in_flight() + cell.ingress_len;
+        }
+        self.merged = merged;
+        self.in_flight_cache = in_flight;
+    }
+
+    /// Re-enter boundary packets the reorder fault released: they join
+    /// their destination shard's ingress calendar a fresh crossing away.
+    /// Like the unsharded substrate's held packets, they bypass the
+    /// capacity check (conceptually they are already inside the fabric).
+    fn release_boundary_holds(&mut self) {
+        if self.boundary_faults.held_count() == 0 {
+            return;
+        }
+        let now = self.now;
+        for packet in self.boundary_faults.take_released(now) {
+            let (ds, ldst) = self.local(packet.dst());
+            let due = now.cycles() + self.cross_latency;
+            let mut cell = lock(&self.pool.cells[ds]);
+            cell.ingress.entry(due).or_default().push_back(packet);
+            cell.ingress_len += 1;
+            cell.pending_to[ldst] += 1;
+        }
+    }
+}
+
+impl Network for ShardedNetwork {
+    fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    fn advance(&mut self, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        self.now += cycles;
+        if self.workers.is_empty() {
+            for cell in &self.pool.cells {
+                step_cell(&mut lock(cell), cycles);
+            }
+        } else {
+            {
+                let mut ctl = lock(&self.pool.ctl);
+                ctl.next = 0;
+                ctl.remaining = self.pool.cells.len();
+                ctl.cycles = cycles;
+                self.pool.work.notify_all();
+            }
+            // The calling thread is worker 0: claim shards alongside
+            // the spawned workers, then wait out the stragglers.
+            let mut ctl = lock(&self.pool.ctl);
+            loop {
+                if ctl.next < self.pool.cells.len() {
+                    let i = ctl.next;
+                    ctl.next += 1;
+                    drop(ctl);
+                    step_cell(&mut lock(&self.pool.cells[i]), cycles);
+                    ctl = lock(&self.pool.ctl);
+                    ctl.remaining -= 1;
+                    if ctl.remaining == 0 {
+                        self.pool.done.notify_all();
+                    }
+                } else if ctl.remaining > 0 {
+                    ctl = self.pool.done.wait(ctl).expect("pool lock poisoned");
+                } else {
+                    break;
+                }
+            }
+        }
+        self.release_boundary_holds();
+        self.refresh();
+    }
+
+    fn try_inject(&mut self, mut packet: Packet) -> Result<(), InjectError> {
+        let (src, dst) = (packet.src(), packet.dst());
+        if dst.index() >= self.nodes {
+            return Err(InjectError::BadDestination(dst));
+        }
+        if src.index() >= self.nodes {
+            return Err(InjectError::BadDestination(src));
+        }
+        let (ss, lsrc) = self.local(src);
+        let (ds, ldst) = self.local(dst);
+
+        if ss == ds {
+            // Intra-shard (including loopback): the shard's subnet does
+            // everything — routing, faults, stats — over local ids.
+            packet.set_endpoints(NodeId::new(lsrc), NodeId::new(ldst));
+            let out = lock(&self.pool.cells[ss]).subnet.try_inject(packet);
+            self.refresh();
+            return out;
+        }
+
+        // Cross-shard: the boundary path. Fault fate first (mirroring
+        // the unsharded substrate, which draws faults before checking
+        // capacity), under global ids so windows and probabilities read
+        // exactly like the flat network's.
+        let faults = self.boundary_faults.on_inject(src, dst, self.now, &mut self.boundary_stats);
+
+        if faults.vanish {
+            // Lost outright: software paid for a successful injection.
+            self.boundary_stats.injected += 1;
+            self.refresh();
+            return Ok(());
+        }
+
+        if faults.hold {
+            // Reorder burst: park it so later crossings overtake it.
+            let seq = self.pair_seq.entry((src, dst)).or_insert(0);
+            packet.stamp(PacketId::new(self.next_id), *seq, self.now);
+            self.next_id += 1;
+            *seq += 1;
+            self.boundary_stats.injected += 1;
+            self.boundary_faults.hold(packet, self.now);
+            self.refresh();
+            return Ok(());
+        }
+
+        {
+            let mut cell = lock(&self.pool.cells[ds]);
+            if cell.pending_to[ldst] >= self.boundary_capacity {
+                drop(cell);
+                self.boundary_stats.backpressure += 1;
+                self.refresh();
+                return Err(InjectError::Backpressure);
+            }
+
+            let seq = self.pair_seq.entry((src, dst)).or_insert(0);
+            packet.stamp(PacketId::new(self.next_id), *seq, self.now);
+            self.next_id += 1;
+            *seq += 1;
+            let duplicate = faults.duplicate.then(|| packet.clone());
+            if faults.corrupt {
+                packet.corrupt();
+            }
+            let due = self.now.cycles() + self.cross_latency + faults.extra_delay;
+            cell.ingress.entry(due).or_default().push_back(packet);
+            cell.ingress_len += 1;
+            cell.pending_to[ldst] += 1;
+            self.boundary_stats.injected += 1;
+
+            // Link-level retry duplication: a second, identical copy
+            // with its own pair sequence, if the boundary has room.
+            if let Some(mut dup) = duplicate {
+                if cell.pending_to[ldst] < self.boundary_capacity {
+                    let seq = self.pair_seq.get_mut(&(src, dst)).expect("pair just stamped");
+                    dup.stamp(PacketId::new(self.next_id), *seq, self.now);
+                    self.next_id += 1;
+                    *seq += 1;
+                    let dup_due = self.now.cycles() + self.cross_latency;
+                    cell.ingress.entry(dup_due).or_default().push_back(dup);
+                    cell.ingress_len += 1;
+                    cell.pending_to[ldst] += 1;
+                    self.boundary_stats.duplicated += 1;
+                }
+            }
+        }
+
+        // Accepted traffic pushes reorder-held packets toward release.
+        self.boundary_faults.note_injection();
+        self.release_boundary_holds();
+        self.refresh();
+        Ok(())
+    }
+
+    fn try_receive(&mut self, node: NodeId) -> Option<Packet> {
+        if node.index() >= self.nodes {
+            return None;
+        }
+        let (s, local) = self.local(node);
+        let base = self.base[s];
+        let mut cell = lock(&self.pool.cells[s]);
+        // Boundary queue first — a fixed priority, so what software
+        // observes never depends on shard timing.
+        if let Some(p) = cell.brx[local].pop_front() {
+            cell.pending_to[local] -= 1;
+            return Some(p);
+        }
+        cell.subnet.try_receive(NodeId::new(local)).map(|mut p| {
+            let (ls, ld) = (p.src().index(), p.dst().index());
+            p.set_endpoints(NodeId::new(base + ls), NodeId::new(base + ld));
+            p
+        })
+    }
+
+    fn rx_peek(&mut self, node: NodeId) -> Option<RxMeta> {
+        if node.index() >= self.nodes {
+            return None;
+        }
+        let (s, local) = self.local(node);
+        let base = self.base[s];
+        let mut cell = lock(&self.pool.cells[s]);
+        if let Some(p) = cell.brx[local].front() {
+            return Some(RxMeta::of(p));
+        }
+        cell.subnet.rx_peek(NodeId::new(local)).map(|meta| RxMeta {
+            src: NodeId::new(base + meta.src.index()),
+            ..meta
+        })
+    }
+
+    fn rx_pending(&self, node: NodeId) -> usize {
+        if node.index() >= self.nodes {
+            return 0;
+        }
+        let (s, local) = self.local(node);
+        let cell = lock(&self.pool.cells[s]);
+        cell.brx[local].len() + cell.subnet.rx_pending(NodeId::new(local))
+    }
+
+    fn in_flight(&self) -> usize {
+        self.in_flight_cache
+    }
+
+    fn stats(&self) -> &NetStats {
+        &self.merged
+    }
+
+    fn guarantees(&self) -> Guarantees {
+        Guarantees::RAW
+    }
+
+    fn restarts(&self, node: NodeId) -> u32 {
+        self.boundary_faults.restarts(node, self.now)
+    }
+
+    fn restarts_hint(&self) -> u64 {
+        self.boundary_faults.restarts_total(self.now)
+    }
+
+    fn next_restart_at(&self) -> Option<Time> {
+        self.boundary_faults.next_restart_after(self.now)
+    }
+
+    fn take_delivered(&mut self) -> Vec<NodeId> {
+        if self.pool.cells.len() == 1 {
+            // Exact pass-through (boundary wake is necessarily empty):
+            // the unsharded substrate's wake order, byte for byte.
+            return lock(&self.pool.cells[0]).subnet.take_delivered();
+        }
+        let mut nodes = Vec::new();
+        for (s, cell) in self.pool.cells.iter().enumerate() {
+            let mut cell = lock(cell);
+            let base = self.base[s];
+            for n in cell.subnet.take_delivered() {
+                nodes.push(NodeId::new(base + n.index()));
+            }
+            for n in cell.wake.take() {
+                nodes.push(NodeId::new(base + n.index()));
+            }
+        }
+        // Canonical merge order: ascending global node id, independent
+        // of shard iteration and worker interleaving alike.
+        nodes.sort_unstable_by_key(|n| n.index());
+        nodes.dedup();
+        nodes
+    }
+}
+
+impl Drop for ShardedNetwork {
+    fn drop(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
+        match self.pool.ctl.lock() {
+            Ok(mut ctl) => ctl.shutdown = true,
+            Err(poisoned) => poisoned.into_inner().shutdown = true,
+        }
+        self.pool.work.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardedNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedNetwork")
+            .field("nodes", &self.nodes)
+            .field("shards", &self.pool.cells.len())
+            .field("threads", &self.threads)
+            .field("now", &self.now)
+            .field("in_flight", &self.in_flight_cache)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::CrashWindow;
+    use crate::switched::RouteStrategy;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn pkt(src: usize, dst: usize, seq: u32) -> Packet {
+        Packet::new(n(src), n(dst), 1, seq, vec![seq; 4])
+    }
+
+    fn cfg(shards: usize, threads: usize) -> ShardedConfig {
+        ShardedConfig {
+            shards,
+            threads,
+            cross_latency: 4,
+            switched: SwitchedConfig {
+                rx_queue_capacity: 64,
+                link_queue_capacity: 16,
+                seed: 77,
+                ..SwitchedConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn cross_shard_traffic_delivers_with_global_ids() {
+        let mut net = ShardedNetwork::new(16, cfg(4, 1));
+        assert_eq!(net.shard_of(n(1)), 0);
+        assert_eq!(net.shard_of(n(9)), 2);
+        net.try_inject(pkt(1, 9, 5)).unwrap();
+        assert_eq!(net.in_flight(), 1);
+        assert!(net.drain(1_000));
+        let got = net.try_receive(n(9)).expect("delivered");
+        assert_eq!(got.src(), n(1));
+        assert_eq!(got.dst(), n(9));
+        assert_eq!(got.header(), 5);
+        assert_eq!(net.stats().delivered, 1);
+        assert!(net.stats().latency.mean() >= 4.0, "crossing pays cross_latency");
+    }
+
+    #[test]
+    fn intra_shard_traffic_remaps_both_ways() {
+        let mut net = ShardedNetwork::new(16, cfg(4, 1));
+        // 12 and 15 both live in shard 3 (locals 0 and 3).
+        net.try_inject(pkt(12, 15, 9)).unwrap();
+        assert!(net.drain(1_000));
+        let meta = net.rx_peek(n(15)).expect("peekable");
+        assert_eq!(meta.src, n(12), "peek reports the global source");
+        let got = net.try_receive(n(15)).expect("delivered");
+        assert_eq!((got.src(), got.dst()), (n(12), n(15)));
+    }
+
+    #[test]
+    fn single_shard_is_identical_to_plain_switched() {
+        let template = SwitchedConfig {
+            strategy: RouteStrategy::Adaptive { candidates: 4 },
+            rx_queue_capacity: 64,
+            link_queue_capacity: 16,
+            seed: 99,
+            fault: FaultConfig {
+                duplicate_prob: 0.1,
+                delay_jitter: 6,
+                corruption_prob: 0.05,
+                ..FaultConfig::default()
+            },
+            ..SwitchedConfig::default()
+        };
+        let mut flat = SwitchedNetwork::new(fat_tree_for(16), template.clone());
+        let mut sharded = ShardedNetwork::new(
+            16,
+            ShardedConfig { shards: 1, threads: 1, cross_latency: 4, switched: template },
+        );
+        let mut flat_rx = Vec::new();
+        let mut shard_rx = Vec::new();
+        let mut flat_wakes = Vec::new();
+        let mut shard_wakes = Vec::new();
+        for s in 0..120u32 {
+            let p = pkt((s as usize) % 8, 8 + (s as usize) % 8, s);
+            assert_eq!(flat.try_inject(p.clone()).is_ok(), sharded.try_inject(p).is_ok());
+            flat.advance(2);
+            sharded.advance(2);
+            flat_wakes.push(flat.take_delivered());
+            shard_wakes.push(sharded.take_delivered());
+            for i in 0..16 {
+                while let Some(p) = flat.try_receive(n(i)) {
+                    flat_rx.push((i, p.header(), p.pair_seq()));
+                }
+                while let Some(p) = sharded.try_receive(n(i)) {
+                    shard_rx.push((i, p.header(), p.pair_seq()));
+                }
+            }
+        }
+        assert_eq!(flat_rx, shard_rx, "one shard must be byte-identical to flat");
+        assert_eq!(flat_wakes, shard_wakes, "wake order passes through unsorted");
+        let (a, b) = (flat.stats(), sharded.stats());
+        assert_eq!(
+            (a.injected, a.delivered, a.dropped_corrupt, a.duplicated),
+            (b.injected, b.delivered, b.dropped_corrupt, b.duplicated)
+        );
+        assert_eq!(a.latency.count(), b.latency.count());
+        assert_eq!(a.order.in_order(), b.order.in_order());
+    }
+
+    #[test]
+    fn results_are_invariant_across_thread_counts() {
+        let run = |threads: usize| {
+            let mut net = ShardedNetwork::new(
+                16,
+                ShardedConfig {
+                    switched: SwitchedConfig {
+                        fault: FaultConfig {
+                            duplicate_prob: 0.08,
+                            delay_jitter: 5,
+                            reorder_prob: 0.1,
+                            ..FaultConfig::default()
+                        },
+                        ..cfg(4, threads).switched
+                    },
+                    ..cfg(4, threads)
+                },
+            );
+            let mut rx = Vec::new();
+            let mut wakes = Vec::new();
+            for s in 0..200u32 {
+                // A mix of intra-shard and cross-shard pairs.
+                let src = (s as usize) % 16;
+                let dst = (src + 1 + (s as usize) % 11) % 16;
+                let _ = net.try_inject(pkt(src, dst, s));
+                net.advance(1 + (s as u64) % 3);
+                wakes.push(net.take_delivered());
+                for i in 0..16 {
+                    while let Some(p) = net.try_receive(n(i)) {
+                        rx.push((i, p.src().index(), p.header()));
+                    }
+                }
+            }
+            net.drain(10_000);
+            let st = net.stats().clone();
+            (
+                rx,
+                wakes,
+                st.injected,
+                st.delivered,
+                st.duplicated,
+                st.reordered,
+                st.latency.count(),
+                net.now().cycles(),
+            )
+        };
+        let t1 = run(1);
+        assert_eq!(t1, run(2), "2 threads must match 1 thread bit for bit");
+        assert_eq!(t1, run(4), "4 threads must match 1 thread bit for bit");
+    }
+
+    #[test]
+    fn wake_merge_is_in_ascending_node_order() {
+        let mut net = ShardedNetwork::new(16, cfg(4, 2));
+        // Cross-shard injections toward descending destinations.
+        for (i, dst) in [15usize, 2, 9, 6].into_iter().enumerate() {
+            net.try_inject(pkt((dst + 5) % 16, dst, i as u32)).unwrap();
+        }
+        net.drain(1_000);
+        let wakes = net.take_delivered();
+        assert!(!wakes.is_empty());
+        let mut sorted = wakes.clone();
+        sorted.sort_unstable_by_key(|n| n.index());
+        assert_eq!(wakes, sorted, "merged wakes must come out in node-id order");
+    }
+
+    #[test]
+    fn boundary_queue_backpressures_when_full() {
+        let mut net = ShardedNetwork::new(
+            8,
+            ShardedConfig {
+                shards: 2,
+                threads: 1,
+                cross_latency: 2,
+                switched: SwitchedConfig { rx_queue_capacity: 3, ..SwitchedConfig::default() },
+            },
+        );
+        // Node 6 lives in shard 1; never drain it.
+        let mut accepted = 0;
+        for s in 0..32u32 {
+            if net.try_inject(pkt(0, 6, s)).is_ok() {
+                accepted += 1;
+            }
+            net.advance(4);
+        }
+        assert_eq!(accepted, 3, "bounded boundary buffering must refuse the rest");
+        assert!(net.stats().backpressure > 0);
+        // Draining the node frees boundary space again.
+        while net.try_receive(n(6)).is_some() {}
+        assert!(net.try_inject(pkt(0, 6, 99)).is_ok());
+    }
+
+    #[test]
+    fn crash_window_silences_cross_shard_traffic_and_reports_restart() {
+        let mut net = ShardedNetwork::new(
+            16,
+            ShardedConfig {
+                switched: SwitchedConfig {
+                    fault: FaultConfig {
+                        crashes: vec![CrashWindow { node: n(9), start: 0, end: 50 }],
+                        ..FaultConfig::default()
+                    },
+                    ..cfg(4, 1).switched
+                },
+                ..cfg(4, 1)
+            },
+        );
+        net.try_inject(pkt(1, 9, 0)).unwrap(); // crossing into the dead node
+        assert_eq!(net.stats().crash_drops, 1);
+        assert_eq!(net.restarts(n(9)), 0);
+        assert_eq!(net.next_restart_at(), Some(Time::from_cycles(50)));
+        net.advance(60);
+        assert_eq!(net.restarts(n(9)), 1, "restart visible once the window closes");
+        assert_eq!(net.restarts_hint(), 1);
+        net.try_inject(pkt(1, 9, 1)).unwrap();
+        assert!(net.drain(1_000));
+        assert_eq!(net.stats().delivered, 1, "traffic flows after the restart");
+    }
+
+    #[test]
+    fn merged_occupancy_reduces_over_shards_and_boundary() {
+        let mut net = ShardedNetwork::new(16, cfg(4, 1));
+        net.try_inject(pkt(1, 2, 0)).unwrap(); // intra-shard
+        net.try_inject(pkt(1, 9, 1)).unwrap(); // cross-shard
+        assert!(net.drain(1_000));
+        let occ = net.merged_occupancy();
+        assert_eq!(occ.len(), 16);
+        assert_eq!(occ[1].delivered_from, 2);
+        assert_eq!(occ[2].delivered_to, 1);
+        assert_eq!(occ[9].delivered_to, 1);
+        // Trait-level per-node table is documented empty.
+        assert!(net.stats().occupancy_table().is_empty());
+    }
+
+    #[test]
+    fn uneven_partitions_cover_every_node() {
+        let mut net = ShardedNetwork::new(10, ShardedConfig { shards: 3, ..cfg(3, 1) });
+        for dst in 0..10 {
+            net.try_inject(pkt((dst + 3) % 10, dst, dst as u32)).unwrap();
+        }
+        assert!(net.drain(10_000));
+        assert_eq!(net.stats().delivered, 10);
+        for dst in 0..10 {
+            assert!(net.try_receive(n(dst)).is_some(), "node {dst} got its packet");
+        }
+    }
+}

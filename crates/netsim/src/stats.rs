@@ -137,6 +137,28 @@ impl LatencyStats {
     pub fn max(&self) -> u64 {
         self.max
     }
+
+    /// Fold another summary into this one: counts and histogram buckets
+    /// add, the extrema combine. The merged summary is exactly what a
+    /// single recorder observing both delivery streams would hold, so
+    /// composite substrates (dual, sharded) can aggregate per-side
+    /// summaries without losing quantile fidelity.
+    pub(crate) fn merge(&mut self, other: &LatencyStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
 }
 
 impl fmt::Display for LatencyStats {
@@ -225,6 +247,16 @@ impl OrderTracker {
         } else {
             self.out_of_order as f64 / total as f64
         }
+    }
+
+    /// Fold another tracker's *verdict counts* into this one. Per-pair
+    /// sequencing state is deliberately not merged: composite substrates
+    /// (dual, sharded) partition `(src, dst)` pairs disjointly across
+    /// their parts, so every pair's in/out-of-order verdicts were made
+    /// by exactly one side and the counts add without double judgment.
+    pub(crate) fn absorb_counts(&mut self, other: &OrderTracker) {
+        self.in_order += other.in_order;
+        self.out_of_order += other.out_of_order;
     }
 }
 
@@ -331,6 +363,44 @@ impl NetStats {
     /// the node count if trailing nodes saw no traffic).
     pub fn occupancy_table(&self) -> &[NodeOccupancy] {
         &self.per_node
+    }
+
+    /// Fold another instance's aggregate counters into this one: scalar
+    /// counters and order verdicts add, the latency histograms merge.
+    /// The per-node table is *not* absorbed (composite substrates index
+    /// it differently per part — see
+    /// [`absorb_per_node_offset`](Self::absorb_per_node_offset)).
+    pub(crate) fn absorb(&mut self, other: &NetStats) {
+        self.injected += other.injected;
+        self.delivered += other.delivered;
+        self.backpressure += other.backpressure;
+        self.dropped_corrupt += other.dropped_corrupt;
+        self.hw_retransmits += other.hw_retransmits;
+        self.rejects += other.rejects;
+        self.dropped_fault += other.dropped_fault;
+        self.duplicated += other.duplicated;
+        self.reordered += other.reordered;
+        self.jitter_delayed += other.jitter_delayed;
+        self.outage_drops += other.outage_drops;
+        self.crash_drops += other.crash_drops;
+        self.order.absorb_counts(&other.order);
+        self.latency.merge(&other.latency);
+    }
+
+    /// Fold another instance's per-node table into this one, shifting
+    /// its indices by `offset` (a sharded substrate's shard-local node
+    /// `i` is global node `offset + i`): delivery counts add, high-water
+    /// marks take the maximum.
+    pub(crate) fn absorb_per_node_offset(&mut self, other: &NetStats, offset: usize) {
+        for (i, occ) in other.per_node.iter().enumerate() {
+            if *occ == NodeOccupancy::default() {
+                continue;
+            }
+            let slot = self.node_mut(NodeId::new(offset + i));
+            slot.delivered_to += occ.delivered_to;
+            slot.delivered_from += occ.delivered_from;
+            slot.peak_rx_depth = slot.peak_rx_depth.max(occ.peak_rx_depth);
+        }
     }
 
     /// Overwrite this instance's per-node table with the elementwise

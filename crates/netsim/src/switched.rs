@@ -9,7 +9,7 @@
 //! never repaired — exactly the three network features whose software
 //! cost the paper measures.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use crate::fault::{FaultConfig, FaultSchedule};
 use crate::id::{NodeId, PacketId};
@@ -149,6 +149,15 @@ pub struct SwitchedNetwork<T> {
     rng: SimRng,
     faults: FaultSchedule,
     wake: WakeSet,
+    // Links with at least one queued packet, in ascending index order.
+    // `step` scans only these instead of every link in the topology; on
+    // a large, mostly-idle fabric that is the difference between O(L)
+    // and O(occupied) per cycle. Scanning a link with empty queues is a
+    // no-op (no head to move, `rr` untouched), so skipping empty links
+    // is trace-exact.
+    occupied: BTreeSet<usize>,
+    // Reusable snapshot buffer for the per-cycle scan.
+    scan: Vec<usize>,
 }
 
 impl<T: Topology> SwitchedNetwork<T> {
@@ -185,6 +194,8 @@ impl<T: Topology> SwitchedNetwork<T> {
             rng,
             faults,
             wake,
+            occupied: BTreeSet::new(),
+            scan: Vec::new(),
         }
     }
 
@@ -227,6 +238,7 @@ impl<T: Topology> SwitchedNetwork<T> {
                 transits.extend(q.drain(..));
             }
         }
+        self.occupied.clear();
         self.in_flight -= transits.len();
         SwappedContext { transits }
     }
@@ -249,6 +261,7 @@ impl<T: Topology> SwitchedNetwork<T> {
                 Time::from_cycles(u64::MAX)
             };
             self.links[li].queues[vc].push_back(transit);
+            self.occupied.insert(li);
         }
         self.last_progress = self.now;
     }
@@ -324,6 +337,9 @@ impl<T: Topology> SwitchedNetwork<T> {
     fn step(&mut self) {
         self.now += 1;
         self.release_due_holds();
+        if self.occupied.is_empty() {
+            return;
+        }
         let vcs = self.cfg.virtual_channels;
         // Move at most one packet per physical link per cycle: the
         // round-robin scan over virtual-channel heads finds the first
@@ -331,7 +347,17 @@ impl<T: Topology> SwitchedNetwork<T> {
         // space. A ready head on another VC can thereby overtake a
         // blocked one — that is exactly how virtual channels break
         // delivery order.
-        for li in 0..self.links.len() {
+        //
+        // Only occupied links are visited, in ascending index order —
+        // the same order the full scan would reach them. A link that
+        // *becomes* occupied mid-scan (a head moved onto it) holds only
+        // packets with `ready_at > now`, so the full scan's visit to it
+        // would be a no-op; a link occupied at snapshot time cannot
+        // empty before its visit (only its own visit pops it).
+        let mut scan = std::mem::take(&mut self.scan);
+        scan.clear();
+        scan.extend(self.occupied.iter().copied());
+        for &li in &scan {
             let start = self.links[li].rr;
             for k in 0..vcs {
                 let vc = (start + k) % vcs;
@@ -341,6 +367,7 @@ impl<T: Topology> SwitchedNetwork<T> {
                 }
             }
         }
+        self.scan = scan;
     }
 
     /// Attempt to move the head of `(link, vc)`; returns whether a
@@ -358,6 +385,9 @@ impl<T: Topology> SwitchedNetwork<T> {
             let corrupt = head.packet.is_corrupted();
             if corrupt || self.rx[dst].len() < self.cfg.rx_queue_capacity {
                 let transit = self.links[li].queues[vc].pop_front().expect("head exists");
+                if self.links[li].occupancy() == 0 {
+                    self.occupied.remove(&li);
+                }
                 self.deliver(transit);
                 self.wake_new_head(li, vc);
                 return true;
@@ -367,6 +397,10 @@ impl<T: Topology> SwitchedNetwork<T> {
             let next = head.path[head.hop + 1].index();
             if next != li && self.links[next].queues[vc].len() < self.cfg.link_queue_capacity {
                 let mut transit = self.links[li].queues[vc].pop_front().expect("head exists");
+                if self.links[li].occupancy() == 0 {
+                    self.occupied.remove(&li);
+                }
+                self.occupied.insert(next);
                 transit.hop += 1;
                 transit.ready_at = if self.links[next].queues[vc].is_empty() {
                     self.now + self.cfg.link_latency
@@ -425,6 +459,7 @@ impl<T: Topology> SwitchedNetwork<T> {
             ready_at,
             jitter: pending_jitter,
         });
+        self.occupied.insert(first);
         true
     }
 
@@ -557,6 +592,7 @@ impl<T: Topology> Network for SwitchedNetwork<T> {
             ready_at,
             jitter,
         });
+        self.occupied.insert(first);
         self.in_flight += 1;
         self.stats.injected += 1;
         self.last_progress = self.now;
@@ -1121,5 +1157,33 @@ mod tests {
             (order, format!("{}", net.stats()))
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn occupied_set_tracks_queued_links_exactly() {
+        let mut net = SwitchedNetwork::new(
+            FatTree::new(4, 2, 2),
+            SwitchedConfig {
+                strategy: RouteStrategy::Adaptive { candidates: 4 },
+                fault: FaultConfig { delay_jitter: 4, duplicate_prob: 0.1, ..FaultConfig::default() },
+                seed: 5,
+                ..SwitchedConfig::default()
+            },
+        );
+        let check = |net: &SwitchedNetwork<FatTree>| {
+            let truth: std::collections::BTreeSet<usize> = (0..net.links.len())
+                .filter(|&li| net.links[li].occupancy() > 0)
+                .collect();
+            assert_eq!(net.occupied, truth, "occupied index out of sync with link queues");
+        };
+        for s in 0..60u32 {
+            let _ = net.try_inject(pkt((s as usize) % 16, (s as usize * 7 + 3) % 16, s));
+            check(&net);
+            net.advance(1 + (s as u64) % 2);
+            check(&net);
+        }
+        assert!(net.drain(10_000));
+        check(&net);
+        assert!(net.occupied.is_empty(), "drained network has no queued links");
     }
 }

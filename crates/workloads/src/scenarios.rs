@@ -3,8 +3,8 @@
 
 use timego_netsim::{
     CrConfig, CrMode, CrNetwork, DeliveryScript, FatTree, FaultConfig, Mesh2D, NodeId,
-    OutageWindow, RouteStrategy, ScriptedNetwork, SwitchedConfig, SwitchedNetwork, Torus2D,
-    VcDiscipline, WormholeConfig, WormholeNetwork,
+    OutageWindow, RouteStrategy, ScriptedNetwork, ShardedConfig, ShardedNetwork, SwitchedConfig,
+    SwitchedNetwork, Torus2D, VcDiscipline, WormholeConfig, WormholeNetwork,
 };
 
 /// A CM-5-flavoured fat-tree network with deterministic routing:
@@ -156,6 +156,57 @@ pub fn cm5_chaos(nodes: usize, fault: FaultConfig, seed: u64) -> SwitchedNetwork
             fault,
             seed,
             ..SwitchedConfig::default()
+        },
+    )
+}
+
+/// The sharded counterpart of [`cm5_deterministic`]: the same
+/// deterministic-routing subnet configuration partitioned into `shards`
+/// fat-tree shards and stepped by `threads` workers. Results depend on
+/// `shards` (a model parameter) but never on `threads`; with
+/// `shards == 1` it is byte-identical to [`cm5_deterministic`].
+pub fn cm5_sharded(nodes: usize, shards: usize, threads: usize, seed: u64) -> ShardedNetwork {
+    ShardedNetwork::new(
+        nodes,
+        ShardedConfig {
+            shards,
+            threads,
+            switched: SwitchedConfig {
+                strategy: RouteStrategy::Deterministic,
+                seed,
+                ..SwitchedConfig::default()
+            },
+            ..ShardedConfig::default()
+        },
+    )
+}
+
+/// The sharded counterpart of [`cm5_chaos`]: adaptive subnets with the
+/// full fault mix, partitioned into `shards` shards stepped by
+/// `threads` workers. Crash/outage windows land on the shard owning the
+/// node; probabilistic faults draw from per-shard streams plus a
+/// boundary stream — so results depend on `shards` but not `threads`.
+pub fn cm5_sharded_chaos(
+    nodes: usize,
+    shards: usize,
+    threads: usize,
+    fault: FaultConfig,
+    seed: u64,
+) -> ShardedNetwork {
+    ShardedNetwork::new(
+        nodes,
+        ShardedConfig {
+            shards,
+            threads,
+            switched: SwitchedConfig {
+                strategy: RouteStrategy::Adaptive { candidates: 4 },
+                rx_queue_capacity: 64,
+                link_queue_capacity: 16,
+                fault,
+                seed,
+                ..SwitchedConfig::default()
+            },
+            ..ShardedConfig::default()
         },
     )
 }

@@ -19,6 +19,10 @@
 //! * while the event scheduler takes **no more op steps** than the
 //!   reference — and strictly fewer in aggregate, or the readiness
 //!   machinery isn't doing anything.
+//!
+//! A second soak re-runs the same workload on the parallel sharded
+//! substrate at 1, 2 and 4 worker threads and requires every thread
+//! count to be byte-identical to the single-threaded run.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -72,6 +76,17 @@ fn machine(sub: &str, fault: &FaultConfig, seed: u64) -> Machine {
             NODES,
             CmamConfig::default(),
         ),
+        // Parallel sharded substrate at each thread count: the shard
+        // layout (4 shards of 4 nodes) is fixed, only the worker count
+        // varies — results must not.
+        "sharded-t1" | "sharded-t2" | "sharded-t4" => {
+            let threads = sub.trim_start_matches("sharded-t").parse().expect("thread suffix");
+            Machine::new(
+                share(scenarios::cm5_sharded_chaos(NODES, 4, threads, fault.clone(), seed)),
+                NODES,
+                CmamConfig::default(),
+            )
+        }
         other => panic!("unknown substrate {other}"),
     }
 }
@@ -211,6 +226,38 @@ fn event_scheduler_is_trace_and_bill_identical_to_reference() {
         evt_steps < ref_steps,
         "event scheduler must skip idle steps somewhere (event {evt_steps} vs reference {ref_steps})"
     );
+}
+
+/// The PR 7 soak re-run on the parallel sharded substrate, at 1, 2 and
+/// 4 worker threads: within each thread count the event scheduler must
+/// be trace/bill/outcome-identical to the reference stepper, and across
+/// thread counts *everything* — traces, bills, outcomes, step counts —
+/// must be byte-identical to the single-threaded run. Thread count is
+/// an execution resource, never a model parameter.
+#[test]
+fn sharded_substrate_is_equivalent_at_every_thread_count() {
+    for variant in ["clean", "dup+jitter", "crash"] {
+        let fault = fault_variant(variant);
+        for seed in 0..SEEDS {
+            let baseline = run_one(SchedMode::EventDriven, "sharded-t1", &fault, seed);
+            let rr = run_one(SchedMode::ReferenceRoundRobin, "sharded-t1", &fault, seed);
+            let ctx = format!("sharded/{variant}/seed {seed}");
+            assert_eq!(baseline.trace, rr.trace, "{ctx}: event vs reference trace");
+            assert_eq!(baseline.bills, rr.bills, "{ctx}: event vs reference bills");
+            assert_eq!(baseline.outcomes, rr.outcomes, "{ctx}: event vs reference outcomes");
+            for sub in ["sharded-t2", "sharded-t4"] {
+                let threaded = run_one(SchedMode::EventDriven, sub, &fault, seed);
+                let ctx = format!("{sub}/{variant}/seed {seed}");
+                assert_eq!(
+                    threaded.trace, baseline.trace,
+                    "{ctx}: trace must be byte-identical to 1 thread"
+                );
+                assert_eq!(threaded.bills, baseline.bills, "{ctx}: bills vs 1 thread");
+                assert_eq!(threaded.outcomes, baseline.outcomes, "{ctx}: outcomes vs 1 thread");
+                assert_eq!(threaded.steps, baseline.steps, "{ctx}: step count vs 1 thread");
+            }
+        }
+    }
 }
 
 /// The default engine is the event scheduler — the whole test suite
