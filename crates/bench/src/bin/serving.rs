@@ -1,0 +1,305 @@
+//! Serving report: the RPC service plane swept across balancer
+//! policies, with per-class tail latency and per-class "where does the
+//! time go" bills, plus a goodput-under-overload curve.
+//!
+//! Two reports, both on the PR 8 sharded substrate:
+//!
+//! * **Policy sweep** — two open-loop QoS populations (a
+//!   deadline-supervised `interactive` class and a recovery-armed
+//!   `batch` class) drive a gateway tier + server pool at 4096 nodes
+//!   (512 under `--quick`) once per balancer policy. Each cell records
+//!   per-class p50/p99/p999 completion times and the Table-1-style
+//!   per-feature instruction breakdown split by class. The round-robin
+//!   cell re-runs at several substrate worker-thread counts and asserts
+//!   the full [`ServiceOutcome::signature`] identical — the bench
+//!   doubles as a determinism soak.
+//! * **Overload sweep** — a deliberately small pool swept from light
+//!   load to several times past its admission knee. Past the knee the
+//!   gateway sheds (billed to `FaultTol`) and goodput holds within a
+//!   few percent of its peak instead of collapsing — the serving
+//!   analogue of the congestion report's saturation knee, pinned by
+//!   `tests/serving_invariants.rs`.
+//!
+//! Everything lands in `BENCH_results.json` under `serving/`. Flags:
+//!
+//! * `--quick`: small node counts and populations (CI-friendly);
+//! * `--threads N`: determinism sweep over `{1, N}` instead of
+//!   `{1, 2, 4}`.
+
+use std::time::Instant;
+
+use timego_bench::results::BenchResults;
+use timego_cost::Feature;
+use timego_netsim::NodeId;
+use timego_workloads::service::{
+    run_service, serving_machine, BalancerPolicy, ClassOutcome, Migration, QosClass, ServiceOutcome,
+    ServiceSpec,
+};
+
+const SEED: u64 = 42;
+
+fn n(i: usize) -> NodeId {
+    NodeId::new(i)
+}
+
+fn range(lo: usize, count: usize) -> Vec<NodeId> {
+    (lo..lo + count).map(n).collect()
+}
+
+struct Sized {
+    nodes: usize,
+    shards: usize,
+    gateways: usize,
+    servers: usize,
+    interactive: usize,
+    batch: usize,
+}
+
+fn policy_sizing(quick: bool) -> Sized {
+    if quick {
+        Sized { nodes: 512, shards: 2, gateways: 4, servers: 16, interactive: 220, batch: 140 }
+    } else {
+        Sized { nodes: 4096, shards: 4, gateways: 16, servers: 64, interactive: 1300, batch: 900 }
+    }
+}
+
+fn policy_spec(s: &Sized, policy: BalancerPolicy) -> ServiceSpec {
+    ServiceSpec {
+        gateways: range(0, s.gateways),
+        servers: range(s.gateways, s.servers),
+        policy,
+        admission_bound: 4 * s.servers,
+        classes: vec![
+            QosClass::interactive(3, s.interactive, 1 << 20),
+            QosClass::batch(4, s.batch),
+        ],
+        migration: None,
+        seed: SEED,
+    }
+}
+
+fn drive(spec: &ServiceSpec, nodes: usize, shards: usize, threads: usize) -> (ServiceOutcome, u128) {
+    let mut m = serving_machine(nodes, shards, threads, SEED);
+    let wall = Instant::now();
+    let out = run_service(&mut m, spec);
+    (out, wall.elapsed().as_nanos())
+}
+
+fn record_class(res: &mut BenchResults, cell: &str, c: &ClassOutcome) {
+    let k = |tail: &str| format!("{cell}/{}/{tail}", c.name);
+    res.record_count(&k("offered"), c.offered as u64);
+    res.record_count(&k("admitted"), c.admitted as u64);
+    res.record_count(&k("shed"), c.shed as u64);
+    res.record_count(&k("completed"), c.completed as u64);
+    res.record_count(&k("failed"), c.failed as u64);
+    res.record_count(&k("re_executions"), c.re_executions);
+    res.record_cycles(&k("p50"), c.completion.quantile(0.50));
+    res.record_cycles(&k("p99"), c.completion.quantile(0.99));
+    res.record_cycles(&k("p999"), c.completion.quantile(0.999));
+    res.record_cycles(&k("max"), c.completion.max());
+    res.record_count(&k("mean_milli"), (c.completion.mean() * 1000.0) as u64);
+    for f in Feature::ALL {
+        res.record_count(
+            &k(&format!("bill/{}", feature_slug(f))),
+            c.bill.feature_total(f),
+        );
+    }
+    res.record_count(&k("bill/total"), c.bill.total());
+    res.record_count(
+        &k("bill/overhead_milli"),
+        (c.bill.overhead_fraction() * 1000.0) as u64,
+    );
+}
+
+fn feature_slug(f: Feature) -> &'static str {
+    match f {
+        Feature::Base => "base",
+        Feature::BufferMgmt => "buffer_mgmt",
+        Feature::InOrder => "in_order",
+        Feature::FaultTol => "fault_tol",
+    }
+}
+
+fn print_class(policy: &str, c: &ClassOutcome) {
+    println!(
+        "{:<18} {:<12} {:>6} {:>6} {:>5} {:>8} {:>8} {:>8}  {:>10} {:>6.1}%",
+        policy,
+        c.name,
+        c.completed,
+        c.failed,
+        c.shed,
+        c.completion.quantile(0.50),
+        c.completion.quantile(0.99),
+        c.completion.quantile(0.999),
+        c.bill.total(),
+        c.bill.overhead_fraction() * 100.0,
+    );
+}
+
+fn policy_sweep(res: &mut BenchResults, quick: bool, threads: &[usize]) {
+    let s = policy_sizing(quick);
+    let policies = [
+        BalancerPolicy::RoundRobin,
+        BalancerPolicy::LeastLoaded,
+        BalancerPolicy::ConsistentHash { vnodes: 64 },
+        BalancerPolicy::Random,
+    ];
+    println!(
+        "policy sweep: {} nodes, {} shards, {} gateways, {} servers",
+        s.nodes, s.shards, s.gateways, s.servers
+    );
+    println!(
+        "{:<18} {:<12} {:>6} {:>6} {:>5} {:>8} {:>8} {:>8}  {:>10} {:>7}",
+        "policy", "class", "done", "fail", "shed", "p50", "p99", "p999", "bill", "ovh"
+    );
+    for policy in policies {
+        let spec = policy_spec(&s, policy);
+        let (out, wall_ns) = drive(&spec, s.nodes, s.shards, 1);
+        let cell = format!("policy/{}/n{}", policy.name(), s.nodes);
+        assert_eq!(out.in_flight_at_end, 0, "serving run must drain");
+        for c in &out.classes {
+            assert_eq!(c.offered, c.admitted + c.shed, "conservation ({})", c.name);
+            assert_eq!(c.admitted, c.completed + c.failed, "conservation ({})", c.name);
+            print_class(policy.name(), c);
+            record_class(res, &cell, c);
+        }
+        res.record_cycles(&format!("{cell}/elapsed_cycles"), out.elapsed_cycles);
+        res.record_count(&format!("{cell}/peak_in_flight"), out.peak_in_flight as u64);
+        res.record_count(
+            &format!("{cell}/goodput_per_kcycle_milli"),
+            (out.goodput_per_kcycle() * 1000.0) as u64,
+        );
+        res.record_wall(&format!("{cell}/wall"), wall_ns);
+
+        // The determinism soak rides the round-robin cell: the same
+        // spec at every worker-thread count must produce the identical
+        // outcome signature, bills and histograms included.
+        if policy == BalancerPolicy::RoundRobin {
+            let pinned = out.signature();
+            res.record_count(&format!("{cell}/signature_lo32"), pinned & 0xffff_ffff);
+            for &t in threads {
+                let (run, t_wall) = drive(&spec, s.nodes, s.shards, t);
+                assert_eq!(
+                    run.signature(),
+                    pinned,
+                    "worker-thread count {t} changed the serving outcome"
+                );
+                println!("  t{t}: signature ok ({:.2}s)", t_wall as f64 / 1e9);
+                res.record_wall(&format!("{cell}/t{t}/wall"), t_wall);
+            }
+        }
+    }
+
+    // Shard migration under consistent hashing: retire a quarter of
+    // the pool mid-run, recruit spares, and show the run still drains
+    // clean — the remap cost is visible as completion-time spread, not
+    // as failures.
+    let mut spec = policy_spec(&s, BalancerPolicy::ConsistentHash { vnodes: 64 });
+    let spares = range(s.gateways + s.servers, s.servers / 4);
+    spec.migration =
+        Some(Migration { at: 0.5, retire: s.servers / 4, recruit: spares });
+    let (out, wall_ns) = drive(&spec, s.nodes, s.shards, 1);
+    let cell = format!("migration/consistent_hash/n{}", s.nodes);
+    assert_eq!(out.in_flight_at_end, 0);
+    for c in &out.classes {
+        assert_eq!(c.offered, c.admitted + c.shed);
+        assert_eq!(c.admitted, c.completed + c.failed);
+        print_class("ch+migration", c);
+        record_class(res, &cell, c);
+    }
+    res.record_cycles(&format!("{cell}/elapsed_cycles"), out.elapsed_cycles);
+    res.record_wall(&format!("{cell}/wall"), wall_ns);
+}
+
+/// The overload scenario: a small pool whose admission window is the
+/// bottleneck, swept across arrival intervals. Returns the interval,
+/// outcome pairs so the knee test can reuse the exact bench
+/// configuration.
+pub fn overload_points(quick: bool) -> Vec<(u64, ServiceOutcome)> {
+    let (nodes, shards) = if quick { (128, 2) } else { (256, 2) };
+    let (interactive, batch) = if quick { (260, 130) } else { (900, 450) };
+    let intervals: &[u64] = if quick { &[32, 8, 2, 1] } else { &[64, 32, 16, 8, 4, 2, 1] };
+    intervals
+        .iter()
+        .map(|&interval| {
+            let spec = ServiceSpec {
+                gateways: vec![n(0)],
+                servers: range(1, 3),
+                policy: BalancerPolicy::LeastLoaded,
+                admission_bound: 32,
+                classes: vec![
+                    QosClass::interactive(interval, interactive, 1 << 17),
+                    QosClass::batch(interval * 2, batch),
+                ],
+                migration: None,
+                seed: SEED,
+            };
+            let mut m = serving_machine(nodes, shards, 1, SEED);
+            (interval, run_service(&mut m, &spec))
+        })
+        .collect()
+}
+
+fn overload_sweep(res: &mut BenchResults, quick: bool) {
+    println!(
+        "\n{:<10} {:>10} {:>8} {:>8} {:>10} {:>10} {:>8}",
+        "interval", "goodput/kc", "shed%", "fail", "int p99", "bat p99", "peak_if"
+    );
+    let mut peak_goodput: f64 = 0.0;
+    for (interval, out) in overload_points(quick) {
+        let cell = format!("overload/i{interval}");
+        let failed: usize = out.classes.iter().map(|c| c.failed).sum();
+        peak_goodput = peak_goodput.max(out.goodput_per_kcycle());
+        println!(
+            "{:<10} {:>10.2} {:>7.1}% {:>8} {:>10} {:>10} {:>8}",
+            interval,
+            out.goodput_per_kcycle(),
+            out.shed_fraction() * 100.0,
+            failed,
+            out.classes[0].completion.quantile(0.99),
+            out.classes[1].completion.quantile(0.99),
+            out.peak_in_flight,
+        );
+        for c in &out.classes {
+            assert_eq!(c.offered, c.admitted + c.shed, "conservation ({})", c.name);
+            assert_eq!(c.admitted, c.completed + c.failed, "conservation ({})", c.name);
+            record_class(res, &cell, c);
+        }
+        res.record_count(
+            &format!("{cell}/goodput_per_kcycle_milli"),
+            (out.goodput_per_kcycle() * 1000.0) as u64,
+        );
+        res.record_count(
+            &format!("{cell}/shed_milli"),
+            (out.shed_fraction() * 1000.0) as u64,
+        );
+        res.record_cycles(&format!("{cell}/elapsed_cycles"), out.elapsed_cycles);
+        res.record_count(&format!("{cell}/peak_in_flight"), out.peak_in_flight as u64);
+        res.record_count(&format!("{cell}/backpressure"), out.backpressure);
+    }
+    res.record_count("overload/peak_goodput_per_kcycle_milli", (peak_goodput * 1000.0) as u64);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let threads_flag: Option<usize> = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--threads takes a positive integer"));
+    let thread_sweep: Vec<usize> = match threads_flag {
+        Some(1) | None => vec![2, 4],
+        Some(t) => vec![t],
+    };
+
+    let mut res = BenchResults::new("serving/");
+    policy_sweep(&mut res, quick, &thread_sweep);
+    overload_sweep(&mut res, quick);
+
+    let path = BenchResults::default_path();
+    match res.write_merged(&path) {
+        Ok(entries) => println!("\nwrote {entries} entries to {}", path.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
+}

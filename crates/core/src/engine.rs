@@ -106,7 +106,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 use std::time::Instant;
 
-use timego_cost::{Feature, Fine};
+use timego_cost::{CostVector, Feature, Fine};
 use timego_netsim::{LatencyStats, NodeId, RxMeta};
 use timego_ni::Addr;
 
@@ -638,6 +638,12 @@ pub struct Engine {
     // Consecutive no-progress cycles, persisted across `pump` calls
     // (diagnostic context for the defensive held-op sweep).
     idle_streak: u64,
+    // Request-class plane (see `set_class`): op id -> caller-assigned
+    // class tag, and the accumulated per-class cost split. Both empty
+    // unless a caller tags ops, and every hot-path hook is gated on
+    // that emptiness — untagged workloads pay nothing.
+    class_of: BTreeMap<OpId, u8>,
+    class_bills: BTreeMap<u8, CostVector>,
 }
 
 impl Default for Engine {
@@ -687,6 +693,8 @@ impl Engine {
             parked: BTreeMap::new(),
             trace: Vec::new(),
             idle_streak: 0,
+            class_of: BTreeMap::new(),
+            class_bills: BTreeMap::new(),
         }
     }
 
@@ -1470,6 +1478,104 @@ impl Engine {
         stats
     }
 
+    /// Tag a submitted operation with a *request class* (QoS tier,
+    /// tenant, priority band — any `u8` the caller chooses). From that
+    /// point every instruction the operation causes at either of its
+    /// endpoints — admission `start`, every `step` (including callee
+    /// handler work an RPC drives at its destination), and
+    /// engine-native recovery restarts — is *also* accumulated into
+    /// that class's [`CostVector`], splitting the per-node bills by
+    /// class. The split is attribution, not double-billing: the node
+    /// recorders are untouched, and on clean runs the per-class bills
+    /// sum exactly to the total the node recorders saw (see
+    /// `tests/serving_invariants.rs`).
+    ///
+    /// Tag an operation immediately after submission, before the pump
+    /// admits it — cost billed before the tag lands is not
+    /// re-attributed. Untagged operations are never snapshotted, and a
+    /// fully untagged engine skips the class plane entirely.
+    pub fn set_class(&mut self, id: OpId, class: u8) {
+        self.class_of.insert(id, class);
+    }
+
+    /// The class tag assigned to `id` via [`Engine::set_class`], if any.
+    #[must_use]
+    pub fn class_of(&self, id: OpId) -> Option<u8> {
+        self.class_of.get(&id).copied()
+    }
+
+    /// The accumulated cost attributed to `class` — the Table-1/2/3
+    /// projection for one request class. Empty if the class was never
+    /// billed.
+    #[must_use]
+    pub fn class_bill(&self, class: u8) -> CostVector {
+        self.class_bills.get(&class).cloned().unwrap_or_default()
+    }
+
+    /// Every `(class, bill)` pair accumulated so far, ascending by
+    /// class.
+    #[must_use]
+    pub fn class_bills(&self) -> Vec<(u8, CostVector)> {
+        self.class_bills.iter().map(|(&c, v)| (c, v.clone())).collect()
+    }
+
+    /// [`Engine::completion_times`] restricted to operations tagged
+    /// with `class`.
+    #[must_use]
+    pub fn completion_times_for_class(&self, class: u8) -> Vec<(OpId, u64)> {
+        self.completion_times()
+            .into_iter()
+            .filter(|(id, _)| self.class_of.get(id) == Some(&class))
+            .collect()
+    }
+
+    /// [`Engine::completion_stats`] restricted to operations tagged
+    /// with `class`.
+    #[must_use]
+    pub fn completion_stats_for_class(&self, class: u8) -> LatencyStats {
+        let mut stats = LatencyStats::default();
+        for (_, cycles) in self.completion_times_for_class(class) {
+            stats.record(cycles);
+        }
+        stats
+    }
+
+    /// Pre-step snapshot for the class plane: if `id` is tagged, the
+    /// cost recorders at both endpoints as they stand *before* the
+    /// about-to-run `start`/`step`. `None` (the untagged and
+    /// class-plane-off cases) makes the post hook free.
+    fn class_pre(
+        &self,
+        m: &Machine,
+        id: OpId,
+        endpoints: (NodeId, NodeId),
+    ) -> Option<(u8, CostVector, CostVector)> {
+        if self.class_of.is_empty() {
+            return None;
+        }
+        let &class = self.class_of.get(&id)?;
+        Some((class, m.cpu(endpoints.0).snapshot(), m.cpu(endpoints.1).snapshot()))
+    }
+
+    /// Post-step accumulation: whatever the endpoints' recorders gained
+    /// since `pre` is credited to the op's class. Single-threaded
+    /// stepping means the delta is exactly the cost this op caused.
+    fn class_post(
+        &mut self,
+        m: &Machine,
+        pre: Option<(u8, CostVector, CostVector)>,
+        endpoints: (NodeId, NodeId),
+    ) {
+        let Some((class, before_a, before_b)) = pre else { return };
+        let mut delta = m.cpu(endpoints.0).snapshot() - before_a;
+        if endpoints.1 != endpoints.0 {
+            delta += m.cpu(endpoints.1).snapshot() - before_b;
+        }
+        if !delta.is_empty() {
+            *self.class_bills.entry(class).or_default() += delta;
+        }
+    }
+
     /// Take the outcome of a finished operation (at most once).
     pub fn take_outcome(&mut self, id: OpId) -> Option<Result<OpOutcome, ProtocolError>> {
         self.outcomes.remove(&id)
@@ -1571,7 +1677,17 @@ impl Engine {
             while i < self.run_order.len() {
                 let slot = self.run_order[i];
                 self.counters.steps += 1;
-                match self.slots[slot].a.op.step(m) {
+                let cls = self.class_pre(
+                    m,
+                    self.slots[slot].a.id,
+                    self.slots[slot].a.op.endpoints(),
+                );
+                let stepped = self.slots[slot].a.op.step(m);
+                if cls.is_some() {
+                    let endpoints = self.slots[slot].a.op.endpoints();
+                    self.class_post(m, cls, endpoints);
+                }
+                match stepped {
                     Ok(Stepped::Progress) => {
                         let id = self.slots[slot].a.id;
                         self.slots[slot].a.last_progress_at = now;
@@ -1706,7 +1822,16 @@ impl Engine {
                 self.counters.steps += 1;
                 let st = self.profiler.as_ref().map(|_| Instant::now());
                 let clock_before = clock(m);
+                let cls = self.class_pre(
+                    m,
+                    self.slots[slot].a.id,
+                    self.slots[slot].a.op.endpoints(),
+                );
                 let stepped = self.slots[slot].a.op.step(m);
+                if cls.is_some() {
+                    let endpoints = self.slots[slot].a.op.endpoints();
+                    self.class_post(m, cls, endpoints);
+                }
                 // Blocking NI waits inside a step advance the substrate
                 // clock mid-pass, delivering packets along the way.
                 // Absorb those wakes immediately so sleepers at the
@@ -1972,7 +2097,10 @@ impl Engine {
                 self.busy.insert(k);
             }
             self.record(m, EngineEvent::Started(op.id));
+            let endpoints = op.op.endpoints();
+            let cls = self.class_pre(m, op.id, endpoints);
             op.op.start(m);
+            self.class_post(m, cls, endpoints);
             op.last_progress_at = clock(m);
             self.spawn(m, op);
         }
@@ -2033,10 +2161,12 @@ impl Engine {
         let wait = state.policy.window(state.re_executions);
         let src = state.spec.source();
         let cpu = m.cpu(src);
+        let cls = self.class_pre(m, id, (src, src));
         cpu.with_feature(Feature::FaultTol, |c| {
             c.reg(Fine::RegOp, recovery::SESSION_RESTART_REG);
             c.mem_store(recovery::SESSION_RESTART_MEM);
         });
+        self.class_post(m, cls, (src, src));
         self.record(m, EngineEvent::Recovering(id));
         let resume_at = clock(m).saturating_add(wait);
         self.parked.insert(id, resume_at);
@@ -2065,7 +2195,10 @@ impl Engine {
             let mut op =
                 self.recovery.get(&id).expect("parked ops are recovery-armed").spec.rebuild();
             self.record(m, EngineEvent::Started(id));
+            let endpoints = op.endpoints();
+            let cls = self.class_pre(m, id, endpoints);
             op.start(m);
+            self.class_post(m, cls, endpoints);
             let last_progress_at = clock(m);
             self.spawn(m, ActiveOp { id, op, last_progress_at });
         }

@@ -209,6 +209,22 @@ impl AddAssign for CostVector {
     }
 }
 
+impl Sub for CostVector {
+    type Output = CostVector;
+    /// Cell-wise difference. Panics on underflow (debug builds), so only
+    /// subtract an earlier snapshot of the *same* recorder from a later one.
+    fn sub(mut self, rhs: CostVector) -> CostVector {
+        for f in Feature::ALL {
+            let cell = &mut self.by_feature[f.index()];
+            *cell = *cell - rhs.by_feature[f.index()];
+        }
+        for f in Fine::ALL {
+            self.by_fine[f.index()] -= rhs.by_fine[f.index()];
+        }
+        self
+    }
+}
+
 impl fmt::Display for CostVector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -263,6 +279,19 @@ mod tests {
         let sum = a + b;
         assert_eq!(sum.fine_total(Fine::ReadNi), 3);
         assert_eq!(sum.class_triple(), FeatureCost::new(0, 0, 3));
+    }
+
+    #[test]
+    fn vectors_subtract() {
+        let mut later = CostVector::new();
+        later.record(Feature::Base, Fine::ReadNi, Class::Dev, 5);
+        later.record(Feature::FaultTol, Fine::RegOp, Class::Reg, 7);
+        let mut earlier = CostVector::new();
+        earlier.record(Feature::Base, Fine::ReadNi, Class::Dev, 2);
+        let delta = later.clone() - earlier.clone();
+        assert_eq!(delta.fine_total(Fine::ReadNi), 3);
+        assert_eq!(delta.feature_total(Feature::FaultTol), 7);
+        assert_eq!(earlier + delta, later);
     }
 
     #[test]

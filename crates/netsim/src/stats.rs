@@ -86,8 +86,11 @@ impl LatencyStats {
     /// quantile `q`: the true quantile of the recorded values is
     /// guaranteed to lie in `[lo, hi]`. [`quantile`](Self::quantile)
     /// reports `hi` (capped at the recorded maximum), so its error is
-    /// at most one power-of-two bucket width. Returns `(0, 0)` if
-    /// nothing has been recorded.
+    /// at most one power-of-two bucket width — this holds at every
+    /// `q`, including the deep-tail p999 the serving reports lean on
+    /// (`hi ≤ 2·lo + 1` for any non-catch-all bucket; the catch-all
+    /// top bucket is honestly bounded by the recorded maximum).
+    /// Returns `(0, 0)` if nothing has been recorded.
     pub fn quantile_bounds(&self, q: f64) -> (u64, u64) {
         if self.count == 0 {
             return (0, 0);
@@ -165,14 +168,15 @@ impl fmt::Display for LatencyStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "n={} mean={:.1} min={} max={} p50={} p95={} p99={}",
+            "n={} mean={:.1} min={} max={} p50={} p95={} p99={} p999={}",
             self.count,
             self.mean(),
             self.min,
             self.max,
             self.quantile(0.50),
             self.quantile(0.95),
-            self.quantile(0.99)
+            self.quantile(0.99),
+            self.quantile(0.999)
         )
     }
 }
@@ -573,6 +577,49 @@ mod tests {
         assert!(s.contains("p50="), "{s}");
         assert!(s.contains("p95="), "{s}");
         assert!(s.contains("p99="), "{s}");
+        assert!(s.contains("p999="), "{s}");
+    }
+
+    #[test]
+    fn p999_bucket_resolution_honesty() {
+        // Deep-tail honesty: with enough samples for p999 to resolve
+        // (n >> 1000), the bracket returned by `quantile_bounds(0.999)`
+        // must contain the exact rank-ceil(0.999 n) value, the reported
+        // p999 must be the max-capped upper bound, and the bracket
+        // must be no wider than one power-of-two bucket — the
+        // resolution this histogram honestly has in the tail.
+        for seed in [7u64, 19, 71] {
+            let mut rng = crate::rng::SimRng::new(seed);
+            let n = 5000usize;
+            let mut values = Vec::with_capacity(n);
+            let mut l = LatencyStats::default();
+            for i in 0..n {
+                // Body latencies ~[64, 1088); the last ~0.3% land a
+                // long tail two decades up, so p999 sits in the tail.
+                let v = if i % 347 == 0 {
+                    50_000 + rng.next_u64() % 100_000
+                } else {
+                    64 + rng.next_u64() % 1024
+                };
+                values.push(v);
+                l.record(v);
+            }
+            values.sort_unstable();
+            let rank = ((n as f64 * 0.999).ceil() as usize).min(n);
+            let exact = values[rank - 1];
+            let (lo, hi) = l.quantile_bounds(0.999);
+            assert!(
+                lo <= exact && exact <= hi,
+                "seed {seed}: exact p999 {exact} outside [{lo}, {hi}]"
+            );
+            assert_eq!(l.quantile(0.999), hi.min(l.max()), "seed {seed}");
+            // One-bucket bracket width: hi ≤ 2·lo + 1 (or the
+            // max-capped catch-all, which is tighter still).
+            assert!(
+                hi <= 2 * lo + 1 || hi == l.max(),
+                "seed {seed}: bracket [{lo}, {hi}] wider than one bucket"
+            );
+        }
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //!   (pairwise bulk exchanges);
 //! * [`collectives`] — broadcast / all-reduce / barrier built from
 //!   single-packet active messages (binomial and recursive-doubling
-//!   trees).
+//!   trees);
+//! * [`service`] — the service-plane actors: the admission-controlled
+//!   gateway tier and the RPC server pool (see [`crate::service`] for
+//!   the policies and the open-loop driver).
 //!
 //! Application *compute* runs with cost recording suspended, so the
 //! recorded instruction counts isolate the messaging layer — the same
@@ -21,4 +24,5 @@
 
 pub mod collectives;
 pub mod halo;
+pub mod service;
 pub mod sort;

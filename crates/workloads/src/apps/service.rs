@@ -1,0 +1,270 @@
+//! Service-plane actors: the gateway tier and the server pool.
+//!
+//! [`crate::service`] owns the policies and the open-loop driver; this
+//! module owns the two node-resident actors the driver wires together:
+//!
+//! * [`Gateway`] — admission control and routing *cost*. The routing
+//!   decision itself lives in [`Balancer`](crate::service::Balancer);
+//!   the gateway bills the instruction shape of each decision at the
+//!   gateway node (admission checks and routing under
+//!   `Feature::BufferMgmt` — it is queue management — and the shed
+//!   path under `Feature::FaultTol`, the feature that owns
+//!   load-shedding in the paper's taxonomy) and attributes every
+//!   instruction to the request's QoS class, so gateway overhead shows
+//!   up in the per-class "where does the time go" split alongside the
+//!   engine's own attribution.
+//! * [`ServerPool`] — registers the RPC handler on every pool node
+//!   (spares included, so a mid-run migration finds its recruits
+//!   ready). The handler performs the request's application work —
+//!   `work` units of a fixed load/store/ALU shape billed at the callee
+//!   — and counts its runs per server, which is what the exactly-once
+//!   invariant measures across crash re-executions.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use timego_am::Machine;
+use timego_cost::{CostVector, Feature, Fine};
+use timego_netsim::NodeId;
+
+use crate::service::BalancerPolicy;
+
+/// Instruction shapes of the gateway actor, in the calibrated-constant
+/// style of `timego_am`'s protocol costs.
+pub mod cost {
+    /// Admission check: load the in-flight counter and bound, compare,
+    /// branch.
+    pub const ADMIT_REG: u64 = 4;
+    /// Admission check memory traffic (counter + bound).
+    pub const ADMIT_MEM: u64 = 2;
+    /// Shed path: reject branch, per-class shed counter update.
+    pub const SHED_REG: u64 = 3;
+    /// Shed path memory traffic (counter store).
+    pub const SHED_MEM: u64 = 1;
+    /// Random pick: RNG step and bound fold.
+    pub const PICK_RANDOM_REG: u64 = 4;
+    /// Round-robin pick: cursor increment and wrap.
+    pub const PICK_RR_REG: u64 = 2;
+    /// Round-robin cursor load/store.
+    pub const PICK_RR_MEM: u64 = 2;
+    /// Least-loaded scan, per live server: compare and conditional
+    /// move.
+    pub const PICK_SCAN_REG_PER_SERVER: u64 = 2;
+    /// Least-loaded scan, per live server: load of the load-table
+    /// entry.
+    pub const PICK_SCAN_MEM_PER_SERVER: u64 = 1;
+    /// Consistent hash: SplitMix64 mix of the client key.
+    pub const PICK_HASH_REG: u64 = 9;
+    /// Consistent hash: per ring-search probe (binary search step).
+    pub const PICK_PROBE_REG: u64 = 2;
+    /// Consistent hash: per ring-search probe memory load.
+    pub const PICK_PROBE_MEM: u64 = 1;
+    /// Dispatch bookkeeping on the admitted path: request-context
+    /// store.
+    pub const DISPATCH_MEM: u64 = 2;
+}
+
+/// The gateway's admission verdict for one arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Under the bound: route and submit it.
+    Granted,
+    /// Over the bound: shed at the gateway, never submitted.
+    Shed,
+}
+
+/// The gateway-tier actor: a bounded admission window shared by every
+/// gateway node, with per-class shed counts and per-class attribution
+/// of every gateway instruction.
+#[derive(Debug)]
+pub struct Gateway {
+    bound: usize,
+    shed: Vec<usize>,
+    bills: Vec<CostVector>,
+}
+
+impl Gateway {
+    /// A gateway tier admitting at most `bound` in-flight requests,
+    /// serving `nclasses` QoS classes.
+    #[must_use]
+    pub fn new(bound: usize, nclasses: usize) -> Self {
+        Gateway {
+            bound,
+            shed: vec![0; nclasses],
+            bills: vec![CostVector::new(); nclasses],
+        }
+    }
+
+    /// Decide one arrival of class `ci` at gateway node `gw` with
+    /// `in_flight` requests currently admitted. Bills the admission
+    /// check (and the shed path, when taken) at the gateway node and
+    /// attributes it to the class.
+    pub fn admit(&mut self, m: &Machine, gw: NodeId, ci: usize, in_flight: usize) -> Admission {
+        let cpu = m.cpu(gw);
+        let before = cpu.snapshot();
+        cpu.with_feature(Feature::BufferMgmt, |c| {
+            c.reg(Fine::RegOp, cost::ADMIT_REG);
+            c.mem_load(cost::ADMIT_MEM);
+        });
+        let verdict = if in_flight >= self.bound {
+            cpu.with_feature(Feature::FaultTol, |c| {
+                c.reg(Fine::RegOp, cost::SHED_REG);
+                c.mem_store(cost::SHED_MEM);
+            });
+            self.shed[ci] += 1;
+            Admission::Shed
+        } else {
+            Admission::Granted
+        };
+        self.bills[ci] += cpu.snapshot() - before;
+        verdict
+    }
+
+    /// Bill the routing decision for an admitted request of class `ci`:
+    /// the per-policy instruction shape over `nservers` live servers,
+    /// plus dispatch bookkeeping, at gateway node `gw`.
+    pub fn bill_route(
+        &mut self,
+        m: &Machine,
+        gw: NodeId,
+        ci: usize,
+        policy: BalancerPolicy,
+        nservers: usize,
+    ) {
+        let cpu = m.cpu(gw);
+        let before = cpu.snapshot();
+        cpu.with_feature(Feature::BufferMgmt, |c| {
+            match policy {
+                BalancerPolicy::Random => c.reg(Fine::RegOp, cost::PICK_RANDOM_REG),
+                BalancerPolicy::RoundRobin => {
+                    c.reg(Fine::RegOp, cost::PICK_RR_REG);
+                    c.mem_load(cost::PICK_RR_MEM);
+                }
+                BalancerPolicy::LeastLoaded => {
+                    c.reg(Fine::RegOp, cost::PICK_SCAN_REG_PER_SERVER * nservers as u64);
+                    c.mem_load(cost::PICK_SCAN_MEM_PER_SERVER * nservers as u64);
+                }
+                BalancerPolicy::ConsistentHash { vnodes } => {
+                    let ring = (vnodes * nservers).max(2);
+                    let probes = u64::from((ring as u64).ilog2()) + 1;
+                    c.reg(Fine::RegOp, cost::PICK_HASH_REG + cost::PICK_PROBE_REG * probes);
+                    c.mem_load(cost::PICK_PROBE_MEM * probes);
+                }
+            }
+            c.mem_store(cost::DISPATCH_MEM);
+        });
+        self.bills[ci] += cpu.snapshot() - before;
+    }
+
+    /// Arrivals of class `ci` shed so far.
+    #[must_use]
+    pub fn shed(&self, ci: usize) -> usize {
+        self.shed[ci]
+    }
+
+    /// Gateway instructions attributed to class `ci` so far.
+    #[must_use]
+    pub fn bill(&self, ci: usize) -> CostVector {
+        self.bills[ci].clone()
+    }
+}
+
+/// Per-server handler-run counters, shared with the registered
+/// closures.
+pub type RunCounts = Rc<RefCell<BTreeMap<usize, u64>>>;
+
+/// The server-pool actor: one registered RPC handler per pool node
+/// (spares included), counting runs per server.
+#[derive(Debug)]
+pub struct ServerPool {
+    runs: RunCounts,
+}
+
+impl ServerPool {
+    /// Register the serving handler on every node of `servers` and
+    /// `spares` under `tag`. The handler echoes the request identity
+    /// (class, arrival index) back in the reply and performs
+    /// `msg.words[2]` work units, each a fixed shape of 2 loads, 1
+    /// store, and 3 register ops billed at the callee.
+    pub fn install(m: &mut Machine, servers: &[NodeId], spares: &[NodeId], tag: u8) -> Self {
+        let runs: RunCounts = Rc::new(RefCell::new(BTreeMap::new()));
+        for &s in servers.iter().chain(spares) {
+            let counter = Rc::clone(&runs);
+            let idx = s.index();
+            m.register_rpc_handler(s, tag, move |mem, msg| {
+                *counter.borrow_mut().entry(idx).or_insert(0) += 1;
+                let work = u64::from(msg.words[2]);
+                let cpu = mem.cpu();
+                cpu.mem_load(2 * work);
+                cpu.mem_store(work);
+                cpu.reg_op(3 * work);
+                [msg.words[0], msg.words[1], msg.words[2].wrapping_mul(3), 0]
+            });
+        }
+        ServerPool { runs }
+    }
+
+    /// Handler runs per server node index, for exactly-once accounting.
+    #[must_use]
+    pub fn runs(&self) -> BTreeMap<usize, u64> {
+        self.runs.borrow().clone()
+    }
+
+    /// Total handler runs across the pool.
+    #[must_use]
+    pub fn total_runs(&self) -> u64 {
+        self.runs.borrow().values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concurrent::switched_machine;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn gateway_sheds_past_the_bound_and_bills_the_class() {
+        let m = switched_machine(4, 1);
+        let mut g = Gateway::new(2, 2);
+        assert_eq!(g.admit(&m, n(0), 0, 0), Admission::Granted);
+        assert_eq!(g.admit(&m, n(0), 0, 1), Admission::Granted);
+        assert_eq!(g.admit(&m, n(0), 1, 2), Admission::Shed);
+        assert_eq!(g.shed(0), 0);
+        assert_eq!(g.shed(1), 1);
+        // Both classes paid the admission check; only the shed class
+        // paid the FaultTol shed shape.
+        assert!(g.bill(0).feature_total(Feature::BufferMgmt) > 0);
+        assert_eq!(g.bill(0).feature_total(Feature::FaultTol), 0);
+        assert!(g.bill(1).feature_total(Feature::FaultTol) > 0);
+    }
+
+    #[test]
+    fn gateway_route_billing_scales_with_policy() {
+        let m = switched_machine(4, 1);
+        let mut g = Gateway::new(8, 1);
+        g.bill_route(&m, n(0), 0, BalancerPolicy::RoundRobin, 4);
+        let rr = g.bill(0).total();
+        let mut g2 = Gateway::new(8, 1);
+        g2.bill_route(&m, n(0), 0, BalancerPolicy::LeastLoaded, 64);
+        let scan = g2.bill(0).total();
+        assert!(
+            scan > rr,
+            "a 64-server least-loaded scan ({scan}) must out-cost a rotation ({rr})"
+        );
+    }
+
+    #[test]
+    fn server_pool_counts_handler_runs() {
+        let mut m = switched_machine(4, 2);
+        let pool = ServerPool::install(&mut m, &[n(1), n(2)], &[], 40);
+        let reply = m.rpc_call(n(0), n(1), 40, [7, 9, 2, 0]).unwrap();
+        assert_eq!(reply, [7, 9, 6, 0]);
+        assert_eq!(pool.total_runs(), 1);
+        assert_eq!(pool.runs().get(&1), Some(&1));
+    }
+}

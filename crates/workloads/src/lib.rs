@@ -5,8 +5,11 @@
 //! nodes ([`patterns`]), deterministic payload generators
 //! ([`payloads`]), the parameter sweeps the paper's figures are built
 //! from ([`sweeps`]), engine-driven concurrent many-to-many
-//! traffic ([`concurrent`]), and the open-loop offered-load driver
-//! for congestion studies ([`load`]).
+//! traffic ([`concurrent`]), the open-loop offered-load driver
+//! for congestion studies ([`load`]), and the RPC service plane —
+//! client populations hitting a balanced, admission-controlled server
+//! pool with per-class accounting ([`service`], actors in
+//! [`apps::service`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,4 +21,5 @@ pub mod patterns;
 pub mod payloads;
 pub mod rpc;
 pub mod scenarios;
+pub mod service;
 pub mod sweeps;

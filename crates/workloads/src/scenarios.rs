@@ -181,6 +181,31 @@ pub fn cm5_sharded(nodes: usize, shards: usize, threads: usize, seed: u64) -> Sh
     )
 }
 
+/// The serving-plane substrate: [`cm5_sharded`] with server-grade
+/// queue depths (64-deep rx queues, 16-deep link queues — the depths
+/// [`cm5_sharded_chaos`] already uses). The service plane converges
+/// many replies on few gateway nodes; the default 16-deep rx queue
+/// wedges reply injection under an admission window wider than it,
+/// while these depths let congestion express as queueing delay and
+/// admission-controlled shedding instead.
+pub fn cm5_sharded_serving(nodes: usize, shards: usize, threads: usize, seed: u64) -> ShardedNetwork {
+    ShardedNetwork::new(
+        nodes,
+        ShardedConfig {
+            shards,
+            threads,
+            switched: SwitchedConfig {
+                strategy: RouteStrategy::Deterministic,
+                rx_queue_capacity: 64,
+                link_queue_capacity: 16,
+                seed,
+                ..SwitchedConfig::default()
+            },
+            ..ShardedConfig::default()
+        },
+    )
+}
+
 /// The sharded counterpart of [`cm5_chaos`]: adaptive subnets with the
 /// full fault mix, partitioned into `shards` shards stepped by
 /// `threads` workers. Crash/outage windows land on the shard owning the

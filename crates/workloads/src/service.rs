@@ -1,0 +1,822 @@
+//! The RPC service plane: open-loop client populations driving a
+//! sharded server pool through a gateway tier.
+//!
+//! This is the "millions of users" counterpart of [`crate::load`]: the
+//! client population is *virtual* (an open-loop arrival schedule, far
+//! larger than any node count), while the simulated nodes host the two
+//! real tiers — **gateways**, where requests arrive, pass admission
+//! control, and are routed by a pluggable [`Balancer`]; and
+//! **servers**, whose registered RPC handlers perform the per-request
+//! application work. Every request is an engine RPC from its gateway to
+//! the chosen server, tagged with its QoS class via
+//! [`Engine::set_class`], so the run splits both completion times and
+//! the paper's per-feature instruction bills *per request class* —
+//! "where does the time go" for a service, not a kernel.
+//!
+//! QoS classes map onto the engine's supervision primitives:
+//! a latency-sensitive class carries a per-request deadline (late work
+//! is failed fast, the serving analogue of [`Engine::set_deadline`]'s
+//! cancel semantics), while a throughput-sensitive class is
+//! recovery-armed ([`RecoveryPolicy`]) and re-executes through crashes
+//! to exactly-once completion. Admission control is a bounded in-flight
+//! window at the gateway tier: past it, arrivals are *shed* — billed to
+//! `FaultTol` at the gateway, never submitted — which is what keeps
+//! goodput flat (instead of collapsing) under overload.
+//!
+//! Accounting invariants (pinned by `tests/serving_invariants.rs`):
+//!
+//! * **Conservation** — `offered == admitted + shed` and
+//!   `admitted == completed + failed` with nothing in flight after the
+//!   drain.
+//! * **Bill additivity** — on clean runs, the sum of per-class bills
+//!   (engine split + gateway-side attribution) equals the untagged
+//!   total the node recorders saw.
+//! * **Exactly-once** — a recovery-armed class crossed with
+//!   [`CrashWindow`](timego_netsim::CrashWindow)s on its gateway runs
+//!   every admitted request's handler exactly once (reply-cache dedup
+//!   across re-executions).
+//! * **Thread invariance** — on [`ShardedNetwork`] the whole outcome
+//!   (bills, latencies, shed counts) is identical at every
+//!   worker-thread count.
+
+use std::collections::BTreeMap;
+
+use timego_am::{CmamConfig, Engine, Machine, OpId, RecoveryPolicy, RetryPolicy};
+use timego_cost::CostVector;
+use timego_netsim::{FaultConfig, LatencyStats, NodeId, ShardedNetwork, SimRng};
+
+use crate::apps::service::{Admission, Gateway, ServerPool};
+use crate::scenarios;
+
+/// SplitMix64 — the stateless mixer used for client keys and the
+/// consistent-hash ring (same finalizer family as the netsim RNG, but
+/// usable as a pure function of the key).
+#[must_use]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Load-balancing policy of the gateway tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BalancerPolicy {
+    /// Uniform random pick from the live server set (seeded, so runs
+    /// are reproducible).
+    Random,
+    /// Strict rotation over the live server set.
+    RoundRobin,
+    /// Pick the server with the fewest outstanding requests; ties break
+    /// to the lowest node id (deterministic).
+    LeastLoaded,
+    /// Consistent hashing on the client key over a ring of `vnodes`
+    /// virtual points per server. Server add/remove (shard migration)
+    /// remaps only the keys owned by the affected arcs — at most
+    /// ~`K/n` of `K` keys for one server among `n`.
+    ConsistentHash {
+        /// Virtual ring points per server; more points flatten the
+        /// per-server arc-length variance.
+        vnodes: usize,
+    },
+}
+
+impl BalancerPolicy {
+    /// Short stable name, used in report keys.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            BalancerPolicy::Random => "random",
+            BalancerPolicy::RoundRobin => "round_robin",
+            BalancerPolicy::LeastLoaded => "least_loaded",
+            BalancerPolicy::ConsistentHash { .. } => "consistent_hash",
+        }
+    }
+}
+
+/// A pluggable request router over a mutable server set.
+///
+/// The balancer is deliberately *driver-side* state (cursor, ring, RNG)
+/// — the instruction cost of a pick is billed separately at the gateway
+/// node by [`Gateway`], per policy.
+#[derive(Debug, Clone)]
+pub struct Balancer {
+    policy: BalancerPolicy,
+    servers: Vec<NodeId>,
+    rr_cursor: usize,
+    // Consistent-hash ring: (point, server), sorted by point. Empty for
+    // the other policies.
+    ring: Vec<(u64, NodeId)>,
+    rng: SimRng,
+}
+
+impl Balancer {
+    /// A balancer over `servers` (non-empty) with the given policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty.
+    #[must_use]
+    pub fn new(policy: BalancerPolicy, servers: &[NodeId], seed: u64) -> Self {
+        assert!(!servers.is_empty(), "balancer needs at least one server");
+        let mut b = Balancer {
+            policy,
+            servers: servers.to_vec(),
+            rr_cursor: 0,
+            ring: Vec::new(),
+            rng: SimRng::new(seed),
+        };
+        if let BalancerPolicy::ConsistentHash { vnodes } = policy {
+            for &s in servers {
+                b.insert_ring_points(s, vnodes);
+            }
+        }
+        b
+    }
+
+    /// The live server set, in insertion order.
+    #[must_use]
+    pub fn servers(&self) -> &[NodeId] {
+        &self.servers
+    }
+
+    fn insert_ring_points(&mut self, server: NodeId, vnodes: usize) {
+        for v in 0..vnodes {
+            let point = splitmix64(
+                (server.index() as u64) << 32 | (v as u64) | 0x5e47_0000_0000_0000,
+            );
+            let at = self.ring.partition_point(|&(p, _)| p < point);
+            self.ring.insert(at, (point, server));
+        }
+    }
+
+    /// Add a server to the live set (shard migration: recruit). Under
+    /// consistent hashing only the keys whose ring arcs the new points
+    /// capture move — everything else keeps its server.
+    pub fn add_server(&mut self, server: NodeId) {
+        if self.servers.contains(&server) {
+            return;
+        }
+        self.servers.push(server);
+        if let BalancerPolicy::ConsistentHash { vnodes } = self.policy {
+            self.insert_ring_points(server, vnodes);
+        }
+    }
+
+    /// Remove a server from the live set (shard migration: retire).
+    /// Under consistent hashing exactly the keys that server owned move
+    /// — each to the next live point on its arc.
+    pub fn remove_server(&mut self, server: NodeId) {
+        self.servers.retain(|&s| s != server);
+        self.ring.retain(|&(_, s)| s != server);
+        if self.rr_cursor >= self.servers.len() {
+            self.rr_cursor = 0;
+        }
+    }
+
+    /// Route one request: `key` identifies the client (consistent
+    /// hashing routes on it), `loads` maps servers to outstanding
+    /// request counts (least-loaded reads it; servers absent from the
+    /// map count as idle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if every server has been removed.
+    pub fn pick(&mut self, key: u64, loads: &BTreeMap<NodeId, usize>) -> NodeId {
+        assert!(!self.servers.is_empty(), "balancer has no live servers");
+        match self.policy {
+            BalancerPolicy::Random => {
+                let i = self.rng.gen_index(self.servers.len());
+                self.servers[i]
+            }
+            BalancerPolicy::RoundRobin => {
+                let s = self.servers[self.rr_cursor % self.servers.len()];
+                self.rr_cursor = (self.rr_cursor + 1) % self.servers.len();
+                s
+            }
+            BalancerPolicy::LeastLoaded => {
+                *self
+                    .servers
+                    .iter()
+                    .min_by_key(|&&s| (loads.get(&s).copied().unwrap_or(0), s.index()))
+                    .expect("non-empty server set")
+            }
+            BalancerPolicy::ConsistentHash { .. } => {
+                let h = splitmix64(key);
+                let at = self.ring.partition_point(|&(p, _)| p < h);
+                self.ring[at % self.ring.len()].1
+            }
+        }
+    }
+}
+
+/// One QoS class: an open-loop client population plus the engine
+/// primitives its requests are mapped onto.
+#[derive(Debug, Clone)]
+pub struct QosClass {
+    /// Stable name, used in report keys ("interactive", "batch", …).
+    pub name: &'static str,
+    /// The class tag handed to [`Engine::set_class`].
+    pub class: u8,
+    /// Cycles between successive arrivals of this population (open
+    /// loop; smaller is a higher offered rate). Must be ≥ 1.
+    pub interval: u64,
+    /// Total requests this population offers.
+    pub requests: usize,
+    /// Application work units the server handler performs per request
+    /// (each unit is a fixed load/store/ALU shape billed at the
+    /// callee).
+    pub work: u32,
+    /// Per-request deadline in cycles from submission, if the class is
+    /// latency-supervised: late requests are failed fast with
+    /// `DeadlineExceeded` instead of occupying the pool.
+    pub deadline: Option<u64>,
+    /// Engine-native re-execution budget, if the class is
+    /// recovery-armed: retryable failures (crash-window `SessionReset`s
+    /// included) park and re-execute to exactly-once completion.
+    pub recovery: Option<RecoveryPolicy>,
+    /// Inner protocol retry policy for the RPC itself.
+    pub retry: RetryPolicy,
+}
+
+impl QosClass {
+    /// A latency-sensitive class: small work, per-request deadline, no
+    /// re-execution (stale interactive replies are worthless).
+    #[must_use]
+    pub fn interactive(interval: u64, requests: usize, deadline: u64) -> Self {
+        QosClass {
+            name: "interactive",
+            class: 0,
+            interval,
+            requests,
+            work: 4,
+            deadline: Some(deadline),
+            recovery: None,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// A throughput-sensitive class: heavier work, no deadline,
+    /// recovery-armed so crashes re-execute instead of failing.
+    #[must_use]
+    pub fn batch(interval: u64, requests: usize) -> Self {
+        QosClass {
+            name: "batch",
+            class: 1,
+            interval,
+            requests,
+            work: 16,
+            deadline: None,
+            recovery: Some(RecoveryPolicy::default()),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// One serving run: tiers, policy, admission bound, and the class
+/// populations.
+#[derive(Debug, Clone)]
+pub struct ServiceSpec {
+    /// Gateway-tier nodes (requests arrive here; each RPC's caller).
+    pub gateways: Vec<NodeId>,
+    /// Server-pool nodes (RPC handlers live here).
+    pub servers: Vec<NodeId>,
+    /// How gateways route admitted requests.
+    pub policy: BalancerPolicy,
+    /// Admission bound: maximum requests in flight (admitted, not yet
+    /// settled) across the whole gateway tier. Arrivals past it are
+    /// shed.
+    pub admission_bound: usize,
+    /// The client populations.
+    pub classes: Vec<QosClass>,
+    /// Shard migration script: at the arrival fraction `at` (0.0–1.0 of
+    /// all arrivals), retire `retire` servers (the lowest-indexed live
+    /// ones) and recruit these spare nodes into the pool.
+    pub migration: Option<Migration>,
+    /// Seed for the balancer RNG and payload keys.
+    pub seed: u64,
+}
+
+/// A scripted mid-run reshape of the server pool (see
+/// [`ServiceSpec::migration`]).
+#[derive(Debug, Clone)]
+pub struct Migration {
+    /// Fraction of total arrivals after which the migration runs.
+    pub at: f64,
+    /// How many live servers to retire (lowest node ids first).
+    pub retire: usize,
+    /// Spare nodes to recruit.
+    pub recruit: Vec<NodeId>,
+}
+
+/// Per-class results of one serving run.
+#[derive(Debug, Clone)]
+pub struct ClassOutcome {
+    /// Class name from the spec.
+    pub name: &'static str,
+    /// Class tag from the spec.
+    pub class: u8,
+    /// Arrivals offered by this population.
+    pub offered: usize,
+    /// Arrivals admitted (submitted to the engine).
+    pub admitted: usize,
+    /// Arrivals shed at the gateway (admission bound hit).
+    pub shed: usize,
+    /// Admitted requests that completed successfully.
+    pub completed: usize,
+    /// Admitted requests that failed (deadline, retry exhaustion, …).
+    pub failed: usize,
+    /// Engine-native re-executions across this class's requests.
+    pub re_executions: u64,
+    /// Completion-time histogram (submission → settlement, queueing and
+    /// re-execution included) for this class only.
+    pub completion: LatencyStats,
+    /// The class's full cost bill: the engine's per-class split plus
+    /// the gateway-side admission/routing/shed instructions attributed
+    /// to this class.
+    pub bill: CostVector,
+}
+
+/// Whole-run results of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServiceOutcome {
+    /// Per-class outcomes, in spec order.
+    pub classes: Vec<ClassOutcome>,
+    /// Cycles from the first arrival to the end of the drain.
+    pub elapsed_cycles: u64,
+    /// Highest in-flight admitted count the run reached.
+    pub peak_in_flight: usize,
+    /// Requests still in flight after the drain (0 on a conserved run).
+    pub in_flight_at_end: usize,
+    /// Substrate backpressure events over the run.
+    pub backpressure: u64,
+    /// Handler runs per server node index — what the exactly-once
+    /// invariant audits: across crash re-executions, the pool-wide sum
+    /// stays equal to the admitted count (reply-cache dedup).
+    pub handler_runs: BTreeMap<usize, u64>,
+}
+
+impl ServiceOutcome {
+    /// Completed requests per elapsed kilocycle, across all classes —
+    /// the goodput axis of the overload curves.
+    #[must_use]
+    pub fn goodput_per_kcycle(&self) -> f64 {
+        if self.elapsed_cycles == 0 {
+            return 0.0;
+        }
+        let done: usize = self.classes.iter().map(|c| c.completed).sum();
+        done as f64 * 1000.0 / self.elapsed_cycles as f64
+    }
+
+    /// Shed fraction across all classes: shed / offered.
+    #[must_use]
+    pub fn shed_fraction(&self) -> f64 {
+        let offered: usize = self.classes.iter().map(|c| c.offered).sum();
+        if offered == 0 {
+            return 0.0;
+        }
+        let shed: usize = self.classes.iter().map(|c| c.shed).sum();
+        shed as f64 / offered as f64
+    }
+
+    /// A compact determinism signature: every count, bill total, and
+    /// histogram moment folded into one value. Two runs of the same
+    /// spec on the same substrate parameters must produce equal
+    /// signatures at every worker-thread count.
+    #[must_use]
+    pub fn signature(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut fold = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        fold(self.elapsed_cycles);
+        fold(self.peak_in_flight as u64);
+        fold(self.in_flight_at_end as u64);
+        fold(self.backpressure);
+        for (&server, &runs) in &self.handler_runs {
+            fold(server as u64);
+            fold(runs);
+        }
+        for c in &self.classes {
+            fold(c.class as u64);
+            fold(c.offered as u64);
+            fold(c.admitted as u64);
+            fold(c.shed as u64);
+            fold(c.completed as u64);
+            fold(c.failed as u64);
+            fold(c.re_executions);
+            fold(c.completion.count());
+            fold(c.completion.max());
+            fold(c.completion.quantile(0.5));
+            fold(c.completion.quantile(0.99));
+            fold(c.completion.quantile(0.999));
+            fold(c.bill.total());
+            fold(c.bill.overhead_total());
+        }
+        h
+    }
+}
+
+/// The request tag the serving plane registers its handlers under.
+pub const SERVICE_TAG: u8 = timego_am::Tags::USER_BASE + 7;
+
+fn clock(m: &Machine) -> u64 {
+    m.network().borrow().now().cycles()
+}
+
+/// Drive one serving run to completion: pace the merged per-class
+/// arrival schedules on the substrate clock (pumping the engine in
+/// between), pass every arrival through gateway admission and the
+/// balancer, submit admitted requests as class-tagged RPCs, then drain.
+///
+/// The machine should be freshly constructed for the run — substrate
+/// counters are read as whole-run totals, and the server handlers are
+/// (re)registered here.
+///
+/// # Panics
+///
+/// Panics if the spec has no classes, no gateways, no servers, a zero
+/// interval, or gateway/server tiers that overlap.
+pub fn run_service(m: &mut Machine, spec: &ServiceSpec) -> ServiceOutcome {
+    assert!(!spec.classes.is_empty(), "need at least one QoS class");
+    assert!(!spec.gateways.is_empty(), "need at least one gateway");
+    assert!(!spec.servers.is_empty(), "need at least one server");
+    assert!(spec.classes.iter().all(|c| c.interval >= 1), "intervals must be ≥ 1");
+    assert!(
+        spec.gateways.iter().all(|g| !spec.servers.contains(g)),
+        "gateway and server tiers must not overlap"
+    );
+
+    let nclasses = spec.classes.len();
+    let pool = ServerPool::install(
+        m,
+        &spec.servers,
+        spec.migration.as_ref().map_or(&[][..], |mig| &mig.recruit),
+        SERVICE_TAG,
+    );
+    let mut balancer = Balancer::new(spec.policy, &spec.servers, spec.seed);
+    let mut gateway = Gateway::new(spec.admission_bound, nclasses);
+    let mut eng = Engine::new();
+
+    // Merged arrival schedule: (due, class index, per-class arrival
+    // index), ordered by due cycle then class — deterministic.
+    let start = clock(m);
+    let mut arrivals: Vec<(u64, usize, usize)> = Vec::new();
+    for (ci, c) in spec.classes.iter().enumerate() {
+        for i in 0..c.requests {
+            arrivals.push((start + i as u64 * c.interval, ci, i));
+        }
+    }
+    arrivals.sort_unstable_by_key(|&(due, ci, i)| (due, ci, i));
+    let migrate_after = spec
+        .migration
+        .as_ref()
+        .map(|mig| ((arrivals.len() as f64) * mig.at.clamp(0.0, 1.0)) as usize);
+
+    // Request ledger: OpId -> (class index, server). Loads: server ->
+    // outstanding requests (what least-loaded routing reads).
+    let mut owner: BTreeMap<OpId, (usize, NodeId)> = BTreeMap::new();
+    let mut loads: BTreeMap<NodeId, usize> = BTreeMap::new();
+    let mut in_flight = 0usize;
+    let mut peak_in_flight = 0usize;
+    let mut admitted = vec![0usize; nclasses];
+    let mut settled = vec![0usize; nclasses];
+    let mut trace_seen = 0usize;
+    let mut ids: Vec<OpId> = Vec::new();
+
+    // Incremental completion harvest off the cycle-stamped trace: only
+    // final settlements appear as `Completed` (recovery re-executions
+    // park instead), so this is exactly the in-flight decrement.
+    let harvest = |eng: &Engine,
+                   trace_seen: &mut usize,
+                   owner: &BTreeMap<OpId, (usize, NodeId)>,
+                   loads: &mut BTreeMap<NodeId, usize>,
+                   settled: &mut Vec<usize>,
+                   in_flight: &mut usize| {
+        let trace = eng.trace();
+        for e in &trace[*trace_seen..] {
+            if let timego_am::EngineEvent::Completed(id, _) = e.event {
+                if let Some(&(ci, server)) = owner.get(&id) {
+                    *in_flight -= 1;
+                    settled[ci] += 1;
+                    if let Some(l) = loads.get_mut(&server) {
+                        *l = l.saturating_sub(1);
+                    }
+                }
+            }
+        }
+        *trace_seen = trace.len();
+    };
+
+    for (k, &(due, ci, i)) in arrivals.iter().enumerate() {
+        if migrate_after == Some(k) {
+            let mig = spec.migration.as_ref().expect("migrate_after implies migration");
+            let retire: Vec<NodeId> =
+                balancer.servers().iter().copied().take(mig.retire).collect();
+            for s in retire {
+                balancer.remove_server(s);
+            }
+            for &s in &mig.recruit {
+                balancer.add_server(s);
+            }
+        }
+        while clock(m) < due {
+            eng.pump(m);
+            harvest(&eng, &mut trace_seen, &owner, &mut loads, &mut settled, &mut in_flight);
+        }
+        let c = &spec.classes[ci];
+        // The client key: stable per (class, arrival), what consistent
+        // hashing routes on and what spreads arrivals over gateways.
+        let key = splitmix64(spec.seed ^ ((ci as u64) << 48) ^ i as u64);
+        let gw = spec.gateways[(key % spec.gateways.len() as u64) as usize];
+        match gateway.admit(m, gw, ci, in_flight) {
+            Admission::Shed => continue,
+            Admission::Granted => {}
+        }
+        let server = balancer.pick(key, &loads);
+        gateway.bill_route(m, gw, ci, spec.policy, balancer.servers().len());
+        let args = [ci as u32, i as u32, c.work, (key & 0xffff_ffff) as u32];
+        let id = match &c.recovery {
+            Some(rec) => {
+                eng.submit_rpc_recovering(m, gw, server, SERVICE_TAG, args, Some(&c.retry), rec)
+            }
+            None => eng.submit_rpc(m, gw, server, SERVICE_TAG, args, Some(&c.retry)),
+        };
+        eng.set_class(id, c.class);
+        if let Some(d) = c.deadline {
+            eng.set_deadline(m, id, d);
+        }
+        owner.insert(id, (ci, server));
+        ids.push(id);
+        *loads.entry(server).or_insert(0) += 1;
+        admitted[ci] += 1;
+        in_flight += 1;
+        peak_in_flight = peak_in_flight.max(in_flight);
+    }
+    while eng.unfinished() > 0 {
+        eng.pump(m);
+        harvest(&eng, &mut trace_seen, &owner, &mut loads, &mut settled, &mut in_flight);
+    }
+    harvest(&eng, &mut trace_seen, &owner, &mut loads, &mut settled, &mut in_flight);
+    let elapsed_cycles = clock(m) - start;
+
+    let mut completed = vec![0usize; nclasses];
+    let mut failed = vec![0usize; nclasses];
+    let mut re_execs = vec![0u64; nclasses];
+    for id in ids {
+        let (ci, _) = owner[&id];
+        re_execs[ci] += u64::from(eng.recovery_executions(id));
+        match eng.take_outcome(id).expect("engine drained") {
+            Ok(_) => completed[ci] += 1,
+            Err(_) => failed[ci] += 1,
+        }
+    }
+
+    let backpressure = m.network().borrow().stats().backpressure;
+    let classes = spec
+        .classes
+        .iter()
+        .enumerate()
+        .map(|(ci, c)| ClassOutcome {
+            name: c.name,
+            class: c.class,
+            offered: c.requests,
+            admitted: admitted[ci],
+            shed: gateway.shed(ci),
+            completed: completed[ci],
+            failed: failed[ci],
+            re_executions: re_execs[ci],
+            completion: eng.completion_stats_for_class(c.class),
+            bill: eng.class_bill(c.class) + gateway.bill(ci),
+        })
+        .collect();
+    let handler_runs = pool.runs();
+    drop(pool);
+    ServiceOutcome {
+        classes,
+        elapsed_cycles,
+        peak_in_flight,
+        in_flight_at_end: in_flight,
+        backpressure,
+        handler_runs,
+    }
+}
+
+/// A serving machine on the parallel sharded substrate: `nodes`
+/// endpoints on deterministic-routing fat-tree shards (the PR 8 server
+/// pool backbone) with server-grade queue depths — many replies
+/// converge on few gateways, so the substrate carries 64-deep rx
+/// queues (see [`scenarios::cm5_sharded_serving`]). Results depend on
+/// `shards`, never on `threads`.
+#[must_use]
+pub fn serving_machine(nodes: usize, shards: usize, threads: usize, seed: u64) -> Machine {
+    let net: ShardedNetwork = scenarios::cm5_sharded_serving(nodes, shards, threads, seed);
+    Machine::new(timego_ni::share(net), nodes, CmamConfig::default())
+}
+
+/// The chaos counterpart of [`serving_machine`]: same sharded fat-tree
+/// pool with a fault plane (crash windows land on the shard owning the
+/// node).
+#[must_use]
+pub fn serving_machine_chaos(
+    nodes: usize,
+    shards: usize,
+    threads: usize,
+    fault: FaultConfig,
+    seed: u64,
+) -> Machine {
+    let net = scenarios::cm5_sharded_chaos(nodes, shards, threads, fault, seed);
+    Machine::new(timego_ni::share(net), nodes, CmamConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn servers(lo: usize, count: usize) -> Vec<NodeId> {
+        (lo..lo + count).map(n).collect()
+    }
+
+    #[test]
+    fn round_robin_is_fair_over_a_full_rotation() {
+        let pool = servers(4, 5);
+        let mut b = Balancer::new(BalancerPolicy::RoundRobin, &pool, 1);
+        let loads = BTreeMap::new();
+        // Three full rotations: every server picked exactly three
+        // times, in pool order, regardless of keys.
+        let mut counts: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for k in 0..15u64 {
+            let s = b.pick(splitmix64(k), &loads);
+            assert_eq!(s, pool[(k % 5) as usize], "rotation order at pick {k}");
+            *counts.entry(s).or_insert(0) += 1;
+        }
+        assert!(counts.values().all(|&c| c == 3), "fair rotation: {counts:?}");
+    }
+
+    #[test]
+    fn least_loaded_tie_breaks_to_lowest_node_id_deterministically() {
+        let pool = servers(10, 4);
+        let mut b = Balancer::new(BalancerPolicy::LeastLoaded, &pool, 2);
+        let mut loads = BTreeMap::new();
+        // All idle: the lowest node id wins, every time.
+        for k in 0..8u64 {
+            assert_eq!(b.pick(k, &loads).index(), 10, "all-idle tie at pick {k}");
+        }
+        // Tie between 11 and 13 at load 1 (10 and 12 busier): 11 wins.
+        loads.insert(n(10), 3);
+        loads.insert(n(11), 1);
+        loads.insert(n(12), 2);
+        loads.insert(n(13), 1);
+        for k in 0..8u64 {
+            assert_eq!(b.pick(k, &loads).index(), 11, "two-way tie at pick {k}");
+        }
+        // Strictly least-loaded server wins when unique.
+        loads.insert(n(13), 0);
+        assert_eq!(b.pick(99, &loads).index(), 13);
+    }
+
+    #[test]
+    fn random_policy_reaches_every_server() {
+        let pool = servers(0, 6);
+        let mut b = Balancer::new(BalancerPolicy::Random, &pool, 42);
+        let loads = BTreeMap::new();
+        let mut counts: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for k in 0..600u64 {
+            *counts.entry(b.pick(k, &loads)).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 6, "every server reached");
+        // Seeded determinism: a fresh balancer with the same seed
+        // repeats the sequence exactly.
+        let mut b2 = Balancer::new(BalancerPolicy::Random, &pool, 42);
+        let mut b3 = Balancer::new(BalancerPolicy::Random, &pool, 42);
+        for k in 0..50u64 {
+            assert_eq!(b2.pick(k, &loads), b3.pick(k, &loads));
+        }
+    }
+
+    #[test]
+    fn consistent_hash_add_moves_at_most_one_nth_of_keys() {
+        const KEYS: u64 = 4000;
+        let pool = servers(0, 8);
+        let loads = BTreeMap::new();
+        let mut before = Balancer::new(BalancerPolicy::ConsistentHash { vnodes: 128 }, &pool, 3);
+        let owners: Vec<NodeId> = (0..KEYS).map(|k| before.pick(k, &loads)).collect();
+
+        // Recruit a ninth server: only arcs the new points capture may
+        // move, and every moved key must land on the recruit.
+        let mut after = before.clone();
+        after.add_server(n(100));
+        let mut moved = 0u64;
+        for k in 0..KEYS {
+            let now = after.pick(k, &loads);
+            if now != owners[k as usize] {
+                moved += 1;
+                assert_eq!(now.index(), 100, "key {k} moved to a non-recruit");
+            }
+        }
+        assert!(moved > 0, "a recruit must take over some arcs");
+        assert!(
+            moved <= KEYS / pool.len() as u64,
+            "add moved {moved} of {KEYS} keys over {} servers",
+            pool.len()
+        );
+
+        // Retire one original server: exactly its keys move.
+        let mut retired = before.clone();
+        retired.remove_server(pool[3]);
+        let mut moved = 0u64;
+        for k in 0..KEYS {
+            let now = retired.pick(k, &loads);
+            if now != owners[k as usize] {
+                moved += 1;
+                assert_eq!(
+                    owners[k as usize],
+                    pool[3],
+                    "key {k} moved without its server retiring"
+                );
+            }
+        }
+        assert!(moved > 0);
+        assert!(
+            moved <= KEYS * 2 / pool.len() as u64,
+            "remove moved {moved} of {KEYS} keys over {} servers",
+            pool.len()
+        );
+    }
+
+    #[test]
+    fn consistent_hash_is_stable_per_key() {
+        let pool = servers(0, 5);
+        let loads = BTreeMap::new();
+        let mut b = Balancer::new(BalancerPolicy::ConsistentHash { vnodes: 64 }, &pool, 9);
+        for k in (0..200u64).step_by(7) {
+            let first = b.pick(k, &loads);
+            for _ in 0..3 {
+                assert_eq!(b.pick(k, &loads), first, "key {k} must be sticky");
+            }
+        }
+    }
+
+    #[test]
+    fn splitmix_is_a_bijection_mixer() {
+        // Spot-check: distinct inputs stay distinct, zero doesn't fix.
+        assert_ne!(splitmix64(0), 0);
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..1000u64 {
+            assert!(seen.insert(splitmix64(k)), "collision at {k}");
+        }
+    }
+
+    #[test]
+    fn small_service_run_conserves_and_completes() {
+        let mut m = serving_machine(64, 2, 1, 11);
+        let spec = ServiceSpec {
+            gateways: vec![n(0), n(1)],
+            servers: servers(8, 4),
+            policy: BalancerPolicy::RoundRobin,
+            admission_bound: 64,
+            classes: vec![
+                QosClass::interactive(96, 30, 600_000),
+                QosClass::batch(160, 20),
+            ],
+            migration: None,
+            seed: 5,
+        };
+        let out = run_service(&mut m, &spec);
+        assert_eq!(out.in_flight_at_end, 0, "drained");
+        for c in &out.classes {
+            assert_eq!(c.offered, c.admitted + c.shed, "conservation ({})", c.name);
+            assert_eq!(c.admitted, c.completed + c.failed, "conservation ({})", c.name);
+            assert_eq!(c.shed, 0, "light load must not shed ({})", c.name);
+            assert_eq!(c.failed, 0, "light load must not fail ({})", c.name);
+            assert_eq!(c.completion.count() as usize, c.admitted);
+            assert!(c.bill.total() > 0, "class {} billed nothing", c.name);
+        }
+        assert!(out.goodput_per_kcycle() > 0.0);
+    }
+
+    #[test]
+    fn migration_mid_run_reshapes_the_pool_and_still_conserves() {
+        let mut m = serving_machine(64, 2, 1, 13);
+        let spec = ServiceSpec {
+            gateways: vec![n(0)],
+            servers: servers(8, 4),
+            policy: BalancerPolicy::ConsistentHash { vnodes: 64 },
+            admission_bound: 64,
+            classes: vec![QosClass::batch(128, 40)],
+            migration: Some(Migration { at: 0.5, retire: 2, recruit: vec![n(20), n(21)] }),
+            seed: 7,
+        };
+        let out = run_service(&mut m, &spec);
+        let c = &out.classes[0];
+        assert_eq!(c.offered, c.admitted + c.shed);
+        assert_eq!(c.admitted, c.completed + c.failed);
+        assert_eq!(c.failed, 0, "retired servers must still answer in-flight work");
+        assert_eq!(out.in_flight_at_end, 0);
+    }
+}
