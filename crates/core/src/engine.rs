@@ -644,6 +644,37 @@ pub struct Engine {
     // that emptiness — untagged workloads pay nothing.
     class_of: BTreeMap<OpId, u8>,
     class_bills: BTreeMap<u8, CostVector>,
+    // Per-class retry budgets (see `set_retry_budget`): a token bucket
+    // consulted before every engine-native re-execution of a tagged
+    // op. Empty unless a caller arms one — ops of unbudgeted classes
+    // (and untagged ops) recover exactly as before.
+    retry_budgets: BTreeMap<u8, RetryBudgetState>,
+}
+
+/// Token-bucket state of one class's retry budget. Tokens are held in
+/// milli-units (1000 = one re-execution) so slow refills stay integer
+/// and deterministic.
+#[derive(Debug, Clone)]
+struct RetryBudgetState {
+    capacity_milli: u64,
+    refill_milli_per_kcycle: u64,
+    tokens_milli: u64,
+    // Substrate clock of the last *spend* — refills are computed from
+    // here on demand, so precision is lost only when tokens move.
+    last_spend_at: u64,
+    denied: u64,
+}
+
+impl RetryBudgetState {
+    fn available_milli(&self, now: u64) -> u64 {
+        let gained = u64::try_from(
+            u128::from(now.saturating_sub(self.last_spend_at))
+                * u128::from(self.refill_milli_per_kcycle)
+                / 1000,
+        )
+        .unwrap_or(u64::MAX);
+        self.tokens_milli.saturating_add(gained).min(self.capacity_milli)
+    }
 }
 
 impl Default for Engine {
@@ -695,6 +726,7 @@ impl Engine {
             idle_streak: 0,
             class_of: BTreeMap::new(),
             class_bills: BTreeMap::new(),
+            retry_budgets: BTreeMap::new(),
         }
     }
 
@@ -1540,6 +1572,82 @@ impl Engine {
         stats
     }
 
+    /// Arm a *retry budget* for `class`: a token bucket holding at most
+    /// `capacity` re-execution tokens, refilled at
+    /// `refill_milli_per_kcycle` milli-tokens per thousand substrate
+    /// cycles (1000 = one full re-execution per kilocycle). Every
+    /// engine-native re-execution of an op tagged with `class` (via
+    /// [`Engine::set_class`]) spends one token *before* parking; when
+    /// the bucket is dry the recovery is **denied** — the op settles
+    /// with its retryable error exactly as if its
+    /// [`RecoveryPolicy`] budget were exhausted — and the denial is
+    /// counted ([`Engine::retry_budget_denied`]).
+    ///
+    /// This is the serving plane's cap on *recovery amplification*: a
+    /// correlated failure (a crashed server absorbing a whole class's
+    /// requests) otherwise multiplies every request into
+    /// `max_executions` attempts at the worst possible time. The bucket
+    /// starts full. Re-arming a class resets its bucket and counter.
+    /// Ops of classes without a budget — and untagged ops — are never
+    /// consulted.
+    pub fn set_retry_budget(&mut self, class: u8, capacity: u32, refill_milli_per_kcycle: u32) {
+        self.retry_budgets.insert(
+            class,
+            RetryBudgetState {
+                capacity_milli: u64::from(capacity) * 1000,
+                refill_milli_per_kcycle: u64::from(refill_milli_per_kcycle),
+                tokens_milli: u64::from(capacity) * 1000,
+                last_spend_at: 0,
+                denied: 0,
+            },
+        );
+    }
+
+    /// How many re-executions the retry budget of `class` has denied so
+    /// far (0 for classes without a budget).
+    #[must_use]
+    pub fn retry_budget_denied(&self, class: u8) -> u64 {
+        self.retry_budgets.get(&class).map_or(0, |b| b.denied)
+    }
+
+    /// Spend one re-execution token from `id`'s class budget, if its
+    /// class carries one. Returns `false` — and counts the denial — if
+    /// the bucket is dry; the caller then lets the failure settle.
+    fn charge_retry_budget(&mut self, m: &Machine, id: OpId) -> bool {
+        if self.retry_budgets.is_empty() {
+            return true;
+        }
+        let Some(&class) = self.class_of.get(&id) else { return true };
+        let Some(b) = self.retry_budgets.get_mut(&class) else { return true };
+        let now = clock(m);
+        let available = b.available_milli(now);
+        if available < 1000 {
+            b.denied += 1;
+            return false;
+        }
+        b.tokens_milli = available - 1000;
+        b.last_spend_at = now;
+        true
+    }
+
+    /// Incremental completion harvest: every `Completed` trace event
+    /// recorded since `cursor`, as `(id, ok, at)` tuples, advancing
+    /// `cursor` to the end of the trace. This is the first-win
+    /// primitive for drivers racing several submissions for one logical
+    /// request (hedging): harvest after each pump, settle the request
+    /// on its first successful leg, and [`Engine::cancel`] the losers —
+    /// whose cancellations then show up in the *next* harvest.
+    pub fn completions_since(&self, cursor: &mut usize) -> Vec<(OpId, bool, u64)> {
+        let mut out = Vec::new();
+        for e in &self.trace[*cursor..] {
+            if let EngineEvent::Completed(id, ok) = e.event {
+                out.push((id, ok, e.at));
+            }
+        }
+        *cursor = self.trace.len();
+        out
+    }
+
     /// Pre-step snapshot for the class plane: if `id` is tagged, the
     /// cost recorders at both endpoints as they stand *before* the
     /// about-to-run `start`/`step`. `None` (the untagged and
@@ -2147,10 +2255,19 @@ impl Engine {
         if !err.is_retryable() {
             return false;
         }
-        let Some(state) = self.recovery.get_mut(&id) else { return false };
-        if state.re_executions + 1 >= state.policy.max_executions {
+        {
+            let Some(state) = self.recovery.get(&id) else { return false };
+            if state.re_executions + 1 >= state.policy.max_executions {
+                return false;
+            }
+        }
+        // The class retry budget is spent *before* parking: a denial
+        // means the failure settles normally (and is counted), capping
+        // recovery amplification under correlated failure.
+        if !self.charge_retry_budget(m, id) {
             return false;
         }
+        let state = self.recovery.get_mut(&id).expect("recovery state just checked");
         // A failed first execution teaches the stream spec its base
         // sequence, so re-executions resume the burst (exactly-once)
         // instead of restarting it at a fresh sequence range.

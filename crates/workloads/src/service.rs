@@ -13,17 +13,44 @@
 //! the paper's per-feature instruction bills *per request class* —
 //! "where does the time go" for a service, not a kernel.
 //!
-//! QoS classes map onto the engine's supervision primitives:
-//! a latency-sensitive class carries a per-request deadline (late work
-//! is failed fast, the serving analogue of [`Engine::set_deadline`]'s
-//! cancel semantics), while a throughput-sensitive class is
-//! recovery-armed ([`RecoveryPolicy`]) and re-executes through crashes
-//! to exactly-once completion. Admission control is a bounded in-flight
-//! window at the gateway tier: past it, arrivals are *shed* — billed to
-//! `FaultTol` at the gateway, never submitted — which is what keeps
-//! goodput flat (instead of collapsing) under overload.
+//! # The failure domain
 //!
-//! Accounting invariants (pinned by `tests/serving_invariants.rs`):
+//! Under partial failure the paper's question gets a new answer: the
+//! time goes into timeouts, futile retries, and requests routed at
+//! corpses. The serving plane therefore carries a full failure domain:
+//!
+//! * **Heartbeat failure detection** ([`DetectorSpec`]) — gateways
+//!   probe every pool member with a cheap `am4` ping each probe
+//!   period. A probe is delivery-confirmed (the op completes when the
+//!   packet surfaces at the server) and deadline-bounded; consecutive
+//!   misses past the suspicion threshold *eject* the server from the
+//!   balancer. Probes ride the engine class plane under
+//!   [`DETECTOR_CLASS`] and their bookkeeping is billed to `FaultTol`
+//!   at the probing gateway, so detection itself shows up in the
+//!   "where does the time go" split.
+//! * **Health-aware balancing** — [`Balancer::eject`] removes a
+//!   suspected server's consistent-hash ring points (its arcs fall to
+//!   the next live point) and every scan policy skips ejected nodes;
+//!   [`Balancer::reinstate`] restores the exact same ring points when
+//!   probes succeed again (points are a pure function of server and
+//!   vnode), so routing reacts within ~2 probe periods of a crash and
+//!   recovers just as fast.
+//! * **Hedged requests** ([`HedgeSpec`]) — a hedge-armed request still
+//!   unsettled past the class's observed latency quantile gets a
+//!   second leg submitted to a different healthy server.
+//!   First-completion-wins: the winner settles the request and the
+//!   loser is [`Engine::cancel`]led; a pool-wide idempotency ledger in
+//!   [`ServerPool`] suppresses the duplicate handler run the losing
+//!   leg may have already caused, keeping exactly-once accounting.
+//! * **Retry budgets and the brownout breaker** — a per-class token
+//!   bucket ([`RetryBudget`] → [`Engine::set_retry_budget`]) caps
+//!   recovery amplification under correlated failure, and the gateway
+//!   [`BreakerSpec`] sheds brownout-sheddable classes outright (billed
+//!   like an admission shed) while the healthy-server fraction the
+//!   detector reports is below threshold.
+//!
+//! Accounting invariants (pinned by `tests/serving_invariants.rs` and
+//! `tests/serving_failover.rs`):
 //!
 //! * **Conservation** — `offered == admitted + shed` and
 //!   `admitted == completed + failed` with nothing in flight after the
@@ -32,20 +59,23 @@
 //!   (engine split + gateway-side attribution) equals the untagged
 //!   total the node recorders saw.
 //! * **Exactly-once** — a recovery-armed class crossed with
-//!   [`CrashWindow`](timego_netsim::CrashWindow)s on its gateway runs
-//!   every admitted request's handler exactly once (reply-cache dedup
-//!   across re-executions).
+//!   [`CrashWindow`](timego_netsim::CrashWindow)s runs every admitted
+//!   request's handler exactly once, hedge legs included (reply-cache
+//!   dedup within a server, idempotency ledger across servers).
 //! * **Thread invariance** — on [`ShardedNetwork`] the whole outcome
-//!   (bills, latencies, shed counts) is identical at every
-//!   worker-thread count.
+//!   (bills, latencies, shed counts, ejections, hedge wins) is
+//!   identical at every worker-thread count.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-use timego_am::{CmamConfig, Engine, Machine, OpId, RecoveryPolicy, RetryPolicy};
-use timego_cost::CostVector;
+use timego_am::{CmamConfig, Engine, Machine, OpId, RecoveryPolicy, RetryPolicy, Tags};
+use timego_cost::{CostVector, Feature, Fine};
 use timego_netsim::{FaultConfig, LatencyStats, NodeId, ShardedNetwork, SimRng};
 
-use crate::apps::service::{Admission, Gateway, ServerPool};
+pub use crate::apps::service::{
+    Admission, AdmissionWindow, BreakerSpec, Gateway, ServerPool,
+};
+use crate::apps::service::cost;
 use crate::scenarios;
 
 /// SplitMix64 — the stateless mixer used for client keys and the
@@ -70,6 +100,11 @@ pub enum BalancerPolicy {
     /// Pick the server with the fewest outstanding requests; ties break
     /// to the lowest node id (deterministic).
     LeastLoaded,
+    /// Pick the server with the lowest completion-time EWMA measured
+    /// from settled legs (servers with no sample yet count as fastest,
+    /// so cold servers get probed with real traffic); ties break to the
+    /// lowest node id.
+    LatencyEwma,
     /// Consistent hashing on the client key over a ring of `vnodes`
     /// virtual points per server. Server add/remove (shard migration)
     /// remaps only the keys owned by the affected arcs — at most
@@ -89,23 +124,56 @@ impl BalancerPolicy {
             BalancerPolicy::Random => "random",
             BalancerPolicy::RoundRobin => "round_robin",
             BalancerPolicy::LeastLoaded => "least_loaded",
+            BalancerPolicy::LatencyEwma => "latency_ewma",
             BalancerPolicy::ConsistentHash { .. } => "consistent_hash",
         }
     }
 }
 
-/// A pluggable request router over a mutable server set.
+/// The load signals a routing decision may read: outstanding request
+/// counts (what least-loaded scans) and per-server completion-time
+/// EWMAs (what [`BalancerPolicy::LatencyEwma`] scans). Servers absent
+/// from a map count as idle / unsampled.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadView<'a> {
+    /// Outstanding (submitted, unsettled) request legs per server.
+    pub outstanding: &'a BTreeMap<NodeId, usize>,
+    /// Completion-time EWMA per server, in cycles.
+    pub ewma: &'a BTreeMap<NodeId, u64>,
+}
+
+impl<'a> LoadView<'a> {
+    /// Bundle the two signal maps.
+    #[must_use]
+    pub fn new(
+        outstanding: &'a BTreeMap<NodeId, usize>,
+        ewma: &'a BTreeMap<NodeId, u64>,
+    ) -> Self {
+        LoadView { outstanding, ewma }
+    }
+}
+
+/// A pluggable request router over a mutable server set with a health
+/// overlay.
 ///
-/// The balancer is deliberately *driver-side* state (cursor, ring, RNG)
-/// — the instruction cost of a pick is billed separately at the gateway
-/// node by [`Gateway`], per policy.
+/// The balancer is deliberately *driver-side* state (cursor, ring, RNG,
+/// ejection set) — the instruction cost of a pick is billed separately
+/// at the gateway node by [`Gateway`], per policy.
+///
+/// **Membership vs health:** `add_server`/`remove_server` change the
+/// *member* set (shard migration); [`Balancer::eject`] /
+/// [`Balancer::reinstate`] toggle a member's *health* (failure
+/// detection). Routing draws from the live (member ∧ healthy) set and
+/// falls back to the full member set only when everything is ejected —
+/// degraded routing beats a panic when the whole pool browns out.
 #[derive(Debug, Clone)]
 pub struct Balancer {
     policy: BalancerPolicy,
     servers: Vec<NodeId>,
+    ejected: BTreeSet<NodeId>,
     rr_cursor: usize,
-    // Consistent-hash ring: (point, server), sorted by point. Empty for
-    // the other policies.
+    // Consistent-hash ring: (point, server), sorted by point, holding
+    // points of *live* members only. Empty for the other policies.
     ring: Vec<(u64, NodeId)>,
     rng: SimRng,
 }
@@ -122,6 +190,7 @@ impl Balancer {
         let mut b = Balancer {
             policy,
             servers: servers.to_vec(),
+            ejected: BTreeSet::new(),
             rr_cursor: 0,
             ring: Vec::new(),
             rng: SimRng::new(seed),
@@ -134,14 +203,42 @@ impl Balancer {
         b
     }
 
-    /// The live server set, in insertion order.
+    /// The member server set, in insertion order (ejected members
+    /// included — ejection is a health overlay, not membership).
     #[must_use]
     pub fn servers(&self) -> &[NodeId] {
         &self.servers
     }
 
+    /// Whether `server` is a pool member (healthy or not).
+    #[must_use]
+    pub fn is_member(&self, server: NodeId) -> bool {
+        self.servers.contains(&server)
+    }
+
+    /// Whether `server` is currently ejected by the failure detector.
+    #[must_use]
+    pub fn is_ejected(&self, server: NodeId) -> bool {
+        self.ejected.contains(&server)
+    }
+
+    /// Member count, ejected included.
+    #[must_use]
+    pub fn member_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Healthy member count.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.servers.iter().filter(|s| !self.ejected.contains(s)).count()
+    }
+
     fn insert_ring_points(&mut self, server: NodeId, vnodes: usize) {
         for v in 0..vnodes {
+            // A pure function of (server, vnode): reinstating a server
+            // recreates exactly the points ejection removed, so a
+            // crash-recover cycle is ownership-neutral.
             let point = splitmix64(
                 (server.index() as u64) << 32 | (v as u64) | 0x5e47_0000_0000_0000,
             );
@@ -150,11 +247,13 @@ impl Balancer {
         }
     }
 
-    /// Add a server to the live set (shard migration: recruit). Under
-    /// consistent hashing only the keys whose ring arcs the new points
-    /// capture move — everything else keeps its server.
+    /// Add a server to the member set (shard migration: recruit). A
+    /// recruit that is already a member only gets its health back.
+    /// Under consistent hashing only the keys whose ring arcs the new
+    /// points capture move — everything else keeps its server.
     pub fn add_server(&mut self, server: NodeId) {
         if self.servers.contains(&server) {
+            self.reinstate(server);
             return;
         }
         self.servers.push(server);
@@ -163,51 +262,167 @@ impl Balancer {
         }
     }
 
-    /// Remove a server from the live set (shard migration: retire).
-    /// Under consistent hashing exactly the keys that server owned move
-    /// — each to the next live point on its arc.
+    /// Remove a server from the member set (shard migration: retire).
+    /// Safe on ejected and on never-added servers — all its state
+    /// (membership, ring points, ejection) is purged, so a later
+    /// `add_server` of the same node starts fresh.
     pub fn remove_server(&mut self, server: NodeId) {
         self.servers.retain(|&s| s != server);
         self.ring.retain(|&(_, s)| s != server);
-        if self.rr_cursor >= self.servers.len() {
-            self.rr_cursor = 0;
+        self.ejected.remove(&server);
+    }
+
+    /// Mark a member unhealthy (failure detector: suspicion threshold
+    /// crossed). Its ring points leave the ring — each owned arc falls
+    /// to the next live point — and scan policies skip it. Returns
+    /// `false` if it is not a member or already ejected.
+    pub fn eject(&mut self, server: NodeId) -> bool {
+        if !self.servers.contains(&server) {
+            return false;
         }
+        if !self.ejected.insert(server) {
+            return false;
+        }
+        self.ring.retain(|&(_, s)| s != server);
+        true
+    }
+
+    /// Mark an ejected member healthy again (failure detector: probe
+    /// succeeded). Its exact ring points return. Returns `false` if it
+    /// was not ejected.
+    pub fn reinstate(&mut self, server: NodeId) -> bool {
+        if !self.ejected.remove(&server) {
+            return false;
+        }
+        if let BalancerPolicy::ConsistentHash { vnodes } = self.policy {
+            if self.servers.contains(&server) {
+                self.insert_ring_points(server, vnodes);
+            }
+        }
+        true
     }
 
     /// Route one request: `key` identifies the client (consistent
-    /// hashing routes on it), `loads` maps servers to outstanding
-    /// request counts (least-loaded reads it; servers absent from the
-    /// map count as idle).
+    /// hashing routes on it), `view` carries the load signals the scan
+    /// policies read. Ejected members are skipped; if *every* member is
+    /// ejected, routing falls back to the full member set (degraded
+    /// beats down).
     ///
     /// # Panics
     ///
     /// Panics if every server has been removed.
-    pub fn pick(&mut self, key: u64, loads: &BTreeMap<NodeId, usize>) -> NodeId {
+    pub fn pick(&mut self, key: u64, view: &LoadView) -> NodeId {
         assert!(!self.servers.is_empty(), "balancer has no live servers");
+        let live: Vec<NodeId> = self
+            .servers
+            .iter()
+            .copied()
+            .filter(|s| !self.ejected.contains(s))
+            .collect();
+        let pool: &[NodeId] = if live.is_empty() { &self.servers } else { &live };
         match self.policy {
             BalancerPolicy::Random => {
-                let i = self.rng.gen_index(self.servers.len());
-                self.servers[i]
+                let i = self.rng.gen_index(pool.len());
+                pool[i]
             }
             BalancerPolicy::RoundRobin => {
-                let s = self.servers[self.rr_cursor % self.servers.len()];
-                self.rr_cursor = (self.rr_cursor + 1) % self.servers.len();
+                let s = pool[self.rr_cursor % pool.len()];
+                self.rr_cursor = self.rr_cursor.wrapping_add(1);
                 s
             }
             BalancerPolicy::LeastLoaded => {
-                *self
-                    .servers
+                *pool
                     .iter()
-                    .min_by_key(|&&s| (loads.get(&s).copied().unwrap_or(0), s.index()))
-                    .expect("non-empty server set")
+                    .min_by_key(|&&s| {
+                        (view.outstanding.get(&s).copied().unwrap_or(0), s.index())
+                    })
+                    .expect("non-empty pool")
+            }
+            BalancerPolicy::LatencyEwma => {
+                *pool
+                    .iter()
+                    .min_by_key(|&&s| (view.ewma.get(&s).copied().unwrap_or(0), s.index()))
+                    .expect("non-empty pool")
             }
             BalancerPolicy::ConsistentHash { .. } => {
                 let h = splitmix64(key);
-                let at = self.ring.partition_point(|&(p, _)| p < h);
-                self.ring[at % self.ring.len()].1
+                if self.ring.is_empty() {
+                    // Every member ejected: degraded fallback keeps the
+                    // key → server mapping stable (pure hash over the
+                    // member list) until someone recovers.
+                    pool[(h % pool.len() as u64) as usize]
+                } else {
+                    let at = self.ring.partition_point(|&(p, _)| p < h);
+                    self.ring[at % self.ring.len()].1
+                }
             }
         }
     }
+
+    /// Pick the target for a hedge leg: the least-outstanding healthy
+    /// member other than `exclude` (the primary leg's server). `None`
+    /// when no such server exists — a hedge to the same box buys
+    /// nothing.
+    #[must_use]
+    pub fn pick_hedge(&self, exclude: NodeId, view: &LoadView) -> Option<NodeId> {
+        self.servers
+            .iter()
+            .copied()
+            .filter(|&s| s != exclude && !self.ejected.contains(&s))
+            .min_by_key(|&s| (view.outstanding.get(&s).copied().unwrap_or(0), s.index()))
+    }
+}
+
+/// The heartbeat failure detector's knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectorSpec {
+    /// Cycles between probe rounds. Each round sends one `am4` ping
+    /// from a gateway to every pool member without a probe already in
+    /// flight.
+    pub period: u64,
+    /// Per-probe deadline: a probe not delivery-confirmed within this
+    /// many cycles counts as a miss.
+    pub timeout: u64,
+    /// Consecutive misses before a server is ejected.
+    pub threshold: u32,
+}
+
+impl Default for DetectorSpec {
+    fn default() -> Self {
+        DetectorSpec { period: 1500, timeout: 1200, threshold: 2 }
+    }
+}
+
+/// Hedged-request policy for hedge-armed classes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgeSpec {
+    /// Latency quantile of the class's *observed* completions past
+    /// which an unsettled request hedges (0.95 = hedge the slowest 5%).
+    pub quantile: f64,
+    /// Observed completions required before the quantile is trusted.
+    pub min_samples: u64,
+    /// Hedge delay in cycles used until `min_samples` completions have
+    /// been observed.
+    pub bootstrap: u64,
+}
+
+impl Default for HedgeSpec {
+    fn default() -> Self {
+        HedgeSpec { quantile: 0.95, min_samples: 32, bootstrap: 8192 }
+    }
+}
+
+/// A per-class retry budget: the token bucket handed to
+/// [`Engine::set_retry_budget`], capping recovery re-executions so a
+/// correlated failure cannot amplify one class's offered load into an
+/// unbounded retry storm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryBudget {
+    /// Bucket capacity in re-execution tokens (also the initial fill).
+    pub capacity: u32,
+    /// Refill rate in milli-tokens per kilocycle (1000 = one
+    /// re-execution per kilocycle sustained).
+    pub refill_milli_per_kcycle: u32,
 }
 
 /// One QoS class: an open-loop client population plus the engine
@@ -237,11 +452,21 @@ pub struct QosClass {
     pub recovery: Option<RecoveryPolicy>,
     /// Inner protocol retry policy for the RPC itself.
     pub retry: RetryPolicy,
+    /// Whether requests of this class hedge when the run's
+    /// [`HedgeSpec`] is armed (tail insurance is an interactive trait —
+    /// batch work just waits).
+    pub hedge: bool,
+    /// Whether the brownout breaker may shed this class (see
+    /// [`BreakerSpec`]).
+    pub sheddable: bool,
+    /// Per-class retry budget, if capped (see [`RetryBudget`]).
+    pub retry_budget: Option<RetryBudget>,
 }
 
 impl QosClass {
     /// A latency-sensitive class: small work, per-request deadline, no
-    /// re-execution (stale interactive replies are worthless).
+    /// re-execution (stale interactive replies are worthless), hedged
+    /// and brownout-sheddable.
     #[must_use]
     pub fn interactive(interval: u64, requests: usize, deadline: u64) -> Self {
         QosClass {
@@ -253,11 +478,15 @@ impl QosClass {
             deadline: Some(deadline),
             recovery: None,
             retry: RetryPolicy::default(),
+            hedge: true,
+            sheddable: true,
+            retry_budget: None,
         }
     }
 
     /// A throughput-sensitive class: heavier work, no deadline,
-    /// recovery-armed so crashes re-execute instead of failing.
+    /// recovery-armed so crashes re-execute instead of failing; never
+    /// hedged or breaker-shed.
     #[must_use]
     pub fn batch(interval: u64, requests: usize) -> Self {
         QosClass {
@@ -269,12 +498,15 @@ impl QosClass {
             deadline: None,
             recovery: Some(RecoveryPolicy::default()),
             retry: RetryPolicy::default(),
+            hedge: false,
+            sheddable: false,
+            retry_budget: None,
         }
     }
 }
 
-/// One serving run: tiers, policy, admission bound, and the class
-/// populations.
+/// One serving run: tiers, policy, admission window, failure-domain
+/// knobs, and the class populations.
 #[derive(Debug, Clone)]
 pub struct ServiceSpec {
     /// Gateway-tier nodes (requests arrive here; each RPC's caller).
@@ -283,18 +515,41 @@ pub struct ServiceSpec {
     pub servers: Vec<NodeId>,
     /// How gateways route admitted requests.
     pub policy: BalancerPolicy,
-    /// Admission bound: maximum requests in flight (admitted, not yet
-    /// settled) across the whole gateway tier. Arrivals past it are
-    /// shed.
-    pub admission_bound: usize,
+    /// The admission window: tier-global or per-gateway in-flight
+    /// bound. Arrivals past it are shed.
+    pub window: AdmissionWindow,
     /// The client populations.
     pub classes: Vec<QosClass>,
     /// Shard migration script: at the arrival fraction `at` (0.0–1.0 of
     /// all arrivals), retire `retire` servers (the lowest-indexed live
     /// ones) and recruit these spare nodes into the pool.
     pub migration: Option<Migration>,
+    /// Heartbeat failure detection, if armed.
+    pub detector: Option<DetectorSpec>,
+    /// Hedged requests for hedge-armed classes, if armed.
+    pub hedge: Option<HedgeSpec>,
+    /// Gateway brownout breaker, if armed (needs the detector to feed
+    /// it a healthy fraction — without one it never trips).
+    pub breaker: Option<BreakerSpec>,
     /// Seed for the balancer RNG and payload keys.
     pub seed: u64,
+}
+
+impl Default for ServiceSpec {
+    fn default() -> Self {
+        ServiceSpec {
+            gateways: Vec::new(),
+            servers: Vec::new(),
+            policy: BalancerPolicy::RoundRobin,
+            window: AdmissionWindow::TierGlobal(64),
+            classes: Vec::new(),
+            migration: None,
+            detector: None,
+            hedge: None,
+            breaker: None,
+            seed: 0,
+        }
+    }
 }
 
 /// A scripted mid-run reshape of the server pool (see
@@ -303,7 +558,8 @@ pub struct ServiceSpec {
 pub struct Migration {
     /// Fraction of total arrivals after which the migration runs.
     pub at: f64,
-    /// How many live servers to retire (lowest node ids first).
+    /// How many live servers to retire (lowest node ids first; capped
+    /// so at least one member always remains).
     pub retire: usize,
     /// Spare nodes to recruit.
     pub recruit: Vec<NodeId>,
@@ -320,20 +576,32 @@ pub struct ClassOutcome {
     pub offered: usize,
     /// Arrivals admitted (submitted to the engine).
     pub admitted: usize,
-    /// Arrivals shed at the gateway (admission bound hit).
+    /// Arrivals shed at the gateway (admission bound hit or breaker
+    /// open).
     pub shed: usize,
-    /// Admitted requests that completed successfully.
+    /// The subset of [`ClassOutcome::shed`] the brownout breaker took.
+    pub breaker_shed: usize,
+    /// Admitted requests that completed successfully (first winning
+    /// leg).
     pub completed: usize,
-    /// Admitted requests that failed (deadline, retry exhaustion, …).
+    /// Admitted requests whose every leg failed (deadline, retry
+    /// exhaustion, …).
     pub failed: usize,
-    /// Engine-native re-executions across this class's requests.
+    /// Engine-native re-executions across this class's request legs.
     pub re_executions: u64,
-    /// Completion-time histogram (submission → settlement, queueing and
-    /// re-execution included) for this class only.
+    /// Recovery re-executions the class's retry budget denied.
+    pub budget_denied: u64,
+    /// Hedge legs launched for this class.
+    pub hedges: usize,
+    /// Requests settled by a hedge leg rather than the primary.
+    pub hedge_wins: usize,
+    /// Completion-time histogram (submission → settlement of the
+    /// *request*: first winning leg or last failing one; queueing,
+    /// re-execution, and hedging included) for this class only.
     pub completion: LatencyStats,
     /// The class's full cost bill: the engine's per-class split plus
-    /// the gateway-side admission/routing/shed instructions attributed
-    /// to this class.
+    /// the gateway-side admission/routing/shed/hedge instructions
+    /// attributed to this class.
     pub bill: CostVector,
 }
 
@@ -344,21 +612,39 @@ pub struct ServiceOutcome {
     pub classes: Vec<ClassOutcome>,
     /// Cycles from the first arrival to the end of the drain.
     pub elapsed_cycles: u64,
-    /// Highest in-flight admitted count the run reached.
+    /// Highest in-flight admitted count the run reached (tier-wide).
     pub peak_in_flight: usize,
+    /// Highest in-flight count per gateway node index.
+    pub peak_per_gateway: BTreeMap<usize, usize>,
     /// Requests still in flight after the drain (0 on a conserved run).
     pub in_flight_at_end: usize,
     /// Substrate backpressure events over the run.
     pub backpressure: u64,
     /// Handler runs per server node index — what the exactly-once
-    /// invariant audits: across crash re-executions, the pool-wide sum
-    /// stays equal to the admitted count (reply-cache dedup).
+    /// invariant audits: across crash re-executions *and hedge races*,
+    /// the pool-wide sum stays equal to the admitted count.
     pub handler_runs: BTreeMap<usize, u64>,
+    /// Handler invocations the pool's idempotency ledger suppressed
+    /// (the losing hedge leg's duplicate).
+    pub dup_suppressed: u64,
+    /// Heartbeat probes the detector sent.
+    pub probes: u64,
+    /// Probes that missed (deadline or delivery failure).
+    pub probe_failures: u64,
+    /// Servers ejected by the detector (threshold crossings, not a
+    /// distinct-server count).
+    pub ejections: u64,
+    /// Ejected servers reinstated after probes succeeded again.
+    pub reinstatements: u64,
+    /// What detection itself cost: the engine's bill for
+    /// [`DETECTOR_CLASS`] (the probe ops) plus the driver-side
+    /// suspicion bookkeeping billed at the gateways.
+    pub detector_bill: CostVector,
 }
 
 impl ServiceOutcome {
     /// Completed requests per elapsed kilocycle, across all classes —
-    /// the goodput axis of the overload curves.
+    /// the goodput axis of the overload and failover curves.
     #[must_use]
     pub fn goodput_per_kcycle(&self) -> f64 {
         if self.elapsed_cycles == 0 {
@@ -394,6 +680,17 @@ impl ServiceOutcome {
         fold(self.peak_in_flight as u64);
         fold(self.in_flight_at_end as u64);
         fold(self.backpressure);
+        fold(self.dup_suppressed);
+        fold(self.probes);
+        fold(self.probe_failures);
+        fold(self.ejections);
+        fold(self.reinstatements);
+        fold(self.detector_bill.total());
+        fold(self.detector_bill.overhead_total());
+        for (&gw, &peak) in &self.peak_per_gateway {
+            fold(gw as u64);
+            fold(peak as u64);
+        }
         for (&server, &runs) in &self.handler_runs {
             fold(server as u64);
             fold(runs);
@@ -403,9 +700,13 @@ impl ServiceOutcome {
             fold(c.offered as u64);
             fold(c.admitted as u64);
             fold(c.shed as u64);
+            fold(c.breaker_shed as u64);
             fold(c.completed as u64);
             fold(c.failed as u64);
             fold(c.re_executions);
+            fold(c.budget_denied);
+            fold(c.hedges as u64);
+            fold(c.hedge_wins as u64);
             fold(c.completion.count());
             fold(c.completion.max());
             fold(c.completion.quantile(0.5));
@@ -419,16 +720,301 @@ impl ServiceOutcome {
 }
 
 /// The request tag the serving plane registers its handlers under.
-pub const SERVICE_TAG: u8 = timego_am::Tags::USER_BASE + 7;
+pub const SERVICE_TAG: u8 = Tags::USER_BASE + 7;
+
+/// The tag heartbeat probes ride on (no handler — the probe op itself
+/// consumes the ping on delivery).
+pub const PROBE_TAG: u8 = Tags::USER_BASE + 8;
+
+/// The engine class tag detector probes are billed under, far outside
+/// the QoS range so detection cost never pollutes a class bill.
+pub const DETECTOR_CLASS: u8 = 0xff;
 
 fn clock(m: &Machine) -> u64 {
     m.network().borrow().now().cycles()
 }
 
+/// One request leg (primary or hedge) in flight.
+#[derive(Debug, Clone, Copy)]
+struct Leg {
+    /// Index into the request ledger.
+    req: usize,
+    server: NodeId,
+    submitted_at: u64,
+}
+
+/// One admitted request: its legs and settlement state.
+#[derive(Debug, Clone)]
+struct Req {
+    ci: usize,
+    gw: NodeId,
+    primary: NodeId,
+    args: [u32; 4],
+    submitted_at: u64,
+    legs: Vec<OpId>,
+    outstanding: usize,
+    hedged: bool,
+    settled: bool,
+}
+
+/// Driver-side detector state: suspicion counters, probes in flight,
+/// and the probe schedule.
+#[derive(Debug)]
+struct DetectorState {
+    spec: DetectorSpec,
+    misses: BTreeMap<NodeId, u32>,
+    outstanding: BTreeMap<OpId, NodeId>,
+    next_round: u64,
+    active: bool,
+    probes: u64,
+    failures: u64,
+    ejections: u64,
+    reinstatements: u64,
+    bill: CostVector,
+}
+
+/// The run's mutable driver state, bundled so the pacing loop, the
+/// harvest, the detector, and the hedger can hand it around without
+/// borrow gymnastics.
+struct Rt<'a> {
+    spec: &'a ServiceSpec,
+    balancer: Balancer,
+    gateway: Gateway,
+    det: Option<DetectorState>,
+    reqs: Vec<Req>,
+    legs: BTreeMap<OpId, Leg>,
+    outstanding: BTreeMap<NodeId, usize>,
+    ewma: BTreeMap<NodeId, u64>,
+    lat: Vec<LatencyStats>,
+    completed: Vec<usize>,
+    failed: Vec<usize>,
+    hedges: Vec<usize>,
+    hedge_wins: Vec<usize>,
+    hedge_due: BTreeMap<u64, Vec<usize>>,
+    cursor: usize,
+}
+
+impl Rt<'_> {
+    /// Drain new `Completed` trace events: settle requests first-win,
+    /// cancel losing hedge legs, update load signals, and feed probe
+    /// verdicts to the detector.
+    fn harvest(&mut self, m: &Machine, eng: &mut Engine) {
+        let done = eng.completions_since(&mut self.cursor);
+        if done.is_empty() {
+            return;
+        }
+        let mut verdicts: Vec<(NodeId, bool)> = Vec::new();
+        for (id, ok, at) in done {
+            let Some(leg) = self.legs.get(&id).copied() else {
+                if let Some(ds) = self.det.as_mut() {
+                    if let Some(server) = ds.outstanding.remove(&id) {
+                        verdicts.push((server, ok));
+                    }
+                }
+                continue;
+            };
+            if let Some(l) = self.outstanding.get_mut(&leg.server) {
+                *l = l.saturating_sub(1);
+            }
+            if ok {
+                let sample = at.saturating_sub(leg.submitted_at).max(1);
+                match self.ewma.get_mut(&leg.server) {
+                    Some(e) => *e = (*e * 7 + sample) / 8,
+                    None => {
+                        self.ewma.insert(leg.server, sample);
+                    }
+                }
+            }
+            let req = &mut self.reqs[leg.req];
+            req.outstanding = req.outstanding.saturating_sub(1);
+            if req.settled {
+                continue;
+            }
+            if ok {
+                // First completion wins: settle the request, cancel
+                // every other leg (a cancelled leg's own `Completed`
+                // event lands after the cursor and is absorbed on the
+                // next harvest).
+                req.settled = true;
+                let (ci, gw, t0) = (req.ci, req.gw, req.submitted_at);
+                let won_by_hedge = req.legs.first() != Some(&id);
+                let losers: Vec<OpId> =
+                    req.legs.iter().copied().filter(|&l| l != id).collect();
+                self.completed[ci] += 1;
+                if won_by_hedge {
+                    self.hedge_wins[ci] += 1;
+                }
+                self.lat[ci].record(at.saturating_sub(t0).max(1));
+                self.gateway.complete(gw);
+                for l in losers {
+                    eng.cancel(m, l);
+                }
+            } else if req.outstanding == 0 {
+                // Every leg failed: the request fails.
+                req.settled = true;
+                let (ci, gw, t0) = (req.ci, req.gw, req.submitted_at);
+                self.failed[ci] += 1;
+                self.lat[ci].record(at.saturating_sub(t0).max(1));
+                self.gateway.complete(gw);
+            }
+        }
+        for (server, ok) in verdicts {
+            self.probe_verdict(m, server, ok);
+        }
+    }
+
+    /// Apply one probe verdict: clear or bump the suspicion counter,
+    /// eject at the threshold, reinstate on recovery, and refresh the
+    /// breaker's healthy fraction. The bookkeeping is billed to
+    /// `FaultTol` at the probing gateway.
+    fn probe_verdict(&mut self, m: &Machine, server: NodeId, ok: bool) {
+        let Some(ds) = self.det.as_mut() else { return };
+        let prober =
+            self.spec.gateways[server.index() % self.spec.gateways.len()];
+        let cpu = m.cpu(prober);
+        let before = cpu.snapshot();
+        cpu.with_feature(Feature::FaultTol, |c| {
+            c.reg(Fine::RegOp, cost::PROBE_BOOK_REG);
+            c.mem_store(cost::PROBE_BOOK_MEM);
+        });
+        ds.bill += cpu.snapshot() - before;
+        if !self.balancer.is_member(server) {
+            // Migrated away while the probe was in flight.
+            ds.misses.remove(&server);
+            return;
+        }
+        if ok {
+            ds.misses.insert(server, 0);
+            if self.balancer.is_ejected(server) && self.balancer.reinstate(server) {
+                ds.reinstatements += 1;
+            }
+        } else {
+            ds.failures += 1;
+            let miss = ds.misses.entry(server).or_insert(0);
+            *miss += 1;
+            if *miss >= ds.spec.threshold
+                && !self.balancer.is_ejected(server)
+                && self.balancer.eject(server)
+            {
+                ds.ejections += 1;
+            }
+        }
+        self.gateway
+            .note_health(self.balancer.live_count(), self.balancer.member_count());
+    }
+
+    /// Launch a probe round if one is due: one deadline-bounded `am4`
+    /// ping per member without a probe already outstanding.
+    fn tick_detector(&mut self, m: &mut Machine, eng: &mut Engine) {
+        let ngw = self.spec.gateways.len();
+        let Some(ds) = self.det.as_mut() else { return };
+        if !ds.active {
+            return;
+        }
+        let now = clock(m);
+        if now < ds.next_round {
+            return;
+        }
+        let targets: Vec<NodeId> = self.balancer.servers().to_vec();
+        for server in targets {
+            if ds.outstanding.values().any(|&s| s == server) {
+                continue;
+            }
+            let prober = self.spec.gateways[server.index() % ngw];
+            // `RecoveryPolicy::none()` keeps the probe single-shot but
+            // routes it through the token-stamped submission path, so a
+            // ping landing after its op expired is orphan-discardable
+            // instead of wedging the server's rx queue.
+            let id = eng
+                .submit_am4_recovering(
+                    m,
+                    prober,
+                    server,
+                    PROBE_TAG,
+                    [0x5052_4f42, server.index() as u32, 0, 0],
+                    &RecoveryPolicy::none(),
+                )
+                .expect("probe submission");
+            eng.set_class(id, DETECTOR_CLASS);
+            eng.set_deadline(m, id, ds.spec.timeout);
+            ds.outstanding.insert(id, server);
+            ds.probes += 1;
+        }
+        while ds.next_round <= now {
+            ds.next_round += ds.spec.period.max(1);
+        }
+    }
+
+    /// Launch hedge legs for requests past their due point.
+    fn tick_hedges(&mut self, m: &mut Machine, eng: &mut Engine) {
+        if self.spec.hedge.is_none() {
+            return;
+        }
+        let now = clock(m);
+        while let Some((&due, _)) = self.hedge_due.first_key_value() {
+            if due > now {
+                break;
+            }
+            let (_, batch) = self.hedge_due.pop_first().expect("peeked entry");
+            for ri in batch {
+                self.launch_hedge(m, eng, ri, now);
+            }
+        }
+    }
+
+    fn launch_hedge(&mut self, m: &mut Machine, eng: &mut Engine, ri: usize, now: u64) {
+        let (ci, gw, primary, args, t0, hedged, settled) = {
+            let r = &self.reqs[ri];
+            (r.ci, r.gw, r.primary, r.args, r.submitted_at, r.hedged, r.settled)
+        };
+        if settled || hedged {
+            return;
+        }
+        let c = &self.spec.classes[ci];
+        let mut remaining = None;
+        if let Some(d) = c.deadline {
+            // Hedging into an almost-dead deadline window buys nothing.
+            let left = (t0 + d).saturating_sub(now);
+            if left < 2 {
+                return;
+            }
+            remaining = Some(left);
+        }
+        let view = LoadView::new(&self.outstanding, &self.ewma);
+        let Some(target) = self.balancer.pick_hedge(primary, &view) else {
+            return;
+        };
+        self.reqs[ri].hedged = true;
+        self.gateway.bill_hedge(m, gw, ci, self.balancer.live_count());
+        // The hedge leg is single-shot (no recovery): the primary owns
+        // durability, the hedge owns the tail.
+        let id = eng.submit_rpc(m, gw, target, SERVICE_TAG, args, Some(&c.retry));
+        eng.set_class(id, c.class);
+        if let Some(left) = remaining {
+            eng.set_deadline(m, id, left);
+        }
+        self.legs.insert(id, Leg { req: ri, server: target, submitted_at: now });
+        self.reqs[ri].legs.push(id);
+        self.reqs[ri].outstanding += 1;
+        *self.outstanding.entry(target).or_insert(0) += 1;
+        self.hedges[ci] += 1;
+    }
+
+    /// One pacing step: pump the engine, absorb completions, probe, and
+    /// hedge.
+    fn step(&mut self, m: &mut Machine, eng: &mut Engine) {
+        eng.pump(m);
+        self.harvest(m, eng);
+        self.tick_detector(m, eng);
+        self.tick_hedges(m, eng);
+    }
+}
+
 /// Drive one serving run to completion: pace the merged per-class
 /// arrival schedules on the substrate clock (pumping the engine in
 /// between), pass every arrival through gateway admission and the
-/// balancer, submit admitted requests as class-tagged RPCs, then drain.
+/// balancer, submit admitted requests as class-tagged RPCs — hedging,
+/// probing, and ejecting along the way — then drain.
 ///
 /// The machine should be freshly constructed for the run — substrate
 /// counters are read as whole-run totals, and the server handlers are
@@ -437,7 +1023,10 @@ fn clock(m: &Machine) -> u64 {
 /// # Panics
 ///
 /// Panics if the spec has no classes, no gateways, no servers, a zero
-/// interval, or gateway/server tiers that overlap.
+/// interval, gateway/server tiers that overlap, a zero-period or
+/// zero-threshold detector, or a class colliding with
+/// [`DETECTOR_CLASS`] while the detector is armed.
+#[allow(clippy::too_many_lines)]
 pub fn run_service(m: &mut Machine, spec: &ServiceSpec) -> ServiceOutcome {
     assert!(!spec.classes.is_empty(), "need at least one QoS class");
     assert!(!spec.gateways.is_empty(), "need at least one gateway");
@@ -447,6 +1036,13 @@ pub fn run_service(m: &mut Machine, spec: &ServiceSpec) -> ServiceOutcome {
         spec.gateways.iter().all(|g| !spec.servers.contains(g)),
         "gateway and server tiers must not overlap"
     );
+    if let Some(d) = spec.detector {
+        assert!(d.period >= 1 && d.timeout >= 1 && d.threshold >= 1, "degenerate detector");
+        assert!(
+            spec.classes.iter().all(|c| c.class != DETECTOR_CLASS),
+            "class tag {DETECTOR_CLASS:#x} is reserved for the failure detector"
+        );
+    }
 
     let nclasses = spec.classes.len();
     let pool = ServerPool::install(
@@ -455,13 +1051,48 @@ pub fn run_service(m: &mut Machine, spec: &ServiceSpec) -> ServiceOutcome {
         spec.migration.as_ref().map_or(&[][..], |mig| &mig.recruit),
         SERVICE_TAG,
     );
-    let mut balancer = Balancer::new(spec.policy, &spec.servers, spec.seed);
-    let mut gateway = Gateway::new(spec.admission_bound, nclasses);
     let mut eng = Engine::new();
+    for c in &spec.classes {
+        if let Some(rb) = &c.retry_budget {
+            eng.set_retry_budget(c.class, rb.capacity, rb.refill_milli_per_kcycle);
+        }
+    }
+    let mut gateway = Gateway::new(spec.window, nclasses);
+    if let Some(b) = spec.breaker {
+        gateway.set_breaker(b);
+    }
+    let start = clock(m);
+    let mut rt = Rt {
+        spec,
+        balancer: Balancer::new(spec.policy, &spec.servers, spec.seed),
+        gateway,
+        det: spec.detector.map(|d| DetectorState {
+            spec: d,
+            misses: BTreeMap::new(),
+            outstanding: BTreeMap::new(),
+            next_round: start,
+            active: true,
+            probes: 0,
+            failures: 0,
+            ejections: 0,
+            reinstatements: 0,
+            bill: CostVector::new(),
+        }),
+        reqs: Vec::new(),
+        legs: BTreeMap::new(),
+        outstanding: BTreeMap::new(),
+        ewma: BTreeMap::new(),
+        lat: (0..nclasses).map(|_| LatencyStats::default()).collect(),
+        completed: vec![0; nclasses],
+        failed: vec![0; nclasses],
+        hedges: vec![0; nclasses],
+        hedge_wins: vec![0; nclasses],
+        hedge_due: BTreeMap::new(),
+        cursor: 0,
+    };
 
     // Merged arrival schedule: (due, class index, per-class arrival
     // index), ordered by due cycle then class — deterministic.
-    let start = clock(m);
     let mut arrivals: Vec<(u64, usize, usize)> = Vec::new();
     for (ci, c) in spec.classes.iter().enumerate() {
         for i in 0..c.requests {
@@ -474,68 +1105,47 @@ pub fn run_service(m: &mut Machine, spec: &ServiceSpec) -> ServiceOutcome {
         .as_ref()
         .map(|mig| ((arrivals.len() as f64) * mig.at.clamp(0.0, 1.0)) as usize);
 
-    // Request ledger: OpId -> (class index, server). Loads: server ->
-    // outstanding requests (what least-loaded routing reads).
-    let mut owner: BTreeMap<OpId, (usize, NodeId)> = BTreeMap::new();
-    let mut loads: BTreeMap<NodeId, usize> = BTreeMap::new();
-    let mut in_flight = 0usize;
-    let mut peak_in_flight = 0usize;
     let mut admitted = vec![0usize; nclasses];
-    let mut settled = vec![0usize; nclasses];
-    let mut trace_seen = 0usize;
-    let mut ids: Vec<OpId> = Vec::new();
-
-    // Incremental completion harvest off the cycle-stamped trace: only
-    // final settlements appear as `Completed` (recovery re-executions
-    // park instead), so this is exactly the in-flight decrement.
-    let harvest = |eng: &Engine,
-                   trace_seen: &mut usize,
-                   owner: &BTreeMap<OpId, (usize, NodeId)>,
-                   loads: &mut BTreeMap<NodeId, usize>,
-                   settled: &mut Vec<usize>,
-                   in_flight: &mut usize| {
-        let trace = eng.trace();
-        for e in &trace[*trace_seen..] {
-            if let timego_am::EngineEvent::Completed(id, _) = e.event {
-                if let Some(&(ci, server)) = owner.get(&id) {
-                    *in_flight -= 1;
-                    settled[ci] += 1;
-                    if let Some(l) = loads.get_mut(&server) {
-                        *l = l.saturating_sub(1);
-                    }
-                }
-            }
-        }
-        *trace_seen = trace.len();
-    };
-
     for (k, &(due, ci, i)) in arrivals.iter().enumerate() {
         if migrate_after == Some(k) {
             let mig = spec.migration.as_ref().expect("migrate_after implies migration");
-            let retire: Vec<NodeId> =
-                balancer.servers().iter().copied().take(mig.retire).collect();
-            for s in retire {
-                balancer.remove_server(s);
+            let members: Vec<NodeId> = rt.balancer.servers().to_vec();
+            // Never retire the whole pool: at least one member stays so
+            // routing (and the detector's health denominator) survives
+            // a misconfigured script.
+            let retire_n = mig.retire.min(members.len().saturating_sub(1));
+            for &s in members.iter().take(retire_n) {
+                rt.balancer.remove_server(s);
+                if let Some(ds) = rt.det.as_mut() {
+                    ds.misses.remove(&s);
+                }
             }
             for &s in &mig.recruit {
-                balancer.add_server(s);
+                rt.balancer.add_server(s);
+            }
+            if rt.det.is_some() {
+                rt.gateway
+                    .note_health(rt.balancer.live_count(), rt.balancer.member_count());
             }
         }
         while clock(m) < due {
-            eng.pump(m);
-            harvest(&eng, &mut trace_seen, &owner, &mut loads, &mut settled, &mut in_flight);
+            rt.step(m, &mut eng);
         }
+        rt.tick_detector(m, &mut eng);
+        rt.tick_hedges(m, &mut eng);
         let c = &spec.classes[ci];
         // The client key: stable per (class, arrival), what consistent
         // hashing routes on and what spreads arrivals over gateways.
         let key = splitmix64(spec.seed ^ ((ci as u64) << 48) ^ i as u64);
         let gw = spec.gateways[(key % spec.gateways.len() as u64) as usize];
-        match gateway.admit(m, gw, ci, in_flight) {
+        match rt.gateway.admit(m, gw, ci, c.sheddable) {
             Admission::Shed => continue,
             Admission::Granted => {}
         }
-        let server = balancer.pick(key, &loads);
-        gateway.bill_route(m, gw, ci, spec.policy, balancer.servers().len());
+        let view = LoadView::new(&rt.outstanding, &rt.ewma);
+        let server = rt.balancer.pick(key, &view);
+        rt.gateway
+            .bill_route(m, gw, ci, spec.policy, rt.balancer.live_count().max(1));
         let args = [ci as u32, i as u32, c.work, (key & 0xffff_ffff) as u32];
         let id = match &c.recovery {
             Some(rec) => {
@@ -547,32 +1157,61 @@ pub fn run_service(m: &mut Machine, spec: &ServiceSpec) -> ServiceOutcome {
         if let Some(d) = c.deadline {
             eng.set_deadline(m, id, d);
         }
-        owner.insert(id, (ci, server));
-        ids.push(id);
-        *loads.entry(server).or_insert(0) += 1;
+        let now = clock(m);
+        let ri = rt.reqs.len();
+        rt.reqs.push(Req {
+            ci,
+            gw,
+            primary: server,
+            args,
+            submitted_at: now,
+            legs: vec![id],
+            outstanding: 1,
+            hedged: false,
+            settled: false,
+        });
+        rt.legs.insert(id, Leg { req: ri, server, submitted_at: now });
+        *rt.outstanding.entry(server).or_insert(0) += 1;
         admitted[ci] += 1;
-        in_flight += 1;
-        peak_in_flight = peak_in_flight.max(in_flight);
-    }
-    while eng.unfinished() > 0 {
-        eng.pump(m);
-        harvest(&eng, &mut trace_seen, &owner, &mut loads, &mut settled, &mut in_flight);
-    }
-    harvest(&eng, &mut trace_seen, &owner, &mut loads, &mut settled, &mut in_flight);
-    let elapsed_cycles = clock(m) - start;
-
-    let mut completed = vec![0usize; nclasses];
-    let mut failed = vec![0usize; nclasses];
-    let mut re_execs = vec![0u64; nclasses];
-    for id in ids {
-        let (ci, _) = owner[&id];
-        re_execs[ci] += u64::from(eng.recovery_executions(id));
-        match eng.take_outcome(id).expect("engine drained") {
-            Ok(_) => completed[ci] += 1,
-            Err(_) => failed[ci] += 1,
+        if let Some(h) = &spec.hedge {
+            if c.hedge {
+                let s = &rt.lat[ci];
+                let delay = if s.count() >= h.min_samples {
+                    s.quantile(h.quantile).max(1)
+                } else {
+                    h.bootstrap.max(1)
+                };
+                rt.hedge_due.entry(now + delay).or_default().push(ri);
+            }
         }
     }
 
+    // Drain phase 1: every admitted request settles (probes keep
+    // cycling so mid-drain crashes are still detected).
+    while rt.gateway.in_flight_total() > 0 {
+        rt.step(m, &mut eng);
+    }
+    // Drain phase 2: stop probing, discard in-flight probe verdicts
+    // (a post-run ejection would be noise), and let the engine empty.
+    if let Some(ds) = rt.det.as_mut() {
+        ds.active = false;
+        let ids: Vec<OpId> = ds.outstanding.keys().copied().collect();
+        ds.outstanding.clear();
+        for id in ids {
+            eng.cancel(m, id);
+        }
+    }
+    while eng.unfinished() > 0 {
+        eng.pump(m);
+        rt.harvest(m, &mut eng);
+    }
+    rt.harvest(m, &mut eng);
+    let elapsed_cycles = clock(m) - start;
+
+    let mut re_execs = vec![0u64; nclasses];
+    for (&id, leg) in &rt.legs {
+        re_execs[rt.reqs[leg.req].ci] += u64::from(eng.recovery_executions(id));
+    }
     let backpressure = m.network().borrow().stats().backpressure;
     let classes = spec
         .classes
@@ -583,23 +1222,39 @@ pub fn run_service(m: &mut Machine, spec: &ServiceSpec) -> ServiceOutcome {
             class: c.class,
             offered: c.requests,
             admitted: admitted[ci],
-            shed: gateway.shed(ci),
-            completed: completed[ci],
-            failed: failed[ci],
+            shed: rt.gateway.shed(ci),
+            breaker_shed: rt.gateway.breaker_shed(ci),
+            completed: rt.completed[ci],
+            failed: rt.failed[ci],
             re_executions: re_execs[ci],
-            completion: eng.completion_stats_for_class(c.class),
-            bill: eng.class_bill(c.class) + gateway.bill(ci),
+            budget_denied: eng.retry_budget_denied(c.class),
+            hedges: rt.hedges[ci],
+            hedge_wins: rt.hedge_wins[ci],
+            completion: rt.lat[ci],
+            bill: eng.class_bill(c.class) + rt.gateway.bill(ci),
         })
         .collect();
     let handler_runs = pool.runs();
+    let dup_suppressed = pool.dup_suppressed();
     drop(pool);
+    let (probes, probe_failures, ejections, reinstatements, det_bill) =
+        rt.det.as_ref().map_or((0, 0, 0, 0, CostVector::new()), |ds| {
+            (ds.probes, ds.failures, ds.ejections, ds.reinstatements, ds.bill.clone())
+        });
     ServiceOutcome {
         classes,
         elapsed_cycles,
-        peak_in_flight,
-        in_flight_at_end: in_flight,
+        peak_in_flight: rt.gateway.peak_in_flight(),
+        peak_per_gateway: rt.gateway.peak_per_gateway(),
+        in_flight_at_end: rt.gateway.in_flight_total(),
         backpressure,
         handler_runs,
+        dup_suppressed,
+        probes,
+        probe_failures,
+        ejections,
+        reinstatements,
+        detector_bill: det_bill + eng.class_bill(DETECTOR_CLASS),
     }
 }
 
@@ -642,16 +1297,25 @@ mod tests {
         (lo..lo + count).map(n).collect()
     }
 
+    /// An idle load view for tests that don't exercise load signals.
+    macro_rules! idle_view {
+        ($loads:ident, $ewma:ident, $view:ident) => {
+            let $loads: BTreeMap<NodeId, usize> = BTreeMap::new();
+            let $ewma: BTreeMap<NodeId, u64> = BTreeMap::new();
+            let $view = LoadView::new(&$loads, &$ewma);
+        };
+    }
+
     #[test]
     fn round_robin_is_fair_over_a_full_rotation() {
         let pool = servers(4, 5);
         let mut b = Balancer::new(BalancerPolicy::RoundRobin, &pool, 1);
-        let loads = BTreeMap::new();
+        idle_view!(loads, ewma, view);
         // Three full rotations: every server picked exactly three
         // times, in pool order, regardless of keys.
         let mut counts: BTreeMap<NodeId, usize> = BTreeMap::new();
         for k in 0..15u64 {
-            let s = b.pick(splitmix64(k), &loads);
+            let s = b.pick(splitmix64(k), &view);
             assert_eq!(s, pool[(k % 5) as usize], "rotation order at pick {k}");
             *counts.entry(s).or_insert(0) += 1;
         }
@@ -663,9 +1327,11 @@ mod tests {
         let pool = servers(10, 4);
         let mut b = Balancer::new(BalancerPolicy::LeastLoaded, &pool, 2);
         let mut loads = BTreeMap::new();
+        let ewma = BTreeMap::new();
         // All idle: the lowest node id wins, every time.
         for k in 0..8u64 {
-            assert_eq!(b.pick(k, &loads).index(), 10, "all-idle tie at pick {k}");
+            let view = LoadView::new(&loads, &ewma);
+            assert_eq!(b.pick(k, &view).index(), 10, "all-idle tie at pick {k}");
         }
         // Tie between 11 and 13 at load 1 (10 and 12 busier): 11 wins.
         loads.insert(n(10), 3);
@@ -673,21 +1339,61 @@ mod tests {
         loads.insert(n(12), 2);
         loads.insert(n(13), 1);
         for k in 0..8u64 {
-            assert_eq!(b.pick(k, &loads).index(), 11, "two-way tie at pick {k}");
+            let view = LoadView::new(&loads, &ewma);
+            assert_eq!(b.pick(k, &view).index(), 11, "two-way tie at pick {k}");
         }
         // Strictly least-loaded server wins when unique.
         loads.insert(n(13), 0);
-        assert_eq!(b.pick(99, &loads).index(), 13);
+        let view = LoadView::new(&loads, &ewma);
+        assert_eq!(b.pick(99, &view).index(), 13);
+    }
+
+    #[test]
+    fn latency_ewma_prefers_measured_fast_servers_and_tie_breaks_low() {
+        let pool = servers(20, 4);
+        let mut b = Balancer::new(BalancerPolicy::LatencyEwma, &pool, 3);
+        let loads = BTreeMap::new();
+        let mut ewma = BTreeMap::new();
+        // No samples anywhere: all tie at "unsampled" and the lowest
+        // node id wins, deterministically.
+        for k in 0..6u64 {
+            let view = LoadView::new(&loads, &ewma);
+            assert_eq!(b.pick(k, &view).index(), 20, "unsampled tie at pick {k}");
+        }
+        // Measured EWMAs rule: 22 is the fastest sampled server, but an
+        // unsampled server (21) still counts as fastest of all — cold
+        // servers get probed with real traffic.
+        ewma.insert(n(20), 900);
+        ewma.insert(n(22), 300);
+        ewma.insert(n(23), 700);
+        let view = LoadView::new(&loads, &ewma);
+        assert_eq!(b.pick(0, &view).index(), 21, "cold server probes first");
+        ewma.insert(n(21), 500);
+        for k in 0..6u64 {
+            let view = LoadView::new(&loads, &ewma);
+            assert_eq!(b.pick(k, &view).index(), 22, "fastest EWMA at pick {k}");
+        }
+        // Exact EWMA tie: lowest node id, every time.
+        ewma.insert(n(21), 300);
+        for k in 0..6u64 {
+            let view = LoadView::new(&loads, &ewma);
+            assert_eq!(b.pick(k, &view).index(), 21, "EWMA tie at pick {k}");
+        }
+        // Load is irrelevant to this policy.
+        let mut heavy = BTreeMap::new();
+        heavy.insert(n(21), 100usize);
+        let view = LoadView::new(&heavy, &ewma);
+        assert_eq!(b.pick(7, &view).index(), 21);
     }
 
     #[test]
     fn random_policy_reaches_every_server() {
         let pool = servers(0, 6);
         let mut b = Balancer::new(BalancerPolicy::Random, &pool, 42);
-        let loads = BTreeMap::new();
+        idle_view!(loads, ewma, view);
         let mut counts: BTreeMap<NodeId, usize> = BTreeMap::new();
         for k in 0..600u64 {
-            *counts.entry(b.pick(k, &loads)).or_insert(0) += 1;
+            *counts.entry(b.pick(k, &view)).or_insert(0) += 1;
         }
         assert_eq!(counts.len(), 6, "every server reached");
         // Seeded determinism: a fresh balancer with the same seed
@@ -695,7 +1401,7 @@ mod tests {
         let mut b2 = Balancer::new(BalancerPolicy::Random, &pool, 42);
         let mut b3 = Balancer::new(BalancerPolicy::Random, &pool, 42);
         for k in 0..50u64 {
-            assert_eq!(b2.pick(k, &loads), b3.pick(k, &loads));
+            assert_eq!(b2.pick(k, &view), b3.pick(k, &view));
         }
     }
 
@@ -703,9 +1409,9 @@ mod tests {
     fn consistent_hash_add_moves_at_most_one_nth_of_keys() {
         const KEYS: u64 = 4000;
         let pool = servers(0, 8);
-        let loads = BTreeMap::new();
+        idle_view!(loads, ewma, view);
         let mut before = Balancer::new(BalancerPolicy::ConsistentHash { vnodes: 128 }, &pool, 3);
-        let owners: Vec<NodeId> = (0..KEYS).map(|k| before.pick(k, &loads)).collect();
+        let owners: Vec<NodeId> = (0..KEYS).map(|k| before.pick(k, &view)).collect();
 
         // Recruit a ninth server: only arcs the new points capture may
         // move, and every moved key must land on the recruit.
@@ -713,7 +1419,7 @@ mod tests {
         after.add_server(n(100));
         let mut moved = 0u64;
         for k in 0..KEYS {
-            let now = after.pick(k, &loads);
+            let now = after.pick(k, &view);
             if now != owners[k as usize] {
                 moved += 1;
                 assert_eq!(now.index(), 100, "key {k} moved to a non-recruit");
@@ -731,7 +1437,7 @@ mod tests {
         retired.remove_server(pool[3]);
         let mut moved = 0u64;
         for k in 0..KEYS {
-            let now = retired.pick(k, &loads);
+            let now = retired.pick(k, &view);
             if now != owners[k as usize] {
                 moved += 1;
                 assert_eq!(
@@ -752,14 +1458,110 @@ mod tests {
     #[test]
     fn consistent_hash_is_stable_per_key() {
         let pool = servers(0, 5);
-        let loads = BTreeMap::new();
+        idle_view!(loads, ewma, view);
         let mut b = Balancer::new(BalancerPolicy::ConsistentHash { vnodes: 64 }, &pool, 9);
         for k in (0..200u64).step_by(7) {
-            let first = b.pick(k, &loads);
+            let first = b.pick(k, &view);
             for _ in 0..3 {
-                assert_eq!(b.pick(k, &loads), first, "key {k} must be sticky");
+                assert_eq!(b.pick(k, &view), first, "key {k} must be sticky");
             }
         }
+    }
+
+    #[test]
+    fn eject_and_reinstate_are_ownership_neutral() {
+        const KEYS: u64 = 2000;
+        let pool = servers(0, 6);
+        idle_view!(loads, ewma, view);
+        let mut b = Balancer::new(BalancerPolicy::ConsistentHash { vnodes: 64 }, &pool, 5);
+        let owners: Vec<NodeId> = (0..KEYS).map(|k| b.pick(k, &view)).collect();
+
+        // Eject: the victim's keys move, nothing else does, and no key
+        // routes at the corpse.
+        assert!(b.eject(pool[2]));
+        assert!(!b.eject(pool[2]), "double eject is a no-op");
+        assert!(b.is_ejected(pool[2]));
+        assert!(b.is_member(pool[2]), "ejection is health, not membership");
+        assert_eq!(b.live_count(), 5);
+        for k in 0..KEYS {
+            let now = b.pick(k, &view);
+            assert_ne!(now, pool[2], "key {k} routed at an ejected server");
+            if owners[k as usize] != pool[2] {
+                assert_eq!(now, owners[k as usize], "key {k} moved needlessly");
+            }
+        }
+        // Reinstate: the exact pre-ejection ownership returns (ring
+        // points are a pure function of server and vnode).
+        assert!(b.reinstate(pool[2]));
+        assert!(!b.reinstate(pool[2]), "double reinstate is a no-op");
+        for k in 0..KEYS {
+            assert_eq!(b.pick(k, &view), owners[k as usize], "key {k} after recovery");
+        }
+
+        // Scan policies skip ejected servers too.
+        let mut ll = Balancer::new(BalancerPolicy::LeastLoaded, &pool, 6);
+        ll.eject(pool[0]);
+        assert_eq!(ll.pick(0, &view), pool[1], "least-loaded skips the ejected head");
+        // pick_hedge avoids both the primary and the ejected.
+        assert_eq!(ll.pick_hedge(pool[1], &view), Some(pool[2]));
+        ll.eject(pool[2]);
+        assert_eq!(ll.pick_hedge(pool[1], &view), Some(pool[3]));
+    }
+
+    #[test]
+    fn all_ejected_pool_degrades_to_members_instead_of_panicking() {
+        let pool = servers(0, 3);
+        idle_view!(loads, ewma, view);
+        for policy in [
+            BalancerPolicy::RoundRobin,
+            BalancerPolicy::LeastLoaded,
+            BalancerPolicy::LatencyEwma,
+            BalancerPolicy::ConsistentHash { vnodes: 16 },
+        ] {
+            let mut b = Balancer::new(policy, &pool, 8);
+            for &s in &pool {
+                b.eject(s);
+            }
+            assert_eq!(b.live_count(), 0);
+            // Degraded routing still lands on a member.
+            let s = b.pick(17, &view);
+            assert!(pool.contains(&s), "{policy:?} fell off the member set");
+            // No healthy hedge target exists.
+            assert_eq!(b.pick_hedge(s, &view), None, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn removing_an_ejected_migration_target_is_safe() {
+        // Regression: the failure detector ejects a server, then a
+        // migration retires it. The remove must purge the ejection
+        // bookkeeping so (a) routing never panics, (b) nothing routes
+        // to it, and (c) a later recruit of the same node starts
+        // fresh with exactly its vnodes ring points.
+        let pool = servers(0, 4);
+        idle_view!(loads, ewma, view);
+        let mut b = Balancer::new(BalancerPolicy::ConsistentHash { vnodes: 32 }, &pool, 4);
+        assert!(b.eject(pool[1]));
+        b.remove_server(pool[1]);
+        assert!(!b.is_member(pool[1]));
+        assert!(!b.is_ejected(pool[1]), "remove purges ejection state");
+        assert_eq!(b.live_count(), 3);
+        for k in 0..500u64 {
+            assert_ne!(b.pick(k, &view), pool[1], "key {k} routed at a removed server");
+        }
+        // Re-recruit the same node: it is healthy, owns arcs again, and
+        // carries exactly one point set (no double insertion).
+        b.add_server(pool[1]);
+        assert!(b.is_member(pool[1]) && !b.is_ejected(pool[1]));
+        assert_eq!(b.ring.iter().filter(|&&(_, s)| s == pool[1]).count(), 32);
+        assert!((0..500u64).any(|k| b.pick(k, &view) == pool[1]), "recruit owns arcs");
+        // And recruiting an *ejected* member is a reinstate, not a
+        // duplicate membership.
+        assert!(b.eject(pool[2]));
+        b.add_server(pool[2]);
+        assert!(!b.is_ejected(pool[2]), "add_server reinstates an ejected member");
+        assert_eq!(b.servers().iter().filter(|&&s| s == pool[2]).count(), 1);
+        assert_eq!(b.ring.iter().filter(|&&(_, s)| s == pool[2]).count(), 32);
     }
 
     #[test]
@@ -779,13 +1581,13 @@ mod tests {
             gateways: vec![n(0), n(1)],
             servers: servers(8, 4),
             policy: BalancerPolicy::RoundRobin,
-            admission_bound: 64,
+            window: AdmissionWindow::TierGlobal(64),
             classes: vec![
                 QosClass::interactive(96, 30, 600_000),
                 QosClass::batch(160, 20),
             ],
-            migration: None,
             seed: 5,
+            ..ServiceSpec::default()
         };
         let out = run_service(&mut m, &spec);
         assert_eq!(out.in_flight_at_end, 0, "drained");
@@ -796,8 +1598,49 @@ mod tests {
             assert_eq!(c.failed, 0, "light load must not fail ({})", c.name);
             assert_eq!(c.completion.count() as usize, c.admitted);
             assert!(c.bill.total() > 0, "class {} billed nothing", c.name);
+            assert_eq!(c.hedges, 0, "hedging disarmed");
         }
+        assert_eq!(out.probes, 0, "detector disarmed");
+        assert_eq!(out.dup_suppressed, 0);
         assert!(out.goodput_per_kcycle() > 0.0);
+    }
+
+    #[test]
+    fn clean_run_with_full_failure_domain_stays_conserved() {
+        // Detector + hedging + breaker armed on a healthy pool: probes
+        // cycle and bill FaultTol, nothing is ejected, the breaker
+        // never trips, and conservation holds with hedge legs deduped.
+        let mut m = serving_machine(64, 2, 1, 17);
+        let spec = ServiceSpec {
+            gateways: vec![n(0), n(1)],
+            servers: servers(8, 4),
+            policy: BalancerPolicy::ConsistentHash { vnodes: 32 },
+            window: AdmissionWindow::TierGlobal(64),
+            classes: vec![
+                QosClass::interactive(96, 40, 600_000),
+                QosClass::batch(160, 20),
+            ],
+            detector: Some(DetectorSpec::default()),
+            hedge: Some(HedgeSpec { quantile: 0.9, min_samples: 8, bootstrap: 4096 }),
+            breaker: Some(BreakerSpec::default()),
+            seed: 21,
+            ..ServiceSpec::default()
+        };
+        let out = run_service(&mut m, &spec);
+        assert_eq!(out.in_flight_at_end, 0, "drained");
+        assert!(out.probes > 0, "detector probed");
+        assert_eq!(out.ejections, 0, "healthy pool, no ejections");
+        assert_eq!(out.probe_failures, 0, "healthy pool, no misses");
+        assert!(out.detector_bill.total() > 0, "detection is not free");
+        let total_runs: u64 = out.handler_runs.values().sum();
+        let admitted: usize = out.classes.iter().map(|c| c.admitted).sum();
+        assert_eq!(total_runs, admitted as u64, "exactly-once with hedging");
+        for c in &out.classes {
+            assert_eq!(c.offered, c.admitted + c.shed, "conservation ({})", c.name);
+            assert_eq!(c.admitted, c.completed + c.failed, "conservation ({})", c.name);
+            assert_eq!(c.breaker_shed, 0, "healthy pool, breaker closed");
+            assert_eq!(c.completion.count() as usize, c.admitted);
+        }
     }
 
     #[test]
@@ -807,10 +1650,11 @@ mod tests {
             gateways: vec![n(0)],
             servers: servers(8, 4),
             policy: BalancerPolicy::ConsistentHash { vnodes: 64 },
-            admission_bound: 64,
+            window: AdmissionWindow::TierGlobal(64),
             classes: vec![QosClass::batch(128, 40)],
             migration: Some(Migration { at: 0.5, retire: 2, recruit: vec![n(20), n(21)] }),
             seed: 7,
+            ..ServiceSpec::default()
         };
         let out = run_service(&mut m, &spec);
         let c = &out.classes[0];

@@ -24,8 +24,8 @@
 
 use timego_netsim::{CrashWindow, FaultConfig, NodeId};
 use timego_workloads::service::{
-    run_service, serving_machine, serving_machine_chaos, BalancerPolicy, QosClass, ServiceOutcome,
-    ServiceSpec,
+    run_service, serving_machine, serving_machine_chaos, AdmissionWindow, BalancerPolicy,
+    QosClass, ServiceOutcome, ServiceSpec,
 };
 
 fn n(i: usize) -> NodeId {
@@ -43,13 +43,13 @@ fn overload_spec(interval: u64) -> ServiceSpec {
         gateways: vec![n(0)],
         servers: nodes(1, 3),
         policy: BalancerPolicy::LeastLoaded,
-        admission_bound: 32,
+        window: AdmissionWindow::TierGlobal(32),
         classes: vec![
             QosClass::interactive(interval, 260, 1 << 17),
             QosClass::batch(interval * 2, 130),
         ],
-        migration: None,
         seed: 42,
+        ..ServiceSpec::default()
     }
 }
 
@@ -103,10 +103,10 @@ fn crash_windows_on_the_gateway_reexecute_to_exactly_once() {
         gateways: vec![n(0)],
         servers: nodes(1, 4),
         policy: BalancerPolicy::RoundRobin,
-        admission_bound: 64,
+        window: AdmissionWindow::TierGlobal(64),
         classes: vec![QosClass::batch(24, 120)],
-        migration: None,
         seed: 42,
+        ..ServiceSpec::default()
     };
     let out = run_service(&mut m, &spec);
     assert_conserved(&out);
@@ -140,13 +140,13 @@ fn per_class_bills_sum_to_the_untagged_node_totals() {
         gateways: vec![n(0), n(1)],
         servers: nodes(8, 4),
         policy: BalancerPolicy::ConsistentHash { vnodes: 64 },
-        admission_bound: 64,
+        window: AdmissionWindow::TierGlobal(64),
         classes: vec![
             QosClass::interactive(8, 80, 1 << 20),
             QosClass::batch(12, 50),
         ],
-        migration: None,
         seed: 42,
+        ..ServiceSpec::default()
     };
     let out = run_service(&mut m, &spec);
     assert_conserved(&out);
